@@ -1,0 +1,22 @@
+# Convenience targets for the S3-FIFO reproduction.
+
+.PHONY: install test bench examples experiments all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; python $$script; done
+
+experiments:
+	for exp in fig01 fig02 fig03 fig04 table1 fig06 fig07 fig08 fig09 \
+	           fig10 fig11 sec52 sec523 sec62 sec63 ablations; do \
+	    echo "== $$exp =="; s3fifo-repro experiment $$exp --scale 0.25; done
+
+all: install test bench

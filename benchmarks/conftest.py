@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure via the matching
+``repro.experiments`` module, runs it once under pytest-benchmark's
+timer (``rounds=1`` — these are experiments, not microbenchmarks), and
+saves the formatted rows to ``benchmarks/results/<name>.txt`` so the
+numbers behind EXPERIMENTS.md can be re-inspected.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Single knob to shrink/grow every experiment-backed benchmark.
+BENCH_SCALE = 0.25
+BENCH_TRACES_PER_DATASET = 2
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a formatted experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

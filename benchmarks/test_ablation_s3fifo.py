@@ -1,0 +1,32 @@
+"""Bench: ablations of S3-FIFO's design constants (DESIGN.md Sec. 4).
+
+Ghost-queue size, frequency-counter width, and the move-to-main
+threshold — the knobs Algorithm 1 fixes — each swept against the
+paper's defaults.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_s3fifo_constants(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: ablations.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=1,
+            processes=1,
+        ),
+    )
+    table = ablations.format_table(rows)
+    save_table("ablation_s3fifo", table)
+    print("\n" + table)
+    by = {r["ablation"]: r["mean_reduction"] for r in rows}
+    default = by["default (ghost=|M|, cap=3, thr=2)"]
+    # Every configuration still beats FIFO on average.
+    assert all(v > 0 for v in by.values())
+    # The paper's defaults are within noise of the best configuration.
+    assert default >= max(by.values()) - 0.04
+    # A starved ghost queue costs efficiency (quick-demotion needs it).
+    assert by["ghost=0.1x|M|"] <= default + 0.01

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 1 (the toy one-hit-wonder example)."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_toy
+
+
+def test_fig01_toy(benchmark, save_table):
+    rows = run_once(benchmark, fig01_toy.run)
+    table = fig01_toy.format_table(rows)
+    save_table("fig01_toy", table)
+    print("\n" + table)
+    by_window = {(r["start"], r["end"]): r["ratio"] for r in rows}
+    # Exact paper values.
+    assert abs(by_window[(1, 17)] - 0.20) < 1e-9
+    assert abs(by_window[(1, 7)] - 0.50) < 1e-9
+    assert abs(by_window[(1, 4)] - 2 / 3) < 1e-9

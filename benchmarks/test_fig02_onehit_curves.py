@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 2 (one-hit-wonder ratio vs sequence length)."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_onehit_curves
+
+
+def test_fig02_onehit_curves(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: fig02_onehit_curves.run(
+            num_objects=4000, num_requests=80_000, num_samples=6
+        ),
+    )
+    table = fig02_onehit_curves.format_table(rows)
+    save_table("fig02_onehit_curves", table)
+    print("\n" + table)
+    # Shape: every curve decreases with sequence length.
+    for trace in ("zipf-0.6", "zipf-1.2", "msr", "twitter"):
+        assert fig02_onehit_curves.monotonically_decreasing(
+            rows, trace, tolerance=0.08
+        ), trace
+    # Shape: higher skew -> lower curve at the same fraction.
+    at = lambda t, f: next(
+        r["ohw_ratio"] for r in rows if r["trace"] == t and r["fraction"] == f
+    )
+    assert at("zipf-1.2", 0.1) < at("zipf-0.6", 0.1)

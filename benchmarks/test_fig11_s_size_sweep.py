@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 11 (reduction percentiles vs small-queue size).
+
+Paper: smaller S gives the biggest wins at the top percentiles but
+hurts the tail; 5%-20% is a flat, safe plateau.
+"""
+
+from conftest import BENCH_SCALE, BENCH_TRACES_PER_DATASET, run_once
+
+from repro.experiments import fig11_s_size_sweep
+
+
+def test_fig11_s_size_sweep(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: fig11_s_size_sweep.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=BENCH_TRACES_PER_DATASET,
+            processes=1,
+        ),
+    )
+    table = fig11_s_size_sweep.format_table(rows)
+    save_table("fig11_s_size_sweep", table)
+    print("\n" + table)
+    for cache in ("large", "small"):
+        by_size = {
+            r["s_size"]: r for r in rows if r["cache"] == cache
+        }
+        # All sweep points improve on FIFO on average.
+        assert all(r["mean"] > 0 for r in by_size.values()), cache
+        # The 5%-20% plateau: means within a couple of points.
+        plateau = [by_size[s]["mean"] for s in (0.05, 0.1, 0.2)]
+        assert max(plateau) - min(plateau) < 0.05, cache

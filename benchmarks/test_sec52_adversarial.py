@@ -1,0 +1,34 @@
+"""Bench: the Section 5.2 adversarial two-access workload.
+
+Paper: when every object is requested exactly twice and the second
+request falls outside the small queue, S3-FIFO (and the other
+space-partitioned policies: TinyLFU, LIRS, 2Q) miss the second
+request, while an unpartitioned FIFO of the same total size can hit it.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sec52_adversarial
+
+
+def test_sec52_adversarial(benchmark, save_table):
+    rows = run_once(benchmark, sec52_adversarial.run)
+    table = sec52_adversarial.format_table(rows)
+    save_table("sec52_adversarial", table)
+    print("\n" + table)
+    by = {(r["gap"], r["policy"]): r["miss_ratio"] for r in rows}
+
+    # Gap far below the cache size: everyone serves the second access.
+    assert by[(200, "fifo")] <= 0.55
+    assert by[(200, "s3fifo")] <= 0.55
+
+    # Gap between S and the cache size: partitioned policies lose.
+    gap = 700
+    assert by[(gap, "fifo")] < by[(gap, "s3fifo")]
+    assert by[(gap, "fifo")] < by[(gap, "tinylfu")]
+    assert by[(gap, "fifo")] < by[(gap, "lirs")]
+    assert by[(gap, "fifo")] < by[(gap, "twoq")]
+
+    # Gap beyond the cache: nobody can hit (except near-oracle luck).
+    assert by[(5000, "fifo")] > 0.95
+    assert by[(5000, "s3fifo")] > 0.95

@@ -1,0 +1,48 @@
+"""Bench: Section 6.2.3 — downsized simulations with spatial sampling.
+
+The paper points operators who must tune per-workload parameters to
+SHARDS-style miniature simulations.  This benchmark validates the
+machinery: the sampled miss-ratio curve tracks the exact LRU curve,
+and the same miniature-simulation apparatus reproduces the S3-FIFO
+small-queue-size choice at a fraction of the cost.
+"""
+
+from conftest import run_once
+
+from repro.sim.mrc import lru_mrc, mrc_error, sampled_mrc
+from repro.traces.synthetic import zipf_trace
+
+
+def test_sec623_downsized_simulation(benchmark, save_table):
+    trace = zipf_trace(20_000, 150_000, alpha=0.9, seed=0)
+    sizes = [500, 2000, 8000]
+
+    def build():
+        exact = lru_mrc(trace, sizes=sizes)
+        estimate = sampled_mrc(
+            "lru", trace, sizes=sizes, rate=0.15, seed=0, ensembles=3
+        )
+        mini_s3 = {
+            ratio: sampled_mrc(
+                "s3fifo", trace, sizes=[2000], rate=0.15, ensembles=2,
+                small_ratio=ratio,
+            ).miss_ratios[0]
+            for ratio in (0.01, 0.1, 0.4)
+        }
+        return exact, estimate, mini_s3
+
+    exact, estimate, mini_s3 = run_once(benchmark, build)
+    lines = ["Sec. 6.2.3 — downsized simulation accuracy",
+             f"exact LRU MRC    : {exact}",
+             f"sampled LRU MRC  : {estimate}",
+             f"mean abs error   : {mrc_error(estimate, exact):.4f}",
+             "mini-sim S3-FIFO miss ratio @2000 by S size: "
+             + ", ".join(f"{r:g}->{m:.3f}" for r, m in mini_s3.items())]
+    table = "\n".join(lines)
+    save_table("sec623_downsized_simulation", table)
+    print("\n" + table)
+
+    assert mrc_error(estimate, exact) < 0.08
+    # The miniature simulation reproduces Fig. 11's shape: tiny and
+    # huge S are both no better than the 10% default.
+    assert mini_s3[0.1] <= mini_s3[0.4] + 0.01

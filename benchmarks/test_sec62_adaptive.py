@@ -1,0 +1,33 @@
+"""Bench: Section 6.2.2 — static S3-FIFO vs adaptive S3-FIFO-D.
+
+Paper: the static variant matches or beats the adaptive one on most
+traces; adaptation only pays on adversarial workloads.
+"""
+
+from conftest import BENCH_SCALE, BENCH_TRACES_PER_DATASET, run_once
+
+from repro.experiments import sec62_adaptive
+
+
+def test_sec62_adaptive(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: sec62_adaptive.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=BENCH_TRACES_PER_DATASET,
+            processes=1,
+        ),
+    )
+    table = sec62_adaptive.format_table(rows)
+    save_table("sec62_adaptive", table)
+    print("\n" + table)
+    summary = sec62_adaptive.summarize(rows)
+    print(f"\nsummary: {summary}")
+    # The adaptive variant wins on only a small fraction of normal traces.
+    assert summary["d_win_fraction"] < 0.5
+    # On the adversarial trace, adaptation clearly helps.
+    assert summary["adversarial_gain"] is not None
+    assert summary["adversarial_gain"] > 0.05
+    # Normal-trace deltas are small either way.
+    normal = [r for r in rows if not r["trace"].startswith("adversarial")]
+    assert all(abs(r["d_gain"]) < 0.25 for r in normal)

@@ -1,0 +1,31 @@
+"""Bench: Section 6.3 — the LRU-vs-FIFO queue-type ablation.
+
+Paper: "LRU queues do not improve efficiency ... with quick demotion,
+the queue type does not matter."
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import sec63_queue_type
+
+
+def test_sec63_queue_type(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: sec63_queue_type.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=1,
+            processes=1,
+        ),
+    )
+    table = sec63_queue_type.format_table(rows)
+    save_table("sec63_queue_type", table)
+    print("\n" + table)
+    assert len(rows) == 5
+    means = {r["variant"]: r["mean_reduction"] for r in rows}
+    # Everything beats FIFO.
+    assert all(v > 0 for v in means.values())
+    # The paper's claim: queue type barely moves the needle.
+    assert max(means.values()) - min(means.values()) < 0.06
+    # LRU queues give no meaningful edge over the all-FIFO design.
+    assert means["S3(S=fifo,M=fifo)"] >= means["S3(S=lru,M=lru)"] - 0.02

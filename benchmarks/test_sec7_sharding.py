@@ -1,0 +1,57 @@
+"""Bench: Section 7 — why sharding is not the scalability answer.
+
+Paper: "cache workloads often follow Zipfian popularity, so sharding
+leads to load imbalance and limits the whole system's throughput."
+The sharding model quantifies the claim: the hottest shard saturates
+first, capping system throughput well below the n-core ideal, while a
+lock-free shared cache (S3-FIFO's cost profile) keeps scaling.
+"""
+
+from conftest import run_once
+
+from repro.concurrency.costs import profile_for
+from repro.concurrency.model import analytic_throughput
+from repro.concurrency.sharding import (
+    imbalance_factor,
+    shard_load_shares,
+    sharding_scaling_curve,
+)
+
+
+def test_sec7_sharding_imbalance(benchmark, save_table):
+    def build():
+        threads = [1, 2, 4, 8, 16]
+        curves = {
+            alpha: sharding_scaling_curve(
+                threads, num_objects=200_000, alpha=alpha, per_core_mqps=5.0
+            )
+            for alpha in (0.0, 1.0, 1.3)
+        }
+        imbalance = {
+            alpha: imbalance_factor(
+                shard_load_shares(200_000, 16, alpha, seed=0)
+            )
+            for alpha in (0.0, 1.0, 1.3)
+        }
+        s3_16 = analytic_throughput(profile_for("s3fifo"), 16, 0.02)
+        return curves, imbalance, s3_16
+
+    curves, imbalance, s3_16 = run_once(benchmark, build)
+    lines = ["Sec. 7 — sharded throughput vs Zipf skew (MQPS)"]
+    for alpha, curve in curves.items():
+        series = "  ".join(f"{n}t:{v:6.1f}" for n, v in curve.items())
+        lines.append(
+            f"  alpha={alpha:<4}  {series}   "
+            f"(16-shard imbalance {imbalance[alpha]:.2f}x)"
+        )
+    lines.append(f"  s3fifo shared cache @16 threads: {s3_16:.1f} MQPS")
+    table = "\n".join(lines)
+    save_table("sec7_sharding", table)
+    print("\n" + table)
+
+    # Uniform load shards perfectly; Zipf does not.
+    assert curves[0.0][16] / curves[0.0][1] > 15
+    assert curves[1.3][16] / curves[1.3][1] < 12
+    assert imbalance[1.3] > imbalance[0.0]
+    # At high skew, the lock-free shared cache out-scales sharding.
+    assert s3_16 > curves[1.3][16]

@@ -1,0 +1,31 @@
+"""Microbenchmarks: single-thread simulation throughput per policy.
+
+This is the one benchmark file that uses pytest-benchmark's repeated
+timing in its natural role — how many requests/second each *Python*
+policy implementation sustains in the simulator.  (The paper's Fig. 8
+multicore claim is reproduced by the cost model in
+``test_fig08_throughput_scaling.py``; these numbers only compare the
+constant factors of our implementations.)
+"""
+
+import pytest
+
+from repro.cache.registry import create_policy
+from repro.sim.request import Request
+from repro.traces.synthetic import zipf_trace
+
+TRACE = zipf_trace(num_objects=2000, num_requests=30_000, alpha=1.0, seed=0)
+
+POLICIES = ["fifo", "lru", "clock", "sieve", "s3fifo", "arc", "tinylfu", "lirs"]
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_policy_throughput(benchmark, policy_name):
+    def run():
+        cache = create_policy(policy_name, capacity=200)
+        for key in TRACE:
+            cache.request(Request(key))
+        return cache.stats.miss_ratio
+
+    miss_ratio = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0.0 < miss_ratio < 1.0

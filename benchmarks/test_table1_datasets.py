@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 1 (dataset inventory + one-hit-wonder cols)."""
+
+from conftest import BENCH_SCALE, BENCH_TRACES_PER_DATASET, run_once
+
+from repro.experiments import table1_datasets
+from repro.traces.datasets import DATASETS
+
+
+def test_table1_datasets(benchmark, save_table):
+    rows = run_once(
+        benchmark,
+        lambda: table1_datasets.run(
+            scale=BENCH_SCALE,
+            traces_per_dataset=BENCH_TRACES_PER_DATASET,
+            num_samples=4,
+        ),
+    )
+    table = table1_datasets.format_table(rows)
+    save_table("table1_datasets", table)
+    print("\n" + table)
+    assert len(rows) == len(DATASETS) == 14
+    for row in rows:
+        # Full-trace ratio calibrated to the paper's column.
+        assert abs(row["ohw_full"] - row["paper_ohw_full"]) < 0.15, row
+        # Subsequence ratios rise as sequences shrink (Table 1 columns).
+        assert row["ohw_10pct"] >= row["ohw_full"] - 0.05, row

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Block-cache scenario: scan resistance on an MSR-like workload.
+
+Block storage traces (the paper's MSR, CloudPhysics, Tencent CBS
+datasets) mix skewed hot traffic with sequential scans.  A scan's
+blocks are one-hit wonders: policies without quick demotion let them
+flush the hot set.  This example shows how the small FIFO queue
+protects the main cache, and inspects the frequency of evicted objects
+(the Fig. 4 analysis).
+
+Run:  python examples/block_cache_scan_resistance.py
+"""
+
+from repro import create_policy, simulate
+from repro.traces.analysis import annotate_next_access, frequency_at_eviction
+from repro.traces.datasets import generate_dataset_trace
+from repro.traces.synthetic import zipf_with_scans
+
+
+def scan_study() -> None:
+    print("=== scan resistance (synthetic Zipf + periodic scans) ===")
+    trace = zipf_with_scans(
+        num_objects=5_000,
+        num_requests=100_000,
+        alpha=0.9,
+        scan_length=1_000,
+        scan_every=10_000,
+        seed=7,
+    )
+    cache_size = 500
+    for name in ["lru", "fifo", "clock", "arc", "s3fifo"]:
+        mr = simulate(
+            create_policy(name, capacity=cache_size), list(trace)
+        ).miss_ratio
+        print(f"  {name:8s} miss ratio = {mr:.4f}")
+    print("  (LRU lets each scan flush the hot set; S3-FIFO's small\n"
+          "   queue absorbs the scan blocks and evicts them quickly)\n")
+
+
+def eviction_frequency_study() -> None:
+    print("=== frequency of objects at eviction (MSR-like, Fig. 4) ===")
+    trace = generate_dataset_trace("msr", 0, seed=1)
+    annotated = annotate_next_access(trace)
+    cache_size = max(10, len(set(trace)) // 10)
+    for name in ["lru", "belady", "s3fifo"]:
+        policy = create_policy(name, capacity=cache_size)
+        histogram = frequency_at_eviction(policy, annotated)
+        total = sum(histogram.values())
+        zero = histogram.get(0, 0) / total if total else 0.0
+        print(f"  {name:8s} evictions={total:6d}  "
+              f"never-reused-at-eviction={zero:.1%}")
+    print("  (most evicted blocks were one-hit wonders -> evicting\n"
+          "   them early is nearly free, the paper's Section 3 insight)")
+
+
+if __name__ == "__main__":
+    scan_study()
+    eviction_frequency_study()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Flash CDN scenario: DRAM admission filters for a flash cache.
+
+CDN caches store objects on flash, whose write endurance is limited.
+This example reproduces the Section 5.4 / Fig. 9 comparison on a
+WikiMedia-like sized trace: no admission, probabilistic admission,
+Flashield-style ML admission, and the paper's S3-FIFO small-queue
+filter — measuring both byte miss ratio and flash write bytes.
+
+Run:  python examples/flash_cdn_admission.py
+"""
+
+from repro.flash.admission import (
+    FlashieldAdmission,
+    NoAdmission,
+    ProbabilisticAdmission,
+    S3FifoAdmission,
+)
+from repro.flash.flashcache import HybridFlashCache
+from repro.traces.datasets import sized_dataset_trace
+
+
+def run_scheme(label, trace, unique_bytes, flash, dram, admission, dram_policy):
+    cache = HybridFlashCache(dram, flash, admission, dram_policy=dram_policy)
+    result = cache.run(list(trace))
+    print(f"  {label:28s} byte-miss={result.byte_miss_ratio:.3f}   "
+          f"flash-writes={result.normalized_writes(unique_bytes):.2f}x "
+          f"of unique bytes")
+    return result
+
+
+def main() -> None:
+    trace = sized_dataset_trace("wikimedia", 0, scale=0.6, seed=5)
+    sizes = {k: s for k, s in trace}
+    unique_bytes = sum(sizes.values())
+    flash = unique_bytes // 10  # flash cache = 10% of footprint bytes
+    print(f"WikiMedia-like CDN trace: {len(trace):,} requests, "
+          f"{len(sizes):,} objects, {unique_bytes/1e9:.2f} GB footprint, "
+          f"flash = {flash/1e9:.2f} GB\n")
+
+    mean_size = max(1, unique_bytes // len(sizes))
+
+    print("--- write-everything baseline ---")
+    run_scheme("fifo (no admission)", trace, unique_bytes, flash,
+               flash // 100, NoAdmission(), "lru")
+
+    print("--- probabilistic admission (20%) ---")
+    run_scheme("probabilistic-0.2", trace, unique_bytes, flash,
+               flash // 100, ProbabilisticAdmission(0.2, seed=0), "lru")
+
+    print("--- ML admission (Flashield-like) vs DRAM size ---")
+    for ratio in (0.001, 0.01, 0.1):
+        dram = max(1, int(flash * ratio))
+        run_scheme(f"flashield (dram={ratio:.1%})", trace, unique_bytes,
+                   flash, dram, FlashieldAdmission(seed=0), "lru")
+
+    print("--- the paper's small-FIFO-queue filter vs DRAM size ---")
+    for ratio in (0.001, 0.01, 0.1):
+        dram = max(1, int(flash * ratio))
+        ghost = max(64, (dram // mean_size) * 8)
+        run_scheme(f"s3fifo filter (dram={ratio:.1%})", trace, unique_bytes,
+                   flash, dram, S3FifoAdmission(ghost_entries=ghost), "fifo")
+
+    print("\nTakeaway (Fig. 9): the FIFO filter cuts flash writes AND miss\n"
+          "ratio, and keeps working even when DRAM is 0.1% of the flash\n"
+          "size — where the ML admission has no signal to learn from.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Key-value cache scenario: a Twitter-like workload with object churn.
+
+In-memory KV caches (the paper's Twitter and Social Network datasets)
+see highly skewed popularity *and* a constant stream of newly created
+objects.  This example sweeps the small-queue size (the Fig. 11 / Table
+2 experiment) and demonstrates the adaptive S3-FIFO-D variant.
+
+Run:  python examples/kv_cache_twitter_like.py
+"""
+
+from repro import create_policy, simulate
+from repro.core.s3fifo import S3FifoCache
+from repro.core.s3fifo_d import S3FifoDCache
+from repro.traces.datasets import generate_dataset_trace
+
+
+def main() -> None:
+    trace = generate_dataset_trace("twitter", 0, scale=1.5, seed=3)
+    footprint = len(set(trace))
+    cache_size = max(10, footprint // 10)
+    print(f"Twitter-like trace: {len(trace):,} requests, "
+          f"{footprint:,} objects, cache = {cache_size:,}\n")
+
+    print("--- baselines ---")
+    for name in ["lru", "arc", "tinylfu", "s3fifo"]:
+        mr = simulate(create_policy(name, capacity=cache_size),
+                      list(trace)).miss_ratio
+        print(f"  {name:8s} miss ratio = {mr:.4f}")
+
+    print("\n--- small-queue size sweep (Table 2) ---")
+    for ratio in [0.01, 0.05, 0.10, 0.20, 0.40]:
+        cache = S3FifoCache(cache_size, small_ratio=ratio)
+        mr = simulate(cache, list(trace)).miss_ratio
+        print(f"  S = {ratio:4.0%} of cache   miss ratio = {mr:.4f}")
+    print("  (flat between 5% and 20% -> the static 10% default is safe)")
+
+    print("\n--- adaptive queue sizing (S3-FIFO-D, Sec. 6.2.2) ---")
+    static = simulate(S3FifoCache(cache_size), list(trace))
+    adaptive_cache = S3FifoDCache(cache_size)
+    adaptive = simulate(adaptive_cache, list(trace))
+    print(f"  s3fifo    miss ratio = {static.miss_ratio:.4f}")
+    print(f"  s3fifo-d  miss ratio = {adaptive.miss_ratio:.4f} "
+          f"({adaptive_cache.resizes} queue resizes, final "
+          f"S = {adaptive_cache.small_capacity}/{cache_size})")
+    print("  (on normal workloads the static queue is already right;\n"
+          "   adaptation only pays on adversarial patterns)")
+
+
+if __name__ == "__main__":
+    main()

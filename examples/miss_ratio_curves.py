@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Miss-ratio curves: exact Mattson profiling and SHARDS mini-simulation.
+
+Section 6.2.3 of the paper recommends downsized simulations with
+spatial sampling for operators who need to pick per-workload
+parameters.  This example builds the exact LRU miss-ratio curve for a
+workload, reproduces it from a 15% spatial sample at a fraction of the
+cost, and then uses the same miniature-simulation machinery to choose
+S3-FIFO's small-queue size.
+
+Run:  python examples/miss_ratio_curves.py
+"""
+
+import time
+
+from repro.sim.mrc import lru_mrc, mrc_error, sampled_mrc
+from repro.traces.synthetic import zipf_trace
+
+
+def ascii_curve(label, curve):
+    print(f"  {label}")
+    for size, mr in zip(curve.sizes, curve.miss_ratios):
+        print(f"    size {size:>6d}  miss {mr:.3f}  {'#' * int(mr * 40)}")
+
+
+def main() -> None:
+    trace = zipf_trace(num_objects=20_000, num_requests=150_000, alpha=0.9,
+                       seed=0)
+    sizes = [250, 1000, 4000, 16000]
+    print(f"workload: {len(trace):,} requests, {len(set(trace)):,} objects\n")
+
+    print("--- exact LRU MRC (Mattson, one pass) ---")
+    t0 = time.time()
+    exact = lru_mrc(trace, sizes=sizes)
+    exact_time = time.time() - t0
+    ascii_curve(f"computed in {exact_time:.2f}s", exact)
+
+    print("\n--- SHARDS mini-simulation (15% sample, 3 ensembles) ---")
+    t0 = time.time()
+    estimate = sampled_mrc("lru", trace, sizes=sizes, rate=0.15, seed=0,
+                           ensembles=3)
+    sample_time = time.time() - t0
+    ascii_curve(f"computed in {sample_time:.2f}s", estimate)
+    print(f"  mean absolute error vs exact: {mrc_error(estimate, exact):.3f}")
+
+    print("\n--- parameter search by miniature simulation ---")
+    print("  choosing S3-FIFO's small-queue size at cache=4000:")
+    for ratio in (0.01, 0.05, 0.1, 0.2, 0.4):
+        curve = sampled_mrc("s3fifo", trace, sizes=[4000], rate=0.15,
+                            ensembles=2, small_ratio=ratio)
+        print(f"    S = {ratio:4.0%}   est. miss ratio = "
+              f"{curve.miss_ratios[0]:.3f}")
+    print("  (flat across 1%-20%, worse at 40% — Fig. 11's shape, found\n"
+          "   without ever simulating the full trace)")
+
+
+if __name__ == "__main__":
+    main()

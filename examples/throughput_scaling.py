@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Throughput scaling: the Fig. 8 experiment via the concurrency model.
+
+Prints modeled throughput-vs-threads curves for the six policies of
+Fig. 8 at the paper's two operating points, validates the analytic
+model against the discrete-event simulation, and (optionally)
+demonstrates why real Python threads cannot reproduce this natively
+(the GIL).
+
+Run:  python examples/throughput_scaling.py
+"""
+
+from repro.concurrency.costs import PROFILES, profile_for
+from repro.concurrency.model import (
+    analytic_throughput,
+    simulate_throughput,
+    throughput_curve,
+)
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def print_curves(miss_ratio: float, label: str) -> None:
+    print(f"--- {label} cache (miss ratio {miss_ratio}) ---")
+    header = "policy".ljust(15) + "".join(f"{n:>9d}t" for n in THREADS)
+    print(header)
+    for name in ["lru-strict", "lru-optimized", "tinylfu", "twoq",
+                 "segcache", "s3fifo"]:
+        curve = throughput_curve(profile_for(name), THREADS, miss_ratio)
+        cells = "".join(f"{p.mqps:9.1f}" for p in curve)
+        print(f"{name:15s}{cells}   MQPS")
+    s3 = analytic_throughput(profile_for("s3fifo"), 16, miss_ratio)
+    lru = analytic_throughput(profile_for("lru-optimized"), 16, miss_ratio)
+    print(f"S3-FIFO vs optimized LRU at 16 threads: {s3 / lru:.1f}x "
+          f"(paper: >6x)\n")
+
+
+def validate_models() -> None:
+    print("--- analytic vs discrete-event simulation ---")
+    for name in ["lru-optimized", "s3fifo"]:
+        profile = profile_for(name)
+        for threads in (1, 8):
+            ana = analytic_throughput(profile, threads, 0.02)
+            sim = simulate_throughput(profile, threads, 0.02,
+                                      requests=100_000, seed=0)
+            print(f"  {name:15s} {threads:2d} threads: "
+                  f"analytic {ana:7.1f} MQPS, DES {sim:7.1f} MQPS")
+    print()
+
+
+def gil_demo() -> None:
+    print("--- why not real threads? (the GIL demonstration) ---")
+    from repro.concurrency.threads import gil_bound_throughput
+    from repro.traces.synthetic import zipf_trace
+
+    trace = zipf_trace(1000, 10_000, seed=0)
+    stats = gil_bound_throughput("s3fifo", 100, trace, threads=4,
+                                 duration=0.3)
+    print(f"  1 thread : {stats['single_thread_ops']:,.0f} ops/s")
+    print(f"  4 threads: {stats['multi_thread_ops']:,.0f} ops/s "
+          f"(efficiency {stats['scaling_efficiency']:.0%})")
+    print("  CPython threads serialize on the GIL, so the paper's Fig. 8\n"
+          "  is reproduced with the calibrated cost model above instead.")
+
+
+if __name__ == "__main__":
+    print_curves(0.02, "large")
+    print_curves(0.21, "small")
+    validate_models()
+    gil_demo()

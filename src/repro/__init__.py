@@ -1,0 +1,52 @@
+"""Reproduction of "FIFO queues are all you need for cache eviction"
+(S3-FIFO, SOSP'23).
+
+Quick start::
+
+    from repro import S3FifoCache, simulate, zipf_trace
+
+    trace = zipf_trace(num_objects=10_000, num_requests=200_000, alpha=1.0)
+    cache = S3FifoCache(capacity=1_000)
+    result = simulate(cache, trace)
+    print(result.miss_ratio)
+
+Package layout:
+
+* :mod:`repro.core` — S3-FIFO, S3-FIFO-D, queue-type variants, and
+  quick-demotion instrumentation (the paper's contribution).
+* :mod:`repro.cache` — 20 baseline eviction policies behind one
+  interface, plus the registry.
+* :mod:`repro.sim` — the trace-driven simulator and sweep runner.
+* :mod:`repro.traces` — synthetic generators, the 14 Table-1 dataset
+  stand-ins, analysis utilities, and trace file I/O.
+* :mod:`repro.flash` — DRAM+flash layered cache with admission
+  policies (Section 5.4).
+* :mod:`repro.concurrency` — the throughput/scalability model
+  (Section 5.3).
+"""
+
+from repro.cache import EvictionPolicy, create_policy, policy_names
+from repro.core import (
+    S3FifoCache,
+    S3FifoDCache,
+    S3FifoRingCache,
+    S3SieveCache,
+)
+from repro.sim import Request, simulate
+from repro.traces import zipf_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvictionPolicy",
+    "create_policy",
+    "policy_names",
+    "S3FifoCache",
+    "S3FifoDCache",
+    "S3FifoRingCache",
+    "S3SieveCache",
+    "Request",
+    "simulate",
+    "zipf_trace",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the same CLI as the ``s3fifo-repro`` script."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

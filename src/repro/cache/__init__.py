@@ -1,0 +1,21 @@
+"""Cache eviction policies.
+
+Every policy evaluated in the paper's Section 5 lives here, plus the
+offline-optimal Belady policy used in the Section 3 analysis.  All
+policies implement the :class:`repro.cache.base.EvictionPolicy`
+interface and are registered in :mod:`repro.cache.registry` so the
+simulator, benchmarks, and CLI can construct them by name.
+"""
+
+from repro.cache.base import CacheEntry, CacheStats, EvictionEvent, EvictionPolicy
+from repro.cache.registry import POLICIES, create_policy, policy_names
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "EvictionEvent",
+    "EvictionPolicy",
+    "POLICIES",
+    "create_policy",
+    "policy_names",
+]

@@ -1,0 +1,144 @@
+"""ARC: Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+Four LRU lists: T1 (recent), T2 (frequent) hold data; B1, B2 are their
+ghost extensions.  The target size ``p`` of T1 adapts on ghost hits: a
+hit in B1 grows p (recency was undervalued), a hit in B2 shrinks it.
+Section 6.1 of the S3-FIFO paper analyzes exactly this adaptation and
+shows it can drive T1 far too small on workloads like Twitter's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class ArcCache(EvictionPolicy):
+    """Size-aware ARC following the original REPLACE/adaptation rules."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._t1: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._t2: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._b1: "OrderedDict[Hashable, int]" = OrderedDict()  # key -> size
+        self._b2: "OrderedDict[Hashable, int]" = OrderedDict()
+        self._t1_used = 0
+        self._t2_used = 0
+        self._b1_used = 0
+        self._b2_used = 0
+        self._p = 0.0  # target size of T1, in capacity units
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        key = req.key
+        # Case I: hit in T1 or T2 -> move to T2 MRU.
+        entry = self._t1.pop(key, None)
+        if entry is not None:
+            self._t1_used -= entry.size
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._t2[key] = entry
+            self._t2_used += entry.size
+            self._notify_demote(entry, promoted=True)
+            return True
+        entry = self._t2.pop(key, None)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._t2[key] = entry  # move to MRU
+            return True
+
+        # Case II: ghost hit in B1 -> grow p, place in T2.
+        if key in self._b1:
+            delta = max(1.0, self._b2_used / max(1, self._b1_used)) * req.size
+            self._p = min(float(self.capacity), self._p + delta)
+            self._b1_used -= self._b1.pop(key)
+            self._replace(in_b2=False, incoming=req.size)
+            self._insert_t2(req)
+            return False
+
+        # Case III: ghost hit in B2 -> shrink p, place in T2.
+        if key in self._b2:
+            delta = max(1.0, self._b1_used / max(1, self._b2_used)) * req.size
+            self._p = max(0.0, self._p - delta)
+            self._b2_used -= self._b2.pop(key)
+            self._replace(in_b2=True, incoming=req.size)
+            self._insert_t2(req)
+            return False
+
+        # Case IV: full miss -> place in T1.
+        l1_used = self._t1_used + self._b1_used
+        l2_used = self._t2_used + self._b2_used
+        if l1_used + req.size > self.capacity:
+            # L1 is full: shed from B1 (or evict from T1 when B1 empty).
+            while self._b1 and l1_used + req.size > self.capacity:
+                _, size = self._b1.popitem(last=False)
+                self._b1_used -= size
+                l1_used -= size
+            self._replace(in_b2=False, incoming=req.size)
+        elif l1_used + l2_used + req.size > self.capacity:
+            # Directory is over 2c: shed oldest B2 entries.
+            while (
+                self._b2
+                and l1_used + self._t2_used + self._b2_used + req.size
+                > 2 * self.capacity
+            ):
+                _, size = self._b2.popitem(last=False)
+                self._b2_used -= size
+            self._replace(in_b2=False, incoming=req.size)
+        self._insert_t1(req)
+        return False
+
+    # ------------------------------------------------------------------
+    def _insert_t1(self, req: Request) -> None:
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._t1[req.key] = entry
+        self._t1_used += entry.size
+        self.used += entry.size
+
+    def _insert_t2(self, req: Request) -> None:
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._t2[req.key] = entry
+        self._t2_used += entry.size
+        self.used += entry.size
+
+    def _replace(self, in_b2: bool, incoming: int) -> None:
+        """ARC's REPLACE: evict from T1 or T2 until the request fits."""
+        while self.used + incoming > self.capacity:
+            evict_t1 = self._t1 and (
+                self._t1_used > self._p
+                or (in_b2 and self._t1_used == int(self._p))
+                or not self._t2
+            )
+            if evict_t1:
+                key, entry = self._t1.popitem(last=False)
+                self._t1_used -= entry.size
+                self._b1[key] = entry.size
+                self._b1_used += entry.size
+                self._notify_demote(entry, promoted=False)
+            else:
+                if not self._t2:
+                    break
+                key, entry = self._t2.popitem(last=False)
+                self._t2_used -= entry.size
+                self._b2[key] = entry.size
+                self._b2_used += entry.size
+            self.used -= entry.size
+            self._notify_evict(entry)
+
+    # ------------------------------------------------------------------
+    @property
+    def target_t1(self) -> float:
+        """Current adaptive target for T1 (the paper's S-size analogue)."""
+        return self._p
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)

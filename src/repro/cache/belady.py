@@ -1,0 +1,85 @@
+"""Belady's offline-optimal eviction (MIN/OPT).
+
+Evicts the resident object whose next request is farthest in the
+future (objects never requested again are evicted first).  Requires
+traces annotated with ``next_access`` — see
+:func:`repro.traces.analysis.annotate_next_access` — which is how the
+paper computes the Fig. 4 frequency-at-eviction distribution for
+Belady.
+
+For unit-size objects this is exactly optimal; with variable sizes it
+is the standard Belady heuristic (true optimality is NP-hard).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class BeladyCache(EvictionPolicy):
+    """Offline optimal (farthest-next-use) eviction."""
+
+    name = "belady"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        # Next use per resident key; math.inf when never requested again.
+        self._next_use: Dict[Hashable, float] = {}
+        # Lazy max-heap of (-next_use, seq, key).
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._seq = 0
+
+    def _push(self, key: Hashable, next_use: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (-next_use, self._seq, key))
+
+    def _access(self, req: Request) -> bool:
+        next_use = math.inf if req.next_access is None else float(req.next_access)
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._next_use[req.key] = next_use
+            self._push(req.key, next_use)
+            return True
+        # Belady never caches an object with no future use: it would be
+        # the immediate next victim anyway.
+        if not math.isinf(next_use) or self.used + req.size <= self.capacity:
+            self._insert(req, next_use)
+        return False
+
+    def _insert(self, req: Request, next_use: float) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self._next_use[req.key] = next_use
+        self._push(req.key, next_use)
+        self.used += entry.size
+
+    def _evict(self) -> None:
+        while self._heap:
+            neg_next, _, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if self._next_use.get(key) != -neg_next:
+                continue  # stale: the key was re-requested since
+            del self._entries[key]
+            del self._next_use[key]
+            self.used -= entry.size
+            self._notify_evict(entry)
+            return
+        raise RuntimeError("Belady heap exhausted with residents remaining")
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

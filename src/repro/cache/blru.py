@@ -1,0 +1,68 @@
+"""B-LRU: Bloom-filter-admission LRU (Section 5.2).
+
+A Bloom filter in front of an LRU cache rejects every never-seen key:
+the first request inserts the key into the filter and misses without
+admission; the second request admits the object.  This removes one-hit
+wonders perfectly but makes *every* object's second request a miss —
+the trade-off the paper highlights.
+
+The filter is rebuilt once it has absorbed ``reset_factor * capacity``
+distinct keys, the standard rolling-window approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cache.base import EvictionPolicy
+from repro.cache.lru import LruCache
+from repro.sim.request import Request
+from repro.structures.bloom import BloomFilter
+
+
+class BloomLruCache(EvictionPolicy):
+    """LRU with Bloom-filter admission on first touch."""
+
+    name = "blru"
+
+    def __init__(
+        self,
+        capacity: int,
+        fp_rate: float = 0.01,
+        reset_factor: int = 8,
+    ) -> None:
+        super().__init__(capacity)
+        if reset_factor <= 0:
+            raise ValueError(f"reset_factor must be positive, got {reset_factor}")
+        self._lru = LruCache(capacity)
+        self._lru.add_eviction_listener(self._forward_eviction)
+        self._expected = max(1024, capacity * reset_factor)
+        self._fp_rate = fp_rate
+        self._filter = BloomFilter(self._expected, fp_rate)
+
+    def _forward_eviction(self, event) -> None:
+        self.stats.evictions += 1
+        for listener in self._evict_listeners:
+            listener(event)
+
+    def _access(self, req: Request) -> bool:
+        if req.key in self._lru:
+            self._lru.clock = self.clock
+            self._lru._access(req)  # promote; hit accounting done by base
+            self.used = self._lru.used
+            return True
+        seen_before = req.key in self._filter
+        self._filter.add(req.key)
+        if self._filter.count >= self._expected:
+            self._filter = BloomFilter(self._expected, self._fp_rate)
+        if seen_before:
+            self._lru.clock = self.clock
+            self._lru._access(req)  # miss path: admit
+            self.used = self._lru.used
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -1,0 +1,143 @@
+"""CAR: Clock with Adaptive Replacement (Bansal & Modha, FAST'04).
+
+ARC's adaptation married to CLOCK's lock-friendliness: two clocks T1
+(recency) and T2 (frequency) with reference bits, two ghost LRU lists
+B1/B2, and the same target-size parameter ``p``.  Referenced pages in
+T1 graduate to T2 at replacement time instead of being promoted on the
+spot, which removes ARC's per-hit list surgery — the same motivation
+the S3-FIFO paper pushes to its conclusion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class _CarEntry(CacheEntry):
+    __slots__ = ("ref",)
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.ref = False
+
+
+class CarCache(EvictionPolicy):
+    """CAR for unit-size objects (clock rotation is slot-based)."""
+
+    name = "car"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._t1: "OrderedDict[Hashable, _CarEntry]" = OrderedDict()
+        self._t2: "OrderedDict[Hashable, _CarEntry]" = OrderedDict()
+        self._b1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._b2: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._p = 0.0
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        key = req.key
+        entry = self._t1.get(key) or self._t2.get(key)
+        if entry is not None:
+            # Cache hit: just set the reference bit (no list movement).
+            entry.ref = True
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+
+        if self.used + req.size > self.capacity:
+            # With byte sizes one rotation may not free enough space.
+            while self.used + req.size > self.capacity and (
+                self._t1 or self._t2
+            ):
+                self._replace()
+            # Directory maintenance (the CAR paper's history bounds).
+            if key not in self._b1 and key not in self._b2:
+                if len(self._t1) + len(self._b1) >= self.capacity:
+                    self._discard_oldest(self._b1)
+                elif (
+                    len(self._t1) + len(self._t2)
+                    + len(self._b1) + len(self._b2)
+                    >= 2 * self.capacity
+                ):
+                    self._discard_oldest(self._b2)
+
+        entry = _CarEntry(key, req.size, self.clock)
+        if key in self._b1:
+            # History hit in B1: favour recency, insert to T2's tail.
+            self._p = min(
+                float(self.capacity),
+                self._p + max(1.0, len(self._b2) / max(1, len(self._b1))),
+            )
+            del self._b1[key]
+            self._t2[key] = entry
+        elif key in self._b2:
+            self._p = max(
+                0.0,
+                self._p - max(1.0, len(self._b1) / max(1, len(self._b2))),
+            )
+            del self._b2[key]
+            self._t2[key] = entry
+        else:
+            self._t1[key] = entry
+        self.used += entry.size
+        return False
+
+    # ------------------------------------------------------------------
+    def _discard_oldest(self, history: "OrderedDict[Hashable, None]") -> None:
+        if history:
+            history.popitem(last=False)
+
+    def _replace(self) -> None:
+        """Rotate the clocks until a page with a clear bit is evicted."""
+        while True:
+            if self._t1 and len(self._t1) >= max(1.0, self._p):
+                key, entry = self._t1.popitem(last=False)
+                if entry.ref:
+                    # Referenced in T1: graduate to T2's tail.
+                    entry.ref = False
+                    self._t2[key] = entry
+                else:
+                    self._b1[key] = None
+                    self.used -= entry.size
+                    self._notify_demote(entry, promoted=False)
+                    self._notify_evict(entry)
+                    return
+            elif self._t2:
+                key, entry = self._t2.popitem(last=False)
+                if entry.ref:
+                    entry.ref = False
+                    self._t2[key] = entry  # second chance within T2
+                else:
+                    self._b2[key] = None
+                    self.used -= entry.size
+                    self._notify_evict(entry)
+                    return
+            elif self._t1:
+                # p larger than T1: fall through to T1 anyway.
+                key, entry = self._t1.popitem(last=False)
+                if entry.ref:
+                    entry.ref = False
+                    self._t2[key] = entry
+                else:
+                    self._b1[key] = None
+                    self.used -= entry.size
+                    self._notify_evict(entry)
+                    return
+            else:
+                return  # nothing resident
+
+    # ------------------------------------------------------------------
+    @property
+    def target_t1(self) -> float:
+        return self._p
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)

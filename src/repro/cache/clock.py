@@ -1,0 +1,74 @@
+"""CLOCK / FIFO-Reinsertion / Second Chance.
+
+The paper (footnote 1) treats FIFO-Reinsertion, Second Chance, and
+CLOCK as different implementations of the same algorithm: objects are
+evicted in FIFO order unless they were accessed while resident, in
+which case they get reinserted with the access bit cleared.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class ClockCache(EvictionPolicy):
+    """FIFO with reinsertion controlled by per-object reference bits.
+
+    ``nbits`` generalizes the classic 1-bit CLOCK: on a hit the counter
+    saturates at ``2**nbits - 1``; at eviction a non-zero counter is
+    decremented and the object is reinserted (CLOCK-with-counters, as
+    used e.g. by RocksDB's lock-free clock cache).
+    """
+
+    name = "clock"
+
+    def __init__(self, capacity: int, nbits: int = 1) -> None:
+        super().__init__(capacity)
+        if nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {nbits}")
+        self._max_count = (1 << nbits) - 1
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._ref: dict = {}
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            if self._ref[req.key] < self._max_count:
+                self._ref[req.key] += 1
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self._ref[req.key] = 0
+        self.used += req.size
+
+    def _evict(self) -> None:
+        while True:
+            key, entry = self._entries.popitem(last=False)
+            count = self._ref[key]
+            if count > 0:
+                # Second chance: decrement and move back to the head.
+                self._ref[key] = count - 1
+                self._entries[key] = entry
+                continue
+            del self._ref[key]
+            self.used -= entry.size
+            self._notify_evict(entry)
+            return
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,144 @@
+"""CLOCK-Pro (Jiang, Chen & Zhang, ATC'05).
+
+The CLOCK approximation of LIRS: pages are *hot* or *cold*; cold pages
+carry a *test period* during which a re-reference promotes them to
+hot.  Metadata of evicted cold pages stays (non-resident, "in test")
+so a quick return is detected.  The cold-region size adapts: a hit on a non-resident test page is
+evidence that cold pages are evicted too fast, so the cold target
+grows (longer test periods); a test page expiring unused shrinks it.
+
+Implementation notes: the original keeps one circular list with three
+hands.  This implementation uses the standard queue reformulation
+(hot clock, resident-cold queue, non-resident test ghost) that
+preserves the algorithm's decisions; the subtle difference is that
+hand positions are per-queue rather than shared, which libCacheSim's
+version also does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class _ProEntry(CacheEntry):
+    __slots__ = ("ref",)
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.ref = False
+
+
+class ClockProCache(EvictionPolicy):
+    """CLOCK-Pro with an adaptive cold-page target."""
+
+    name = "clockpro"
+
+    def __init__(self, capacity: int, cold_ratio: float = 0.1) -> None:
+        super().__init__(capacity)
+        if not 0.0 < cold_ratio < 1.0:
+            raise ValueError(f"cold_ratio must be in (0, 1), got {cold_ratio}")
+        self._cold_target = max(1, int(capacity * cold_ratio))
+        self._hot: "OrderedDict[Hashable, _ProEntry]" = OrderedDict()
+        self._cold: "OrderedDict[Hashable, _ProEntry]" = OrderedDict()
+        self._test: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._hot_used = 0
+        self._cold_used = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cold_target(self) -> int:
+        return self._cold_target
+
+    def _access(self, req: Request) -> bool:
+        entry = self._hot.get(req.key) or self._cold.get(req.key)
+        if entry is not None:
+            entry.ref = True
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict_cold()
+        entry = _ProEntry(req.key, req.size, self.clock)
+        if req.key in self._test:
+            # Non-resident test hit: short reuse distance -> hot page,
+            # and cold pages deserve more time (grow the cold target).
+            del self._test[req.key]
+            self._cold_target = min(
+                max(1, self.capacity - 1), self._cold_target + 1
+            )
+            self._hot[req.key] = entry
+            self._hot_used += entry.size
+            self._rebalance()
+        else:
+            self._cold[req.key] = entry
+            self._cold_used += entry.size
+        self.used += entry.size
+
+    # ------------------------------------------------------------------
+    def _rebalance(self) -> None:
+        """HAND_hot: demote hot pages while the hot region is too big."""
+        limit = max(1, self.capacity - self._cold_target)
+        while self._hot_used > limit and len(self._hot) > 1:
+            key, entry = self._hot.popitem(last=False)
+            if entry.ref:
+                entry.ref = False
+                self._hot[key] = entry  # rotate the hot clock
+            else:
+                # Demoted hot page becomes a cold page in test period.
+                self._cold[key] = entry
+                self._hot_used -= entry.size
+                self._cold_used += entry.size
+
+    def _evict_cold(self) -> None:
+        """HAND_cold: evict the first unreferenced cold page."""
+        while True:
+            if not self._cold:
+                self._force_demote()
+                continue
+            key, entry = self._cold.popitem(last=False)
+            if entry.ref:
+                # Re-referenced during its test period: promote to hot.
+                entry.ref = False
+                self._cold_used -= entry.size
+                self._hot[key] = entry
+                self._hot_used += entry.size
+                self._rebalance()
+                continue
+            self._cold_used -= entry.size
+            self.used -= entry.size
+            # Keep non-resident metadata in test; run HAND_test bound.
+            self._test[key] = None
+            while len(self._test) > self.capacity:
+                self._test.popitem(last=False)
+                # An expired test means cold pages do not get re-used:
+                # shrink the cold region.
+                self._cold_target = max(1, self._cold_target - 1)
+            self._notify_evict(entry)
+            return
+
+    def _force_demote(self) -> None:
+        """All pages are hot: demote the hot clock's tail unconditionally
+        after one rotation chance."""
+        key, entry = self._hot.popitem(last=False)
+        if entry.ref:
+            entry.ref = False
+            self._hot[key] = entry
+            key, entry = self._hot.popitem(last=False)
+        self._hot_used -= entry.size
+        self._cold[key] = entry
+        self._cold_used += entry.size
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._hot or key in self._cold
+
+    def __len__(self) -> int:
+        return len(self._hot) + len(self._cold)

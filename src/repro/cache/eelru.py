@@ -1,0 +1,138 @@
+"""EELRU: Early Eviction LRU (Smaragdakis, Kaplan & Wilson,
+SIGMETRICS'99).
+
+EELRU behaves exactly like LRU until it detects that many faults hit
+pages *just beyond* the main memory size (the signature of a looping /
+larger-than-memory working set).  It then starts evicting from an
+*early* recency position ``e`` instead of the LRU tail, keeping the
+distant portion of the loop resident.
+
+Implementation notes: the recency axis is kept as two resident
+segments — the MRU region (positions < e) and the early region
+(positions e..M) — plus a ghost list for recently evicted pages
+(positions M..L).  Faults that hit the ghost are "late region" hits;
+resident hits in the early region are "early region" hits.  Eviction
+chooses the early point whenever recent late hits outnumber early
+hits, which is the EELRU cost-benefit rule specialized to one early
+point.  Counts are halved every ``capacity`` requests so the policy
+adapts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class EelruCache(EvictionPolicy):
+    """EELRU with one early eviction point (default e = capacity/2) and
+    a matched-width late region of ghost positions."""
+
+    name = "eelru"
+
+    def __init__(
+        self,
+        capacity: int,
+        early_point: float = 0.5,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < early_point < 1.0:
+            raise ValueError(
+                f"early_point must be in (0, 1), got {early_point}"
+            )
+        self._e = max(1, int(capacity * early_point))
+        # MRU region: positions [0, e); early region: positions [e, M].
+        self._mru: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._early: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._mru_used = 0
+        # Late region: ghost positions (M, M + (M - e)] — the SAME
+        # width as the early region, so the cost-benefit comparison is
+        # apples-to-apples (a decreasing IRM density then keeps the
+        # policy in LRU mode, while a loop's density spike beyond M
+        # flips it).
+        self._ghost: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._ghost_cap = max(1, capacity - self._e)
+        self._early_hits = 0.0
+        self._late_hits = 0.0
+        self._since_decay = 0
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        self._since_decay += 1
+        if self._since_decay >= self.capacity:
+            self._early_hits /= 2
+            self._late_hits /= 2
+            self._since_decay = 0
+
+        entry = self._mru.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._mru.move_to_end(req.key)
+            return True
+        entry = self._early.pop(req.key, None)
+        if entry is not None:
+            self._early_hits += 1
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._to_mru(entry)
+            return True
+        if req.key in self._ghost:
+            del self._ghost[req.key]
+            self._late_hits += 1
+        self._insert(req)
+        return False
+
+    # ------------------------------------------------------------------
+    def _to_mru(self, entry: CacheEntry) -> None:
+        self._mru[entry.key] = entry
+        self._mru_used += entry.size
+        while self._mru_used > self._e and len(self._mru) > 1:
+            key, demoted = self._mru.popitem(last=False)
+            self._mru_used -= demoted.size
+            # Demoted pages enter the early region at its MRU end.
+            self._early[key] = demoted
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self.used += entry.size
+        self._to_mru(entry)
+
+    def _evict(self) -> None:
+        early_mode = self.early_mode
+        if early_mode and self._early:
+            # Early eviction: remove the page at recency position e —
+            # the *most recent* end of the early region.
+            key, entry = self._early.popitem(last=True)
+        elif self._early:
+            key, entry = self._early.popitem(last=False)  # true LRU tail
+        else:
+            key, entry = self._mru.popitem(last=False)
+            self._mru_used -= entry.size
+        self._ghost[key] = None
+        while len(self._ghost) > self._ghost_cap:
+            self._ghost.popitem(last=False)
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    # ------------------------------------------------------------------
+    @property
+    def early_mode(self) -> bool:
+        """Whether the policy is currently evicting early.
+
+        The 1.5x hysteresis keeps EELRU in plain-LRU mode when the two
+        regions' hit counts are merely noisy neighbours (IRM traffic),
+        while a loop's ghost-hit spike clears it immediately.
+        """
+        return self._late_hits > 1.5 * self._early_hits + 1.0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._mru or key in self._early
+
+    def __len__(self) -> int:
+        return len(self._mru) + len(self._early)

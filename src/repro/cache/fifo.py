@@ -1,0 +1,50 @@
+"""FIFO eviction: evict in insertion order, never reorder on hits."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class FifoCache(EvictionPolicy):
+    """Plain FIFO, the paper's baseline for miss-ratio reduction.
+
+    Cache hits perform no metadata update at all; misses insert at the
+    queue head and evict from the tail until the object fits.
+    """
+
+    name = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self.used += req.size
+
+    def _evict(self) -> None:
+        _, entry = self._entries.popitem(last=False)
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

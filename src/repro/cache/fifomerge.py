@@ -1,0 +1,109 @@
+"""FIFO-Merge, the Segcache eviction algorithm (Yang et al., NSDI'21).
+
+Objects live in fixed-size *segments* appended in FIFO order.  When
+space is needed, the oldest ``merge_ratio`` segments are merged into
+one: the most frequently accessed ``1/merge_ratio`` of their objects
+survive (with frequency halved, approximating Segcache's decay) and
+the rest are evicted.  Eviction order therefore approximates FIFO at
+segment granularity, with popularity-based retention inside a merge —
+efficient for web workloads, but not scan-resistant (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class _Segment:
+    __slots__ = ("entries", "used")
+
+    def __init__(self) -> None:
+        self.entries: List[CacheEntry] = []
+        self.used = 0
+
+    def append(self, entry: CacheEntry) -> None:
+        self.entries.append(entry)
+        self.used += entry.size
+
+
+class FifoMergeCache(EvictionPolicy):
+    """Segment-structured FIFO with merge-based retention."""
+
+    name = "fifomerge"
+
+    def __init__(
+        self,
+        capacity: int,
+        nsegments: int = 64,
+        merge_ratio: int = 3,
+    ) -> None:
+        super().__init__(capacity)
+        if nsegments < merge_ratio + 1:
+            nsegments = merge_ratio + 1
+        if merge_ratio < 2:
+            raise ValueError(f"merge_ratio must be >= 2, got {merge_ratio}")
+        self._seg_cap = max(1, capacity // nsegments)
+        self._merge_ratio = merge_ratio
+        self._segments: Deque[_Segment] = deque([_Segment()])
+        self._index: Dict[Hashable, CacheEntry] = {}
+        self._dead: Dict[Hashable, bool] = {}
+
+    def _access(self, req: Request) -> bool:
+        entry = self._index.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._merge_evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        active = self._segments[-1]
+        if active.used + entry.size > self._seg_cap and active.entries:
+            active = _Segment()
+            self._segments.append(active)
+        active.append(entry)
+        self._index[req.key] = entry
+        self.used += entry.size
+
+    def _merge_evict(self) -> None:
+        """Merge the oldest ``merge_ratio`` segments, keep the top 1/ratio."""
+        merge_count = min(self._merge_ratio, max(1, len(self._segments) - 1))
+        victims: List[CacheEntry] = []
+        for _ in range(merge_count):
+            if len(self._segments) <= 1 and not victims:
+                # Only the active segment remains: evict from its front.
+                victims.extend(self._segments[0].entries)
+                self._segments[0] = _Segment()
+                break
+            if len(self._segments) > 1:
+                victims.extend(self._segments.popleft().entries)
+        live = [e for e in victims if self._index.get(e.key) is e]
+        live.sort(key=lambda e: e.freq, reverse=True)
+        keep_budget = self._seg_cap
+        merged = _Segment()
+        for entry in live:
+            if merge_count > 1 and merged.used + entry.size <= keep_budget and (
+                entry.freq > 0
+            ):
+                entry.freq //= 2  # Segcache-style frequency decay
+                merged.append(entry)
+            else:
+                del self._index[entry.key]
+                self.used -= entry.size
+                self._notify_evict(entry)
+        if merged.entries:
+            self._segments.appendleft(merged)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)

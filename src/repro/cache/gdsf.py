@@ -1,0 +1,91 @@
+"""GDSF: GreedyDual-Size-Frequency (Cherkasova '98; Cao & Irani's
+GreedyDual-Size with frequency).
+
+The classic size-aware web/CDN policy: each object's priority is
+
+    H = L + frequency * cost / size
+
+where ``L`` is an inflation value set to the priority of the last
+evicted object — aging without touching every entry.  Eviction removes
+the minimum-priority object (exact, via a lazy min-heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class _GdsfEntry(CacheEntry):
+    __slots__ = ("priority",)
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.priority = 0.0
+
+
+class GdsfCache(EvictionPolicy):
+    """GDSF with unit miss cost (request-miss-ratio oriented)."""
+
+    name = "gdsf"
+
+    def __init__(self, capacity: int, cost: float = 1.0) -> None:
+        super().__init__(capacity)
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self._cost = cost
+        self._inflation = 0.0
+        self._entries: Dict[Hashable, _GdsfEntry] = {}
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._seq = 0
+
+    @property
+    def inflation(self) -> float:
+        """Current aging value L."""
+        return self._inflation
+
+    def _push(self, entry: _GdsfEntry) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (entry.priority, self._seq, entry.key))
+
+    def _reprioritize(self, entry: _GdsfEntry) -> None:
+        hits = entry.freq + 1  # insertion counts as the first access
+        entry.priority = self._inflation + hits * self._cost / entry.size
+        self._push(entry)
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._reprioritize(entry)
+            return True
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = _GdsfEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self.used += entry.size
+        self._reprioritize(entry)
+        return False
+
+    def _evict(self) -> None:
+        while self._heap:
+            priority, _, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.priority != priority:
+                continue
+            self._inflation = priority  # aging: L := H of the victim
+            del self._entries[key]
+            self.used -= entry.size
+            self._notify_evict(entry)
+            return
+        raise RuntimeError("GDSF heap exhausted with residents remaining")
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,95 @@
+"""Hyperbolic caching (Blankstein, Sen & Freedman, ATC'17).
+
+Each object's priority is ``hits / time-in-cache`` (optionally scaled
+by cost/size); the object with the lowest priority is evicted.  Exact
+minimum tracking is impossible without reordering on every tick, so —
+as in the original system — eviction samples a handful of resident
+objects and evicts the worst.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class HyperbolicCache(EvictionPolicy):
+    """Sampling-based hyperbolic caching (64-object samples)."""
+
+    name = "hyperbolic"
+
+    def __init__(
+        self,
+        capacity: int,
+        samples: int = 64,
+        size_aware: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(capacity)
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self._samples = samples
+        self._size_aware = size_aware
+        self._rng = random.Random(seed)
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self._keys: List[Hashable] = []
+        self._pos: Dict[Hashable, int] = {}
+
+    def _priority(self, entry: CacheEntry) -> float:
+        age = max(1, self.clock - entry.insert_time)
+        hits = entry.freq + 1  # count the insertion access
+        priority = hits / age
+        if self._size_aware:
+            priority /= entry.size
+        return priority
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self._pos[req.key] = len(self._keys)
+        self._keys.append(req.key)
+        self.used += req.size
+        return False
+
+    def _evict(self) -> None:
+        n = len(self._keys)
+        assert n > 0, "evicting from an empty hyperbolic cache"
+        victim = None
+        worst = float("inf")
+        if n <= self._samples:
+            candidates = self._keys  # small cache: exact minimum
+        else:
+            candidates = [
+                self._keys[self._rng.randrange(n)]
+                for _ in range(self._samples)
+            ]
+        for key in candidates:
+            priority = self._priority(self._entries[key])
+            if priority < worst:
+                worst = priority
+                victim = key
+        assert victim is not None
+        entry = self._entries.pop(victim)
+        idx = self._pos.pop(victim)
+        last = self._keys[-1]
+        self._keys[idx] = last
+        self._pos[last] = idx
+        self._keys.pop()
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,147 @@
+"""LeCaR: Learning Cache Replacement (Vietri et al., HotStorage'18).
+
+Two experts — LRU and in-cache LFU — manage the same resident set.
+Each eviction samples an expert proportionally to its weight; the
+evicted key goes to that expert's ghost history.  A later miss that
+hits a ghost history applies a multiplicative-weights *regret* update
+discounted by how long the key sat in the history.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class LeCaRCache(EvictionPolicy):
+    """LeCaR with the original hyper-parameters.
+
+    learning_rate 0.45, discount ``0.005 ** (1/N)`` where N is the
+    cache's object capacity (approximated by ``capacity`` for unit
+    sizes).
+    """
+
+    name = "lecar"
+
+    def __init__(
+        self,
+        capacity: int,
+        learning_rate: float = 0.45,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < learning_rate < 1.0:
+            raise ValueError(
+                f"learning_rate must be in (0, 1), got {learning_rate}"
+            )
+        self._rng = random.Random(seed)
+        self._lr = learning_rate
+        self._discount = 0.005 ** (1.0 / max(1, capacity))
+        self._w_lru = 0.5
+        self._w_lfu = 0.5
+        # Resident set: an ordered dict gives LRU order; freq gives LFU.
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        # Ghost histories: key -> (eviction time, size).
+        self._h_lru: "OrderedDict[Hashable, Tuple[int, int]]" = OrderedDict()
+        self._h_lfu: "OrderedDict[Hashable, Tuple[int, int]]" = OrderedDict()
+        # Off-cache frequency memory so LFU decisions survive ghosts.
+        self._freqs: Dict[Hashable, int] = {}
+        # Lazy min-heap of (freq, seq, key) for O(log n) LFU victims;
+        # stale entries are skipped when popped.
+        self._lfu_heap: List[Tuple[int, int, Hashable]] = []
+        self._seq = 0
+
+    @property
+    def weights(self) -> Tuple[float, float]:
+        """Current (LRU, LFU) expert weights."""
+        return self._w_lru, self._w_lfu
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        key = req.key
+        self._freqs[key] = self._freqs.get(key, 0) + 1
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._entries.move_to_end(key)
+            self._push_lfu(key)
+            return True
+        # Regret updates on ghost hits.
+        if key in self._h_lru:
+            evict_time, _ = self._h_lru.pop(key)
+            self._reward(regret_lru=True, age=self.clock - evict_time)
+        elif key in self._h_lfu:
+            evict_time, _ = self._h_lfu.pop(key)
+            self._reward(regret_lru=False, age=self.clock - evict_time)
+        self._insert(req)
+        return False
+
+    def _reward(self, regret_lru: bool, age: int) -> None:
+        regret = self._discount**age
+        if regret_lru:
+            self._w_lru *= math.exp(self._lr * regret)
+        else:
+            self._w_lfu *= math.exp(self._lr * regret)
+        total = self._w_lru + self._w_lfu
+        self._w_lru /= total
+        self._w_lfu /= total
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        entry.freq = 0
+        self._entries[req.key] = entry
+        self.used += entry.size
+        self._push_lfu(req.key)
+
+    def _push_lfu(self, key: Hashable) -> None:
+        self._seq += 1
+        heapq.heappush(self._lfu_heap, (self._freqs.get(key, 0), self._seq, key))
+
+    def _lfu_victim(self) -> Hashable:
+        """Least frequent resident, LRU-tie-broken, via the lazy heap."""
+        while self._lfu_heap:
+            freq, _, key = self._lfu_heap[0]
+            if key not in self._entries or self._freqs.get(key, 0) != freq:
+                heapq.heappop(self._lfu_heap)  # stale
+                continue
+            return key
+        raise RuntimeError("LFU heap exhausted with residents remaining")
+
+    def _evict(self) -> None:
+        use_lru = self._rng.random() < self._w_lru / (self._w_lru + self._w_lfu)
+        if use_lru:
+            key = next(iter(self._entries))
+        else:
+            key = self._lfu_victim()
+        entry = self._entries.pop(key)
+        self.used -= entry.size
+        history = self._h_lru if use_lru else self._h_lfu
+        history[key] = (self.clock, entry.size)
+        while len(history) > max(1, self.capacity):
+            history.popitem(last=False)
+        self._trim_freq_memory()
+        self._notify_evict(entry)
+
+    def _trim_freq_memory(self) -> None:
+        # Bound the frequency memory: drop entries for keys that are
+        # neither resident nor in a ghost history once it grows large.
+        limit = 8 * max(64, self.capacity)
+        if len(self._freqs) <= limit:
+            return
+        keep = set(self._entries) | set(self._h_lru) | set(self._h_lfu)
+        self._freqs = {k: v for k, v in self._freqs.items() if k in keep}
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,76 @@
+"""LFU eviction with O(1) frequency buckets and LRU tie-breaking."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class LfuCache(EvictionPolicy):
+    """Least-Frequently-Used with least-recently-used tie-breaking.
+
+    Frequencies count accesses since insertion (in-cache LFU, the
+    variant LeCaR builds on).  Buckets are ordered dicts so the oldest
+    object within the minimum-frequency class is evicted first.
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self._buckets: Dict[int, "OrderedDict[Hashable, None]"] = {}
+        self._min_freq = 0
+
+    def _bucket(self, freq: int) -> "OrderedDict[Hashable, None]":
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._buckets[freq] = bucket
+        return bucket
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            old = entry.freq
+            entry.freq += 1
+            entry.last_access = self.clock
+            bucket = self._buckets[old]
+            del bucket[req.key]
+            if not bucket:
+                del self._buckets[old]
+                if self._min_freq == old:
+                    self._min_freq = entry.freq
+            self._bucket(entry.freq)[req.key] = None
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self._bucket(0)[req.key] = None
+        self._min_freq = 0
+        self.used += req.size
+
+    def _evict(self) -> None:
+        while self._min_freq not in self._buckets:
+            self._min_freq += 1
+        bucket = self._buckets[self._min_freq]
+        key, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._buckets[self._min_freq]
+        entry = self._entries.pop(key)
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,158 @@
+"""LHD: Least Hit Density (Beckmann et al., NSDI'18).
+
+LHD estimates each object's *hit density* — the expected hits per unit
+of cache space-time it will consume — from online age histograms, and
+evicts the lowest-density object among a random sample of residents
+(the original uses 64 samples; so do we).
+
+Objects are grouped into classes by their in-cache hit count (0, 1,
+2, 3+); each class learns hit/eviction counts per coarsened age bucket
+(powers of two) and the densities are recomputed every
+``reconfig_interval`` requests with exponential decay of old counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+_NCLASSES = 4
+_NBUCKETS = 34  # bit_length of ages up to ~2**33
+
+
+def _age_bucket(age: int) -> int:
+    return min(_NBUCKETS - 1, age.bit_length())
+
+
+class LhdCache(EvictionPolicy):
+    """Sampling-based LHD with per-class age histograms."""
+
+    name = "lhd"
+
+    def __init__(
+        self,
+        capacity: int,
+        samples: int = 64,
+        reconfig_interval: int = 0,
+        decay: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(capacity)
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self._rng = random.Random(seed)
+        self._samples = samples
+        self._reconfig = reconfig_interval or max(1000, capacity)
+        self._decay = decay
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self._keys: List[Hashable] = []
+        self._pos: Dict[Hashable, int] = {}
+        self._hits = [[0.0] * _NBUCKETS for _ in range(_NCLASSES)]
+        self._evicts = [[0.0] * _NBUCKETS for _ in range(_NCLASSES)]
+        self._density = [[0.0] * _NBUCKETS for _ in range(_NCLASSES)]
+        self._since_reconfig = 0
+        self._init_densities()
+
+    def _init_densities(self) -> None:
+        # Before any data, prefer evicting old, never-hit objects.
+        for cls in range(_NCLASSES):
+            for bucket in range(_NBUCKETS):
+                self._density[cls][bucket] = (cls + 1.0) / (bucket + 1.0)
+
+    @staticmethod
+    def _class_of(entry: CacheEntry) -> int:
+        return min(_NCLASSES - 1, entry.freq)
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        self._since_reconfig += 1
+        if self._since_reconfig >= self._reconfig:
+            self._reconfigure()
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            age = self.clock - entry.last_access
+            self._hits[self._class_of(entry)][_age_bucket(age)] += 1
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self._pos[req.key] = len(self._keys)
+        self._keys.append(req.key)
+        self.used += req.size
+
+    def _evict(self) -> None:
+        n = len(self._keys)
+        assert n > 0, "evicting from an empty LHD cache"
+        if n <= self._samples:
+            candidates = self._keys  # small cache: exact minimum
+        else:
+            candidates = [
+                self._keys[self._rng.randrange(n)]
+                for _ in range(self._samples)
+            ]
+        best_key = None
+        best_density = float("inf")
+        for key in candidates:
+            entry = self._entries[key]
+            age = self.clock - entry.last_access
+            density = (
+                self._density[self._class_of(entry)][_age_bucket(age)]
+                / entry.size
+            )
+            if density < best_density:
+                best_density = density
+                best_key = key
+        assert best_key is not None
+        entry = self._entries.pop(best_key)
+        age = self.clock - entry.last_access
+        self._evicts[self._class_of(entry)][_age_bucket(age)] += 1
+        idx = self._pos.pop(best_key)
+        last = self._keys[-1]
+        self._keys[idx] = last
+        self._pos[last] = idx
+        self._keys.pop()
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def _reconfigure(self) -> None:
+        """Recompute hit densities from the age histograms.
+
+        density(class, age) = expected future hits / expected future
+        space-time, computed by scanning ages from oldest to youngest.
+        """
+        self._since_reconfig = 0
+        for cls in range(_NCLASSES):
+            hits = self._hits[cls]
+            evicts = self._evicts[cls]
+            cum_hits = 0.0
+            cum_events = 0.0
+            cum_lifetime = 0.0
+            for bucket in range(_NBUCKETS - 1, -1, -1):
+                events = hits[bucket] + evicts[bucket]
+                cum_hits += hits[bucket]
+                cum_events += events
+                # Mean residual lifetime in bucket units, weighted by
+                # how many events end in each (coarse) age bucket.
+                cum_lifetime += events * (bucket + 1)
+                if cum_lifetime > 0:
+                    self._density[cls][bucket] = cum_hits / cum_lifetime
+                # else: keep the prior density for this bucket.
+            for bucket in range(_NBUCKETS):
+                hits[bucket] *= self._decay
+                evicts[bucket] *= self._decay
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,98 @@
+"""LRFU: a spectrum between LRU and LFU (Lee et al., ToC'01).
+
+Each object carries a *combined recency and frequency* (CRF) value
+
+    C(t) = sum over past accesses a of (1/2)^(lambda * (t - t_a)),
+
+updated incrementally on access.  ``lam -> 0`` degenerates to LFU,
+large ``lam`` to LRU.  Eviction removes the minimum-CRF object.
+
+Because all CRFs decay at the same exponential rate, the relative
+order of two objects only changes when one of them is accessed, so an
+epoch-normalized score ``log2(C(t_i)) + lam * t_i`` gives a stable sort
+key that never overflows; a lazy min-heap over that key yields O(log n)
+eviction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class _LrfuEntry(CacheEntry):
+    __slots__ = ("crf", "crf_time", "score")
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.crf = 1.0
+        self.crf_time = insert_time
+        self.score = 0.0
+
+
+class LrfuCache(EvictionPolicy):
+    """LRFU with the commonly used lambda = 0.001 default."""
+
+    name = "lrfu"
+
+    def __init__(self, capacity: int, lam: float = 0.001) -> None:
+        super().__init__(capacity)
+        if lam <= 0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        self._lam = lam
+        self._entries: Dict[Hashable, _LrfuEntry] = {}
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._seq = 0
+
+    def _score(self, entry: _LrfuEntry) -> float:
+        """Epoch-normalized sort key (monotone in current CRF)."""
+        return math.log2(entry.crf) + self._lam * entry.crf_time
+
+    def _push(self, entry: _LrfuEntry) -> None:
+        entry.score = self._score(entry)
+        self._seq += 1
+        heapq.heappush(self._heap, (entry.score, self._seq, entry.key))
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            # C(t) = C(t_old) * 2^(-lam (t - t_old)) + 1
+            decay = 2.0 ** (-self._lam * (self.clock - entry.crf_time))
+            entry.crf = entry.crf * decay + 1.0
+            entry.crf_time = self.clock
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._push(entry)
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = _LrfuEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self.used += entry.size
+        self._push(entry)
+
+    def _evict(self) -> None:
+        while self._heap:
+            score, _, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.score != score:
+                continue  # stale heap record
+            del self._entries[key]
+            self.used -= entry.size
+            self._notify_evict(entry)
+            return
+        raise RuntimeError("LRFU heap exhausted with residents remaining")
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,58 @@
+"""LRU eviction using the intrusive doubly-linked list substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.dlist import DList, DListNode
+
+
+class LruCache(EvictionPolicy):
+    """Least-Recently-Used eviction.
+
+    Implemented with the two-pointer doubly-linked list the paper
+    criticizes (Section 2.2): every hit promotes the object to the MRU
+    position, the operation that serializes concurrent readers in real
+    systems.
+    """
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._list = DList()
+        self._nodes: Dict[Hashable, DListNode] = {}
+
+    def _access(self, req: Request) -> bool:
+        node = self._nodes.get(req.key)
+        if node is not None:
+            entry: CacheEntry = node.data
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._list.move_to_head(node)
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._nodes[req.key] = self._list.push_head(DListNode(entry))
+        self.used += req.size
+
+    def _evict(self) -> None:
+        node = self._list.pop_tail()
+        assert node is not None, "evicting from an empty LRU"
+        entry: CacheEntry = node.data
+        del self._nodes[entry.key]
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,106 @@
+"""LRU-K (O'Neil, O'Neil & Weikum, SIGMOD'93), with K=2 by default.
+
+Evicts the object whose K-th most recent reference is oldest; objects
+with fewer than K references sort before all others (oldest last
+access first).  Reference history is retained for recently evicted
+objects so a returning object keeps its backward K-distance, as the
+original algorithm prescribes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class LrukCache(EvictionPolicy):
+    """LRU-K with a lazy max-heap over backward K-distances."""
+
+    name = "lruk"
+
+    def __init__(
+        self,
+        capacity: int,
+        k: int = 2,
+        history_factor: int = 2,
+    ) -> None:
+        super().__init__(capacity)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        # key -> deque of the K most recent access times (resident or not).
+        self._history: "OrderedDict[Hashable, Deque[int]]" = OrderedDict()
+        self._history_cap = max(16, capacity * history_factor)
+        # Lazy min-heap of (kth_time, last_time, seq, key); stale entries
+        # are skipped at eviction by comparing against the live history.
+        self._heap: List[Tuple[int, int, int, Hashable]] = []
+        self._seq = 0
+
+    def _touch_history(self, key: Hashable) -> Deque[int]:
+        hist = self._history.get(key)
+        if hist is None:
+            hist = deque(maxlen=self._k)
+            self._history[key] = hist
+        else:
+            self._history.move_to_end(key)
+        hist.append(self.clock)
+        attempts = len(self._history)
+        while len(self._history) > self._history_cap and attempts > 0:
+            attempts -= 1
+            old_key, old_hist = self._history.popitem(last=False)
+            if old_key in self._entries:
+                # Never drop history of a resident object; re-queue it.
+                self._history[old_key] = old_hist
+        return hist
+
+    def _priority(self, hist: Deque[int]) -> Tuple[int, int]:
+        """(kth most recent time or -1, most recent time)."""
+        kth = hist[0] if len(hist) == self._k else -1
+        return kth, hist[-1]
+
+    def _push_heap(self, key: Hashable, hist: Deque[int]) -> None:
+        kth, last = self._priority(hist)
+        self._seq += 1
+        heapq.heappush(self._heap, (kth, last, self._seq, key))
+
+    def _access(self, req: Request) -> bool:
+        hist = self._touch_history(req.key)
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._push_heap(req.key, hist)
+            return True
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._entries[req.key] = entry
+        self.used += entry.size
+        self._push_heap(req.key, hist)
+        return False
+
+    def _evict(self) -> None:
+        while self._heap:
+            kth, last, _, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None:
+                continue  # already evicted
+            hist = self._history.get(key)
+            if hist is None or self._priority(hist) != (kth, last):
+                continue  # stale heap entry; a fresher one exists
+            del self._entries[key]
+            self.used -= entry.size
+            self._notify_evict(entry)
+            return
+        raise RuntimeError("LRU-K heap exhausted with residents remaining")
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,128 @@
+"""MQ: the Multi-Queue replacement algorithm (Zhou, Philbin & Li,
+ATC'01), designed for second-level buffer caches.
+
+``m`` LRU queues Q0..Qm-1 hold resident objects; an object with
+``f`` lifetime accesses lives in queue ``min(log2(f), m-1)``.  Each
+object also carries an expiration time (``now + lifetime``); when the
+head of a non-empty queue expires it is demoted one level, letting
+once-hot objects age out.  Evicted objects' metadata persists in a
+ghost history Qout (4x the cache size here), so a returning object
+resumes its old frequency level.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, List, Optional, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class _MqEntry(CacheEntry):
+    __slots__ = ("level", "expire")
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.level = 0
+        self.expire = 0
+
+
+class MqCache(EvictionPolicy):
+    """MQ with m=8 queues and lifetime-based demotion."""
+
+    name = "mq"
+
+    def __init__(
+        self,
+        capacity: int,
+        num_queues: int = 8,
+        lifetime: Optional[int] = None,
+        ghost_factor: int = 4,
+    ) -> None:
+        super().__init__(capacity)
+        if num_queues < 2:
+            raise ValueError(f"num_queues must be >= 2, got {num_queues}")
+        self._m = num_queues
+        # The paper sets lifetime to the observed peak temporal distance;
+        # a multiple of the cache size is the standard offline-free pick.
+        self._lifetime = lifetime or max(16, capacity * 8)
+        self._queues: List["OrderedDict[Hashable, _MqEntry]"] = [
+            OrderedDict() for _ in range(num_queues)
+        ]
+        # Ghost: key -> remembered access count.
+        self._qout: "OrderedDict[Hashable, int]" = OrderedDict()
+        self._qout_cap = max(1, capacity * ghost_factor)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _level_of(freq: int, m: int) -> int:
+        level = 0
+        f = max(1, freq)
+        while f > 1 and level < m - 1:
+            f >>= 1
+            level += 1
+        return level
+
+    def _access(self, req: Request) -> bool:
+        entry = self._find(req.key)
+        self._adjust()
+        if entry is not None:
+            del self._queues[entry.level][req.key]
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._place(entry)
+            return True
+        remembered = self._qout.pop(req.key, 0)
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = _MqEntry(req.key, req.size, self.clock)
+        entry.freq = remembered  # resume the pre-eviction frequency
+        self._place(entry)
+        self.used += entry.size
+        return False
+
+    def _find(self, key: Hashable) -> Optional[_MqEntry]:
+        for queue in self._queues:
+            entry = queue.get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def _place(self, entry: _MqEntry) -> None:
+        entry.level = self._level_of(entry.freq + 1, self._m)
+        entry.expire = self.clock + self._lifetime
+        self._queues[entry.level][entry.key] = entry
+
+    def _adjust(self) -> None:
+        """Demote expired queue heads one level (the MQ Adjust step)."""
+        for level in range(self._m - 1, 0, -1):
+            queue = self._queues[level]
+            if not queue:
+                continue
+            head_key = next(iter(queue))
+            head = queue[head_key]
+            if head.expire < self.clock:
+                del queue[head_key]
+                head.level = level - 1
+                head.expire = self.clock + self._lifetime
+                self._queues[level - 1][head_key] = head
+
+    def _evict(self) -> None:
+        for queue in self._queues:
+            if queue:
+                key, entry = queue.popitem(last=False)
+                self._qout[key] = entry.freq + 1
+                while len(self._qout) > self._qout_cap:
+                    self._qout.popitem(last=False)
+                self.used -= entry.size
+                self._notify_evict(entry)
+                return
+        raise RuntimeError("MQ eviction with no residents")
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return any(key in queue for queue in self._queues)
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues)

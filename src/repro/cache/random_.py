@@ -1,0 +1,61 @@
+"""Random eviction — the simplest possible baseline."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class RandomCache(EvictionPolicy):
+    """Evict a uniformly random resident object.
+
+    Uses the swap-with-last trick on a dense key list for O(1)
+    selection and removal.
+    """
+
+    name = "random"
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        super().__init__(capacity)
+        self._rng = random.Random(seed)
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self._keys: List[Hashable] = []
+        self._pos: Dict[Hashable, int] = {}
+
+    def _access(self, req: Request) -> bool:
+        entry = self._entries.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        self._entries[req.key] = CacheEntry(req.key, req.size, self.clock)
+        self._pos[req.key] = len(self._keys)
+        self._keys.append(req.key)
+        self.used += req.size
+
+    def _evict(self) -> None:
+        idx = self._rng.randrange(len(self._keys))
+        key = self._keys[idx]
+        last = self._keys[-1]
+        self._keys[idx] = last
+        self._pos[last] = idx
+        self._keys.pop()
+        del self._pos[key]
+        entry = self._entries.pop(key)
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,78 @@
+"""Segmented FIFO (Turner & Levy 1981), discussed in Section 7.
+
+Two FIFO segments: new objects enter the *primary* segment; objects
+evicted from the primary move to the *secondary* segment; a hit on a
+secondary object moves it back to the primary head.  There is no ghost
+queue and no quick demotion, so — as the paper notes — its efficiency
+is below LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+
+
+class SegmentedFifoCache(EvictionPolicy):
+    """Two-segment FIFO with a configurable primary fraction."""
+
+    name = "sfifo"
+
+    def __init__(self, capacity: int, primary_ratio: float = 0.3) -> None:
+        super().__init__(capacity)
+        if not 0.0 < primary_ratio < 1.0:
+            raise ValueError(
+                f"primary_ratio must be in (0, 1), got {primary_ratio}"
+            )
+        self._primary_cap = max(1, int(capacity * primary_ratio))
+        self._primary: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._secondary: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._primary_used = 0
+
+    def _access(self, req: Request) -> bool:
+        entry = self._primary.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        entry = self._secondary.pop(req.key, None)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._push_primary(entry)
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self.used += entry.size
+        self._push_primary(entry)
+
+    def _push_primary(self, entry: CacheEntry) -> None:
+        self._primary[entry.key] = entry
+        self._primary_used += entry.size
+        while self._primary_used > self._primary_cap and len(self._primary) > 1:
+            key, demoted = self._primary.popitem(last=False)
+            self._primary_used -= demoted.size
+            self._secondary[key] = demoted
+
+    def _evict(self) -> None:
+        if self._secondary:
+            _, entry = self._secondary.popitem(last=False)
+        else:
+            _, entry = self._primary.popitem(last=False)
+            self._primary_used -= entry.size
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._primary or key in self._secondary
+
+    def __len__(self) -> int:
+        return len(self._primary) + len(self._secondary)

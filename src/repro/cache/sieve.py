@@ -1,0 +1,78 @@
+"""SIEVE eviction (Zhang et al., NSDI'24), cited in Section 7.
+
+A single FIFO-ordered queue with one moving *hand*.  On a hit the
+object's visited bit is set (lazy promotion, no movement).  At eviction
+the hand scans from its current position toward the head of the queue:
+visited objects are retained in place with the bit cleared; the first
+unvisited object is evicted and the hand stays just past it.  Unlike
+CLOCK, retained objects are *not* recycled to the head, which gives
+SIEVE quick demotion of new objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.dlist import DList, DListNode
+
+
+class _SieveEntry(CacheEntry):
+    __slots__ = ("visited",)
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.visited = False
+
+
+class SieveCache(EvictionPolicy):
+    """SIEVE: lazy promotion + in-place quick demotion on one queue."""
+
+    name = "sieve"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._list = DList()
+        self._nodes: Dict[Hashable, DListNode] = {}
+        self._hand: Optional[DListNode] = None
+
+    def _access(self, req: Request) -> bool:
+        node = self._nodes.get(req.key)
+        if node is not None:
+            entry: _SieveEntry = node.data
+            entry.freq += 1
+            entry.last_access = self.clock
+            entry.visited = True
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        while self.used + req.size > self.capacity:
+            self._evict()
+        entry = _SieveEntry(req.key, req.size, self.clock)
+        self._nodes[req.key] = self._list.push_head(DListNode(entry))
+        self.used += req.size
+
+    def _evict(self) -> None:
+        node = self._hand if self._hand is not None else self._list.tail
+        assert node is not None, "evicting from an empty SIEVE"
+        entry: _SieveEntry = node.data
+        while entry.visited:
+            entry.visited = False
+            prev = node.prev
+            node = prev if (prev is not None and prev.linked) else self._list.tail
+            assert node is not None
+            entry = node.data
+        self._hand = node.prev if (node.prev is not None and node.prev.linked) else None
+        self._list.unlink(node)
+        del self._nodes[entry.key]
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,107 @@
+"""Segmented LRU (Karedla et al. 1994).
+
+The paper's configuration (Section 5.2): four equal-sized LRU
+segments.  Objects enter the lowest segment; each hit promotes the
+object one segment up (to that segment's MRU position).  A segment
+that overflows demotes its LRU tail to the segment below; overflow of
+the lowest segment evicts.  The initial probationary segment gives
+SLRU quick demotion, but the lack of a ghost queue makes it non
+scan-tolerant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.dlist import DList, DListNode
+
+
+class SlruCache(EvictionPolicy):
+    """Segmented LRU with ``nsegments`` equal segments (default 4)."""
+
+    name = "slru"
+
+    def __init__(self, capacity: int, nsegments: int = 4) -> None:
+        super().__init__(capacity)
+        if nsegments < 2:
+            raise ValueError(f"nsegments must be >= 2, got {nsegments}")
+        # Degrade gracefully for tiny caches: at most one segment per
+        # capacity unit (a single segment behaves as plain LRU).
+        nsegments = max(1, min(nsegments, capacity))
+        self._nseg = nsegments
+        base = capacity // nsegments
+        # Distribute the remainder onto the highest segments.
+        self._seg_capacity = [base] * nsegments
+        for i in range(capacity - base * nsegments):
+            self._seg_capacity[nsegments - 1 - i] += 1
+        self._segments: List[DList] = [DList() for _ in range(nsegments)]
+        self._seg_used = [0] * nsegments
+        # key -> (segment index, node)
+        self._where: Dict[Hashable, Tuple[int, DListNode]] = {}
+
+    def _access(self, req: Request) -> bool:
+        loc = self._where.get(req.key)
+        if loc is not None:
+            seg, node = loc
+            entry: CacheEntry = node.data
+            entry.freq += 1
+            entry.last_access = self.clock
+            target = min(seg + 1, self._nseg - 1)
+            self._segments[seg].unlink(node)
+            self._seg_used[seg] -= entry.size
+            self._segments[target].push_head(node)
+            self._seg_used[target] += entry.size
+            self._where[req.key] = (target, node)
+            self._rebalance(target)
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        entry = CacheEntry(req.key, req.size, self.clock)
+        node = DListNode(entry)
+        self._segments[0].push_head(node)
+        self._seg_used[0] += entry.size
+        self._where[req.key] = (0, node)
+        self.used += entry.size
+        self._rebalance(0)
+        # Demotions may have overfilled segment 0; evict from its tail.
+        while self.used > self.capacity:
+            self._evict()
+
+    def _rebalance(self, start: int) -> None:
+        """Cascade demotions from ``start`` downwards."""
+        for seg in range(start, 0, -1):
+            while self._seg_used[seg] > self._seg_capacity[seg]:
+                node = self._segments[seg].pop_tail()
+                assert node is not None
+                entry: CacheEntry = node.data
+                self._seg_used[seg] -= entry.size
+                self._segments[seg - 1].push_head(node)
+                self._seg_used[seg - 1] += entry.size
+                self._where[entry.key] = (seg - 1, node)
+
+    def _evict(self) -> None:
+        node = self._segments[0].pop_tail()
+        if node is None:
+            # Pathological: everything sits in higher segments.  Demote.
+            for seg in range(1, self._nseg):
+                node = self._segments[seg].pop_tail()
+                if node is not None:
+                    self._seg_used[seg] -= node.data.size
+                    break
+        else:
+            self._seg_used[0] -= node.data.size
+        assert node is not None, "evicting from an empty SLRU"
+        entry: CacheEntry = node.data
+        del self._where[entry.key]
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)

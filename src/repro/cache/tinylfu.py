@@ -1,0 +1,182 @@
+"""W-TinyLFU (Einziger, Friedman & Manes, ToS'17).
+
+A small *window* LRU (1% of the cache by default) absorbs new objects;
+the remaining 99% is an SLRU main cache.  A count-min sketch tracks
+approximate frequency of every requested key.  When the window
+overflows, the evicted candidate duels the main cache's eviction
+victim: the less frequent of the two is discarded.
+
+Section 5.2 evaluates both the default 1% window ("tinylfu") and a 10%
+window ("tinylfu-0.1"); the larger window fixes the tail traces where
+1% demotes too aggressively, at the cost of the best-case wins.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.cms import CountMinSketch
+
+
+class TinyLfuCache(EvictionPolicy):
+    """W-TinyLFU with window LRU + 2-segment SLRU main + CM sketch."""
+
+    name = "tinylfu"
+
+    def __init__(
+        self,
+        capacity: int,
+        window_ratio: float = 0.01,
+        protected_ratio: float = 0.8,
+        sketch_sample_factor: int = 10,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < window_ratio < 1.0:
+            raise ValueError(f"window_ratio must be in (0, 1), got {window_ratio}")
+        if not 0.0 < protected_ratio < 1.0:
+            raise ValueError(
+                f"protected_ratio must be in (0, 1), got {protected_ratio}"
+            )
+        self._window_cap = max(1, int(capacity * window_ratio))
+        main_cap = max(1, capacity - self._window_cap)
+        self._protected_cap = max(1, int(main_cap * protected_ratio))
+        self._window: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._probation: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._protected: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._window_used = 0
+        self._probation_used = 0
+        self._protected_used = 0
+        self._sketch = CountMinSketch(
+            width=max(64, capacity),
+            depth=4,
+            cap=15,
+            sample_size=max(64, capacity) * sketch_sample_factor,
+        )
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        self._sketch.add(req.key)
+        entry = self._window.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._window.move_to_end(req.key)
+            return True
+        entry = self._protected.get(req.key)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._protected.move_to_end(req.key)
+            return True
+        entry = self._probation.pop(req.key, None)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._probation_used -= entry.size
+            self._protected[req.key] = entry
+            self._protected_used += entry.size
+            self._demote_protected()
+            return True
+        self._insert(req)
+        return False
+
+    # ------------------------------------------------------------------
+    def _insert(self, req: Request) -> None:
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._window[req.key] = entry
+        self._window_used += entry.size
+        self.used += entry.size
+        while self._window_used > self._window_cap and len(self._window) > 1:
+            key, candidate = self._window.popitem(last=False)
+            self._window_used -= candidate.size
+            self._admit(candidate)
+        while self.used > self.capacity:
+            self._evict_any()
+
+    def _demote_protected(self) -> None:
+        while self._protected_used > self._protected_cap:
+            key, entry = self._protected.popitem(last=False)
+            self._protected_used -= entry.size
+            self._probation[key] = entry
+            self._probation_used += entry.size
+
+    def _main_victim(self) -> Optional[CacheEntry]:
+        if self._probation:
+            return next(iter(self._probation.values()))
+        if self._protected:
+            return next(iter(self._protected.values()))
+        return None
+
+    def _admit(self, candidate: CacheEntry) -> None:
+        """The TinyLFU duel: candidate vs. the main cache's victim."""
+        main_used = self._probation_used + self._protected_used
+        main_cap = self.capacity - self._window_cap
+        if main_used + candidate.size <= main_cap:
+            self._probation[candidate.key] = candidate
+            self._probation_used += candidate.size
+            self._notify_demote(candidate, promoted=True)
+            return
+        victim = self._main_victim()
+        if victim is None:
+            self._discard(candidate)
+            return
+        if self._sketch.estimate(candidate.key) > self._sketch.estimate(victim.key):
+            while (
+                self._probation_used + self._protected_used + candidate.size
+                > main_cap
+            ):
+                loser = self._main_victim()
+                if loser is None:
+                    break
+                self._remove_from_main(loser)
+                self._discard(loser)
+            self._probation[candidate.key] = candidate
+            self._probation_used += candidate.size
+            self._notify_demote(candidate, promoted=True)
+        else:
+            self._notify_demote(candidate, promoted=False)
+            self._discard(candidate)
+
+    def _remove_from_main(self, entry: CacheEntry) -> None:
+        if entry.key in self._probation:
+            del self._probation[entry.key]
+            self._probation_used -= entry.size
+        else:
+            del self._protected[entry.key]
+            self._protected_used -= entry.size
+
+    def _discard(self, entry: CacheEntry) -> None:
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    def _evict_any(self) -> None:
+        """Safety valve for byte-sized workloads where sums overflow."""
+        victim = self._main_victim()
+        if victim is not None:
+            self._remove_from_main(victim)
+            self._discard(victim)
+            return
+        key, entry = self._window.popitem(last=False)
+        self._window_used -= entry.size
+        self._discard(entry)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return (
+            key in self._window or key in self._probation or key in self._protected
+        )
+
+    def __len__(self) -> int:
+        return len(self._window) + len(self._probation) + len(self._protected)
+
+
+class TinyLfu10Cache(TinyLfuCache):
+    """TinyLFU with a 10% window — the paper's "TinyLFU-0.1" variant."""
+
+    name = "tinylfu-0.1"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, window_ratio=0.1)

@@ -1,0 +1,87 @@
+"""2Q (Johnson & Shasha, VLDB'94).
+
+The design closest to S3-FIFO (Section 5.2): a FIFO probationary
+queue A1in (25% of the cache), a ghost queue A1out (holding metadata
+for 50% of the cache's worth of objects), and a main LRU queue Am.
+Unlike S3-FIFO, objects evicted from A1in are *not* promoted to Am —
+promotion only happens when a request hits the A1out ghost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.ghost import GhostFifo
+
+
+class TwoQCache(EvictionPolicy):
+    """2Q with the paper-standard Kin=25%, Kout=50% parameters."""
+
+    name = "twoq"
+
+    def __init__(
+        self,
+        capacity: int,
+        kin: float = 0.25,
+        kout: float = 0.5,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < kin < 1.0:
+            raise ValueError(f"kin must be in (0, 1), got {kin}")
+        if kout <= 0.0:
+            raise ValueError(f"kout must be positive, got {kout}")
+        self._a1in_cap = max(1, int(capacity * kin))
+        self._a1in: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._a1in_used = 0
+        self._a1out = GhostFifo(max(1, int(capacity * kout)))
+        self._am: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._am_used = 0
+
+    def _access(self, req: Request) -> bool:
+        entry = self._am.pop(req.key, None)
+        if entry is not None:
+            entry.freq += 1
+            entry.last_access = self.clock
+            self._am[req.key] = entry  # LRU promotion
+            return True
+        entry = self._a1in.get(req.key)
+        if entry is not None:
+            # 2Q leaves A1in hits in place (correlated references).
+            entry.freq += 1
+            entry.last_access = self.clock
+            return True
+        if req.key in self._a1out:
+            self._a1out.remove(req.key)
+            self._make_room(req.size)
+            entry = CacheEntry(req.key, req.size, self.clock)
+            self._am[req.key] = entry
+            self._am_used += entry.size
+            self.used += entry.size
+            return False
+        self._make_room(req.size)
+        entry = CacheEntry(req.key, req.size, self.clock)
+        self._a1in[req.key] = entry
+        self._a1in_used += entry.size
+        self.used += entry.size
+        return False
+
+    def _make_room(self, incoming: int) -> None:
+        while self.used + incoming > self.capacity:
+            if self._a1in_used > self._a1in_cap or not self._am:
+                key, entry = self._a1in.popitem(last=False)
+                self._a1in_used -= entry.size
+                self._a1out.add(key)
+            else:
+                key, entry = self._am.popitem(last=False)
+                self._am_used -= entry.size
+            self.used -= entry.size
+            self._notify_evict(entry)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._a1in or key in self._am
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)

@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Examples::
+
+    s3fifo-repro list-policies
+    s3fifo-repro simulate --policy s3fifo --dataset twitter --cache-ratio 0.1
+    s3fifo-repro experiment fig06 --scale 0.5
+    s3fifo-repro analyze --dataset msr
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_toy",
+    "fig02": "repro.experiments.fig02_onehit_curves",
+    "fig03": "repro.experiments.fig03_onehit_distribution",
+    "fig04": "repro.experiments.fig04_eviction_frequency",
+    "table1": "repro.experiments.table1_datasets",
+    "fig06": "repro.experiments.fig06_missratio_percentiles",
+    "fig07": "repro.experiments.fig07_missratio_by_dataset",
+    "fig08": "repro.experiments.fig08_throughput",
+    "fig09": "repro.experiments.fig09_flash_admission",
+    "fig10": "repro.experiments.fig10_demotion",
+    "fig11": "repro.experiments.fig11_s_size_sweep",
+    "sec52": "repro.experiments.sec52_adversarial",
+    "sec523": "repro.experiments.sec523_byte_missratio",
+    "sec62": "repro.experiments.sec62_adaptive",
+    "sec63": "repro.experiments.sec63_queue_type",
+    "ablations": "repro.experiments.ablations",
+}
+
+
+def _cmd_list_policies(_args: argparse.Namespace) -> int:
+    from repro.cache.registry import policy_names
+
+    for name in policy_names(include_offline=True):
+        print(name)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cache.registry import create_policy
+    from repro.sim.simulator import simulate
+    from repro.traces.datasets import generate_dataset_trace
+    from repro.traces.synthetic import zipf_trace
+
+    if args.dataset:
+        trace = generate_dataset_trace(
+            args.dataset, args.trace_index, scale=args.scale, seed=args.seed
+        )
+    else:
+        trace = zipf_trace(
+            num_objects=args.objects,
+            num_requests=args.requests,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+    footprint = len(set(trace))
+    capacity = args.cache_size or max(10, int(footprint * args.cache_ratio))
+    policy = create_policy(args.policy, capacity=capacity)
+    result = simulate(policy, trace)
+    print(f"trace:          {args.dataset or f'zipf-{args.alpha}'}")
+    print(f"requests:       {result.requests}")
+    print(f"footprint:      {footprint} objects")
+    print(f"cache size:     {capacity}")
+    print(f"policy:         {args.policy}")
+    print(f"miss ratio:     {result.miss_ratio:.4f}")
+    print(f"evictions:      {result.evictions}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module_name = EXPERIMENTS.get(args.name)
+    if module_name is None:
+        print(
+            f"unknown experiment {args.name!r}; known: "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    module = importlib.import_module(module_name)
+    kwargs = {}
+    run_params = module.run.__code__.co_varnames[: module.run.__code__.co_argcount]
+    if "scale" in run_params:
+        kwargs["scale"] = args.scale
+    if "seed" in run_params:
+        kwargs["seed"] = args.seed
+    if "processes" in run_params:
+        kwargs["processes"] = args.processes
+    rows = module.run(**kwargs)
+    print(module.format_table(rows))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.traces.analysis import (
+        one_hit_wonder_curve,
+        one_hit_wonder_ratio,
+        unique_objects,
+    )
+    from repro.traces.datasets import generate_dataset_trace
+    from repro.traces.stats import summarize
+
+    trace = generate_dataset_trace(
+        args.dataset, args.trace_index, scale=args.scale, seed=args.seed
+    )
+    print(f"dataset:     {args.dataset} (trace {args.trace_index})")
+    print(f"requests:    {len(trace)}")
+    print(f"objects:     {unique_objects(trace)}")
+    print(f"ohw (full):  {one_hit_wonder_ratio(trace):.3f}")
+    for frac, ratio in one_hit_wonder_curve(trace, (0.01, 0.1, 0.5)):
+        print(f"ohw ({frac:>4.0%} of objects): {ratio:.3f}")
+    summary = summarize(trace)
+    print(f"zipf alpha:  {summary['zipf_alpha']:.2f}")
+    print(f"req/object:  {summary['requests_per_object']:.1f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Simulate several policies on one trace and rank them."""
+    from repro.cache.registry import create_policy, policy_names
+    from repro.sim.simulator import simulate
+    from repro.traces.datasets import generate_dataset_trace
+    from repro.traces.synthetic import zipf_trace
+
+    if args.dataset:
+        trace = generate_dataset_trace(
+            args.dataset, args.trace_index, scale=args.scale, seed=args.seed
+        )
+    else:
+        trace = zipf_trace(
+            args.objects, args.requests, alpha=args.alpha, seed=args.seed
+        )
+    capacity = args.cache_size or max(10, int(len(set(trace)) * args.cache_ratio))
+    policies = args.policies.split(",") if args.policies else policy_names()
+    results = []
+    for name in policies:
+        policy = create_policy(name.strip(), capacity=capacity)
+        results.append((simulate(policy, list(trace)).miss_ratio, name.strip()))
+    results.sort()
+    print(f"cache = {capacity} objects, {len(trace)} requests")
+    for rank, (mr, name) in enumerate(results, start=1):
+        print(f"{rank:3d}. {name:14s} miss ratio = {mr:.4f}")
+    return 0
+
+
+def _cmd_mrc(args: argparse.Namespace) -> int:
+    """Miss-ratio curve: exact for LRU, sampled for everything else."""
+    from repro.sim.mrc import lru_mrc, sampled_mrc
+    from repro.traces.datasets import generate_dataset_trace
+    from repro.traces.synthetic import zipf_trace
+
+    if args.dataset:
+        trace = generate_dataset_trace(
+            args.dataset, args.trace_index, scale=args.scale, seed=args.seed
+        )
+    else:
+        trace = zipf_trace(
+            args.objects, args.requests, alpha=args.alpha, seed=args.seed
+        )
+    footprint = len(set(trace))
+    sizes = [
+        max(1, int(footprint * frac))
+        for frac in (0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
+    ]
+    if args.policy == "lru" and args.rate >= 1.0:
+        curve = lru_mrc(trace, sizes=sizes)
+        method = "exact (Mattson)"
+    else:
+        curve = sampled_mrc(
+            args.policy,
+            trace,
+            sizes=sizes,
+            rate=min(args.rate, 1.0),
+            seed=args.seed,
+            ensembles=args.ensembles,
+        )
+        method = f"sampled (rate={args.rate}, ensembles={args.ensembles})"
+    print(f"policy: {args.policy}   method: {method}")
+    for size, mr in zip(curve.sizes, curve.miss_ratios):
+        bar = "#" * int(mr * 50)
+        print(f"  size {size:>8d}  miss {mr:.3f}  {bar}")
+    return 0
+
+
+def _cmd_walkthrough(args: argparse.Namespace) -> int:
+    """Print the Fig. 5 style state trace of S3-FIFO on a request list."""
+    from repro.core.walkthrough import (
+        DEMO_TRACE,
+        format_walkthrough,
+        walkthrough,
+    )
+
+    if args.trace:
+        trace = [key.strip() for key in args.trace.split(",") if key.strip()]
+    else:
+        trace = DEMO_TRACE
+    steps = walkthrough(trace, capacity=args.capacity)
+    print(format_walkthrough(steps))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="s3fifo-repro",
+        description="S3-FIFO (SOSP'23) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-policies", help="list registered eviction policies")
+
+    sim = sub.add_parser("simulate", help="simulate one policy on one trace")
+    sim.add_argument("--policy", default="s3fifo")
+    sim.add_argument("--dataset", default=None, help="dataset stand-in name")
+    sim.add_argument("--trace-index", type=int, default=0)
+    sim.add_argument("--objects", type=int, default=10_000)
+    sim.add_argument("--requests", type=int, default=200_000)
+    sim.add_argument("--alpha", type=float, default=1.0)
+    sim.add_argument("--cache-ratio", type=float, default=0.1)
+    sim.add_argument("--cache-size", type=int, default=None)
+    sim.add_argument("--scale", type=float, default=1.0)
+    sim.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=1.0)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--processes", type=int, default=None)
+
+    ana = sub.add_parser("analyze", help="one-hit-wonder analysis of a trace")
+    ana.add_argument("--dataset", required=True)
+    ana.add_argument("--trace-index", type=int, default=0)
+    ana.add_argument("--scale", type=float, default=1.0)
+    ana.add_argument("--seed", type=int, default=0)
+
+    cmp_ = sub.add_parser("compare", help="rank policies on one trace")
+    cmp_.add_argument("--policies", default=None,
+                      help="comma-separated names (default: all)")
+    cmp_.add_argument("--dataset", default=None)
+    cmp_.add_argument("--trace-index", type=int, default=0)
+    cmp_.add_argument("--objects", type=int, default=10_000)
+    cmp_.add_argument("--requests", type=int, default=200_000)
+    cmp_.add_argument("--alpha", type=float, default=1.0)
+    cmp_.add_argument("--cache-ratio", type=float, default=0.1)
+    cmp_.add_argument("--cache-size", type=int, default=None)
+    cmp_.add_argument("--scale", type=float, default=1.0)
+    cmp_.add_argument("--seed", type=int, default=0)
+
+    mrc = sub.add_parser("mrc", help="miss-ratio curve for one policy")
+    mrc.add_argument("--policy", default="lru")
+    mrc.add_argument("--dataset", default=None)
+    mrc.add_argument("--trace-index", type=int, default=0)
+    mrc.add_argument("--objects", type=int, default=10_000)
+    mrc.add_argument("--requests", type=int, default=200_000)
+    mrc.add_argument("--alpha", type=float, default=1.0)
+    mrc.add_argument("--rate", type=float, default=1.0,
+                     help="spatial sampling rate (<1 enables SHARDS)")
+    mrc.add_argument("--ensembles", type=int, default=3)
+    mrc.add_argument("--scale", type=float, default=1.0)
+    mrc.add_argument("--seed", type=int, default=0)
+
+    walk = sub.add_parser(
+        "walkthrough", help="Fig. 5 style step-by-step S3-FIFO state trace"
+    )
+    walk.add_argument(
+        "--trace", default=None,
+        help="comma-separated keys (default: the documentation demo)",
+    )
+    walk.add_argument("--capacity", type=int, default=6)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-policies": _cmd_list_policies,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "analyze": _cmd_analyze,
+        "compare": _cmd_compare,
+        "mrc": _cmd_mrc,
+        "walkthrough": _cmd_walkthrough,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

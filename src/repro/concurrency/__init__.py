@@ -1,0 +1,40 @@
+"""Throughput and scalability modeling (Section 5.3).
+
+CPython's GIL makes a native multicore throughput experiment
+meaningless, so — per the substitution policy in DESIGN.md — this
+package models each policy's critical-section profile (what work runs
+under a lock vs. in parallel) and derives throughput-vs-threads curves
+two ways: a closed-form saturation model and a discrete-event
+simulation of threads contending for the lock.  A real-thread harness
+is included to document the GIL limitation empirically.
+"""
+
+from repro.concurrency.costs import CostProfile, PROFILES, profile_for
+from repro.concurrency.model import (
+    ScalingPoint,
+    analytic_throughput,
+    simulate_throughput,
+    throughput_curve,
+)
+from repro.concurrency.sharding import (
+    imbalance_factor,
+    shard_load_shares,
+    sharded_throughput,
+    sharding_scaling_curve,
+)
+from repro.concurrency.threads import gil_bound_throughput
+
+__all__ = [
+    "imbalance_factor",
+    "shard_load_shares",
+    "sharded_throughput",
+    "sharding_scaling_curve",
+    "CostProfile",
+    "PROFILES",
+    "profile_for",
+    "ScalingPoint",
+    "analytic_throughput",
+    "simulate_throughput",
+    "throughput_curve",
+    "gil_bound_throughput",
+]

@@ -1,0 +1,151 @@
+"""Per-policy critical-section cost profiles.
+
+Each profile splits the work a cache does per request into *parallel*
+nanoseconds (hashing, comparisons, data copy — runs concurrently on
+all cores) and *critical* nanoseconds (list surgery, sketch updates,
+pointer swings that must run under a lock or contended atomics).  The
+numbers are calibrated to the single-thread throughputs and scaling
+behaviour reported in Section 5.3 / Fig. 8 for the Cachelib prototype:
+
+* **strict LRU** locks on every hit (promotion: ~6 dependent memory
+  accesses under lock).
+* **optimized LRU** (Cachelib) uses delayed promotion + try-lock, so
+  only a fraction of hits take the lock, but misses still serialize.
+* **TinyLFU / 2Q** add sketch updates and window→main migration, i.e.
+  more critical work than LRU on both hits and misses.
+* **S3-FIFO** has no locking: hits are a relaxed atomic increment
+  (first two requests only), misses a couple of lock-free queue CAS
+  operations; only a small residual serialization remains.
+* **Segcache** needs atomics only on segment-chain changes
+  (100-1000x rarer than misses) but pays extra parallel work for
+  merge copies, making it slower single-threaded than S3-FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CostProfile:
+    """Nanoseconds of parallel and critical work per hit and per miss.
+
+    ``handoff_ns`` models lock transfer overhead (cache-line bouncing)
+    paid per acquisition *when contended*, which is what makes strict
+    LRU's curve bend downward rather than just flatten.
+    """
+
+    __slots__ = (
+        "name",
+        "hit_parallel",
+        "hit_critical",
+        "miss_parallel",
+        "miss_critical",
+        "handoff_ns",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        hit_parallel: float,
+        hit_critical: float,
+        miss_parallel: float,
+        miss_critical: float,
+        handoff_ns: float = 0.0,
+    ) -> None:
+        for label, value in (
+            ("hit_parallel", hit_parallel),
+            ("hit_critical", hit_critical),
+            ("miss_parallel", miss_parallel),
+            ("miss_critical", miss_critical),
+            ("handoff_ns", handoff_ns),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be >= 0, got {value}")
+        self.name = name
+        self.hit_parallel = hit_parallel
+        self.hit_critical = hit_critical
+        self.miss_parallel = miss_parallel
+        self.miss_critical = miss_critical
+        self.handoff_ns = handoff_ns
+
+    def parallel_ns(self, miss_ratio: float) -> float:
+        """Expected parallel nanoseconds per request."""
+        return (
+            self.hit_parallel * (1 - miss_ratio)
+            + self.miss_parallel * miss_ratio
+        )
+
+    def critical_ns(self, miss_ratio: float) -> float:
+        """Expected critical (serialized) nanoseconds per request."""
+        return (
+            self.hit_critical * (1 - miss_ratio)
+            + self.miss_critical * miss_ratio
+        )
+
+    def __repr__(self) -> str:
+        return f"CostProfile({self.name})"
+
+
+PROFILES: Dict[str, CostProfile] = {
+    p.name: p
+    for p in (
+        CostProfile(
+            "lru-strict",
+            hit_parallel=120.0,
+            hit_critical=260.0,
+            miss_parallel=200.0,
+            miss_critical=420.0,
+            handoff_ns=18.0,
+        ),
+        CostProfile(
+            "lru-optimized",
+            hit_parallel=140.0,
+            hit_critical=55.0,
+            miss_parallel=220.0,
+            miss_critical=380.0,
+            handoff_ns=8.0,
+        ),
+        CostProfile(
+            "tinylfu",
+            hit_parallel=220.0,
+            hit_critical=95.0,
+            miss_parallel=320.0,
+            miss_critical=520.0,
+            handoff_ns=8.0,
+        ),
+        CostProfile(
+            "twoq",
+            hit_parallel=180.0,
+            hit_critical=85.0,
+            miss_parallel=280.0,
+            miss_critical=480.0,
+            handoff_ns=8.0,
+        ),
+        CostProfile(
+            "s3fifo",
+            hit_parallel=130.0,
+            hit_critical=2.0,
+            miss_parallel=260.0,
+            miss_critical=45.0,
+            handoff_ns=1.0,
+        ),
+        CostProfile(
+            "segcache",
+            hit_parallel=190.0,
+            hit_critical=1.0,
+            miss_parallel=420.0,
+            miss_critical=8.0,
+            handoff_ns=1.0,
+        ),
+    )
+}
+
+
+def profile_for(name: str) -> CostProfile:
+    """Look up a profile; raises KeyError with the known names."""
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise KeyError(
+            f"unknown cost profile {name!r}; known: {', '.join(sorted(PROFILES))}"
+        )
+    return profile

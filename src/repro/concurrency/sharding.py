@@ -1,0 +1,93 @@
+"""Sharded-cache scalability model (Section 7 discussion).
+
+The common alternative to a scalable eviction algorithm is *sharding*:
+partition the key space across cores, one independent cache each.  The
+paper notes why this disappoints in practice: "cache workloads often
+follow Zipfian popularity, so sharding leads to load imbalance and
+limits the whole system's throughput".
+
+This module quantifies that argument.  Keys are hashed to shards; with
+Zipf(alpha) popularity the hottest shard receives a disproportionate
+share of requests, and system throughput saturates at
+``per_core_throughput / hottest_shard_load_share`` — far below the
+``n x`` ideal that a lock-free shared cache (S3-FIFO) approaches.
+Sharding also splits the cache capacity, which *raises* the per-shard
+miss ratio for skewed workloads (less sharing of the hot set's slack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.traces.synthetic import zipf_probabilities
+
+
+def shard_load_shares(
+    num_objects: int,
+    num_shards: int,
+    alpha: float,
+    seed: int = 0,
+) -> List[float]:
+    """Fraction of requests landing on each shard under IRM Zipf.
+
+    Objects are assigned to shards by a uniform hash (modeled by a
+    seeded permutation), which is exactly what production sharding
+    does; the load share of a shard is the sum of its objects' Zipf
+    probabilities.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    probs = zipf_probabilities(num_objects, alpha)
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, num_shards, size=num_objects)
+    shares = np.zeros(num_shards)
+    np.add.at(shares, assignment, probs)
+    return shares.tolist()
+
+
+def sharded_throughput(
+    num_shards: int,
+    per_core_mqps: float,
+    load_shares: Sequence[float],
+) -> float:
+    """System MQPS when each shard runs on its own core.
+
+    A shard saturates when its arrival share times the system
+    throughput reaches one core's capacity, so the system caps at
+    ``per_core / max(share)``.
+    """
+    if per_core_mqps <= 0:
+        raise ValueError(f"per_core_mqps must be positive, got {per_core_mqps}")
+    if len(load_shares) != num_shards:
+        raise ValueError("load_shares must have one entry per shard")
+    hottest = max(load_shares)
+    if hottest <= 0:
+        return per_core_mqps * num_shards
+    return min(per_core_mqps * num_shards, per_core_mqps / hottest)
+
+
+def sharding_scaling_curve(
+    thread_counts: Sequence[int],
+    num_objects: int = 1_000_000,
+    alpha: float = 1.0,
+    per_core_mqps: float = 5.0,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """System throughput vs shard count under Zipf load imbalance."""
+    curve: Dict[int, float] = {}
+    for n in thread_counts:
+        shares = shard_load_shares(num_objects, n, alpha, seed=seed)
+        curve[n] = sharded_throughput(n, per_core_mqps, shares)
+    return curve
+
+
+def imbalance_factor(load_shares: Sequence[float]) -> float:
+    """max/mean load ratio: 1.0 = perfectly balanced."""
+    if not load_shares:
+        raise ValueError("load_shares must be non-empty")
+    mean = sum(load_shares) / len(load_shares)
+    if mean == 0:
+        return 1.0
+    return max(load_shares) / mean

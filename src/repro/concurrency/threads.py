@@ -1,0 +1,79 @@
+"""Real-thread throughput harness — the GIL demonstration.
+
+This drives an actual policy object from N Python threads behind a
+mutex, exactly as a naive port of the Cachelib benchmark would.  Under
+CPython the GIL serializes everything, so throughput does *not* scale
+with threads regardless of the policy; the module exists to document
+empirically why Fig. 8 is reproduced with the cost model in
+:mod:`repro.concurrency.model` instead (see DESIGN.md substitution 2).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List
+
+from repro.cache.registry import create_policy
+from repro.sim.request import Request
+
+
+def gil_bound_throughput(
+    policy_name: str,
+    capacity: int,
+    trace: List[int],
+    threads: int = 4,
+    duration: float = 0.5,
+) -> Dict[str, float]:
+    """Hammer one shared cache from ``threads`` threads for ``duration``
+    seconds; returns aggregate ops/sec and per-thread efficiency.
+
+    Expect ``scaling_efficiency`` (ops/sec at n threads divided by n x
+    single-thread ops/sec) well below 1 on CPython — the point being
+    made.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if not trace:
+        raise ValueError("trace must be non-empty")
+
+    def run_once(nthreads: int) -> float:
+        cache = create_policy(policy_name, capacity=capacity)
+        lock = threading.Lock()
+        stop = threading.Event()
+        counts = [0] * nthreads
+
+        def worker(tid: int) -> None:
+            i = tid
+            n = len(trace)
+            local = 0
+            while not stop.is_set():
+                key = trace[i % n]
+                with lock:
+                    cache.request(Request(key))
+                local += 1
+                i += nthreads
+            counts[tid] = local
+
+        workers = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(nthreads)
+        ]
+        start = time.perf_counter()
+        for w in workers:
+            w.start()
+        time.sleep(duration)
+        stop.set()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - start
+        return sum(counts) / elapsed
+
+    single = run_once(1)
+    multi = run_once(threads)
+    return {
+        "single_thread_ops": single,
+        "multi_thread_ops": multi,
+        "threads": float(threads),
+        "scaling_efficiency": multi / (single * threads) if single > 0 else 0.0,
+    }

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: S3-FIFO and its variants."""
+
+from repro.core.s3fifo import S3FifoCache
+from repro.core.s3fifo_d import S3FifoDCache
+from repro.core.s3fifo_ring import S3FifoRingCache
+from repro.core.s3sieve import S3SieveCache
+from repro.core.variants import QueueType, S3QueueVariantCache
+from repro.core.demotion import DemotionStats, DemotionTracker
+
+__all__ = [
+    "S3FifoCache",
+    "S3FifoDCache",
+    "S3FifoRingCache",
+    "S3SieveCache",
+    "QueueType",
+    "S3QueueVariantCache",
+    "DemotionStats",
+    "DemotionTracker",
+]

@@ -1,0 +1,159 @@
+"""S3-FIFO with a SIEVE main queue — the paper's Section 7 suggestion.
+
+"Sieve can be used to replace the large FIFO queue in S3-FIFO to
+further improve efficiency."  This module implements exactly that
+extension: the small probationary FIFO queue and ghost queue are
+unchanged, while the main queue evicts with SIEVE's moving hand
+(visited objects are retained *in place* with the bit cleared, instead
+of FIFO-reinsertion's recycling to the head).
+
+Compared to FIFO-reinsertion, SIEVE's in-place retention keeps the
+main queue's survivors ordered by original insertion, which gives new
+M entrants slightly quicker demotion — the same lazy-promotion idea,
+one notch stronger.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.dlist import DList, DListNode
+from repro.structures.ghost import GhostFifo
+
+
+class _SieveEntry(CacheEntry):
+    __slots__ = ("visited",)
+
+    def __init__(self, key: Hashable, size: int, insert_time: int) -> None:
+        super().__init__(key, size, insert_time)
+        self.visited = False
+
+
+class S3SieveCache(EvictionPolicy):
+    """S3-FIFO whose main queue evicts with SIEVE."""
+
+    name = "s3sieve"
+
+    def __init__(
+        self,
+        capacity: int,
+        small_ratio: float = 0.1,
+        ghost_entries: Optional[int] = None,
+        freq_cap: int = 3,
+        move_to_main_threshold: int = 2,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < small_ratio < 1.0:
+            raise ValueError(f"small_ratio must be in (0, 1), got {small_ratio}")
+        self._s_cap = max(1, int(capacity * small_ratio))
+        self._m_cap = max(1, capacity - self._s_cap)
+        self._freq_cap = freq_cap
+        self._threshold = move_to_main_threshold
+        self._small: "OrderedDict[Hashable, _SieveEntry]" = OrderedDict()
+        self._main = DList()
+        self._main_nodes: Dict[Hashable, DListNode] = {}
+        self._hand: Optional[DListNode] = None
+        self._ghost = GhostFifo(
+            ghost_entries if ghost_entries is not None else self._m_cap
+        )
+        self._s_used = 0
+        self._m_used = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def small_capacity(self) -> int:
+        return self._s_cap
+
+    @property
+    def ghost(self) -> GhostFifo:
+        return self._ghost
+
+    def in_main(self, key: Hashable) -> bool:
+        return key in self._main_nodes
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        entry = self._small.get(req.key)
+        if entry is not None:
+            entry.freq = min(entry.freq + 1, self._freq_cap)
+            entry.last_access = self.clock
+            return True
+        node = self._main_nodes.get(req.key)
+        if node is not None:
+            main_entry: _SieveEntry = node.data
+            main_entry.visited = True
+            main_entry.freq = min(main_entry.freq + 1, self._freq_cap)
+            main_entry.last_access = self.clock
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        self._make_room(req.size)
+        entry = _SieveEntry(req.key, req.size, self.clock)
+        if self._ghost.remove(req.key):
+            self._push_main(entry)
+        else:
+            self._small[req.key] = entry
+            self._s_used += entry.size
+        self.used += entry.size
+
+    def _push_main(self, entry: _SieveEntry) -> None:
+        self._main_nodes[entry.key] = self._main.push_head(DListNode(entry))
+        self._m_used += entry.size
+
+    def _make_room(self, incoming: int) -> None:
+        while self.used + incoming > self.capacity:
+            if self._s_used >= self._s_cap or not self._main_nodes:
+                self._evict_s()
+            else:
+                self._evict_m()
+
+    def _evict_s(self) -> None:
+        while self._small:
+            key, entry = self._small.popitem(last=False)
+            self._s_used -= entry.size
+            if entry.freq >= self._threshold:
+                entry.freq = 0
+                entry.visited = False
+                self._push_main(entry)
+                self._notify_demote(entry, promoted=True)
+            else:
+                self.used -= entry.size
+                self._ghost.add(key)
+                self._notify_demote(entry, promoted=False)
+                self._notify_evict(entry)
+                return
+        if self._main_nodes:
+            self._evict_m()
+
+    def _evict_m(self) -> None:
+        """SIEVE eviction: hand scans tail->head, retaining visited
+        objects in place with the bit cleared."""
+        node = self._hand if self._hand is not None else self._main.tail
+        assert node is not None, "evicting from an empty main queue"
+        entry: _SieveEntry = node.data
+        while entry.visited:
+            entry.visited = False
+            prev = node.prev
+            node = prev if (prev is not None and prev.linked) else self._main.tail
+            assert node is not None
+            entry = node.data
+        self._hand = (
+            node.prev if (node.prev is not None and node.prev.linked) else None
+        )
+        self._main.unlink(node)
+        del self._main_nodes[entry.key]
+        self._m_used -= entry.size
+        self.used -= entry.size
+        self._notify_evict(entry)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._small or key in self._main_nodes
+
+    def __len__(self) -> int:
+        return len(self._small) + len(self._main_nodes)

@@ -1,0 +1,167 @@
+"""Queue-type ablation of S3-FIFO (Section 6.3: "LRU or FIFO?").
+
+The paper replaces the small and/or main FIFO queues with LRU queues,
+and also tries promoting objects from S to M on cache *hits* instead
+of at eviction time.  Results ("not shown" in the paper) conclude LRU
+queues do not improve efficiency once quick demotion is in place —
+``benchmarks/test_sec63_queue_type.py`` regenerates that comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.sim.request import Request
+from repro.structures.ghost import GhostFifo
+
+
+class QueueType(enum.Enum):
+    """Ordering discipline for a queue in the S3 structure."""
+
+    FIFO = "fifo"
+    LRU = "lru"
+
+
+class S3QueueVariantCache(EvictionPolicy):
+    """S3-FIFO's structure with configurable queue types.
+
+    Parameters
+    ----------
+    small_type / main_type:
+        :class:`QueueType` for the probationary and main queues.  An
+        LRU queue promotes on hit; a FIFO queue does not.  An LRU main
+        queue evicts its true LRU tail without reinsertion; a FIFO
+        main queue uses FIFO-Reinsertion exactly like S3-FIFO.
+    promote_on_hit:
+        If True, an object in S whose frequency reaches the promotion
+        threshold moves to M immediately on the hit rather than
+        waiting for S's eviction scan.
+    """
+
+    name = "s3variant"
+
+    def __init__(
+        self,
+        capacity: int,
+        small_type: QueueType = QueueType.FIFO,
+        main_type: QueueType = QueueType.FIFO,
+        promote_on_hit: bool = False,
+        small_ratio: float = 0.1,
+        ghost_entries: Optional[int] = None,
+        freq_cap: int = 3,
+        move_to_main_threshold: int = 2,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < small_ratio < 1.0:
+            raise ValueError(f"small_ratio must be in (0, 1), got {small_ratio}")
+        self._small_type = small_type
+        self._main_type = main_type
+        self._promote_on_hit = promote_on_hit
+        self._s_cap = max(1, int(capacity * small_ratio))
+        self._m_cap = max(1, capacity - self._s_cap)
+        self._freq_cap = freq_cap
+        self._threshold = move_to_main_threshold
+        self._small: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._main: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._ghost = GhostFifo(
+            ghost_entries if ghost_entries is not None else self._m_cap
+        )
+        self._s_used = 0
+        self._m_used = 0
+
+    @property
+    def variant_name(self) -> str:
+        """e.g. "S3(S=lru,M=fifo)" — used by the Section 6.3 benchmark."""
+        tag = ",hit-promote" if self._promote_on_hit else ""
+        return (
+            f"S3(S={self._small_type.value},M={self._main_type.value}{tag})"
+        )
+
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        entry = self._small.get(req.key)
+        if entry is not None:
+            entry.freq = min(entry.freq + 1, self._freq_cap)
+            entry.last_access = self.clock
+            if self._small_type is QueueType.LRU:
+                self._small.move_to_end(req.key)
+            if self._promote_on_hit and entry.freq >= self._threshold:
+                del self._small[req.key]
+                self._s_used -= entry.size
+                entry.freq = 0
+                self._main[req.key] = entry
+                self._m_used += entry.size
+            return True
+        entry = self._main.get(req.key)
+        if entry is not None:
+            entry.freq = min(entry.freq + 1, self._freq_cap)
+            entry.last_access = self.clock
+            if self._main_type is QueueType.LRU:
+                self._main.move_to_end(req.key)
+            return True
+        self._insert(req)
+        return False
+
+    def _insert(self, req: Request) -> None:
+        self._make_room(req.size)
+        entry = CacheEntry(req.key, req.size, self.clock)
+        if self._ghost.remove(req.key):
+            self._main[req.key] = entry
+            self._m_used += entry.size
+        else:
+            self._small[req.key] = entry
+            self._s_used += entry.size
+        self.used += entry.size
+
+    def _make_room(self, incoming: int) -> None:
+        while self.used + incoming > self.capacity:
+            if self._s_used >= self._s_cap or not self._main:
+                self._evict_s()
+            else:
+                self._evict_m()
+
+    def _evict_s(self) -> None:
+        while self._small:
+            key, entry = self._small.popitem(last=False)
+            self._s_used -= entry.size
+            if entry.freq >= self._threshold:
+                entry.freq = 0
+                self._main[key] = entry
+                self._m_used += entry.size
+                self._notify_demote(entry, promoted=True)
+            else:
+                self._ghost.add(key)
+                self.used -= entry.size
+                self._notify_demote(entry, promoted=False)
+                self._notify_evict(entry)
+                return
+        if self._main:
+            self._evict_m()
+
+    def _evict_m(self) -> None:
+        if self._main_type is QueueType.LRU:
+            key, entry = self._main.popitem(last=False)
+            self._m_used -= entry.size
+            self.used -= entry.size
+            self._notify_evict(entry)
+            return
+        while self._main:
+            key, entry = self._main.popitem(last=False)
+            if entry.freq > 0:
+                entry.freq -= 1
+                self._main[key] = entry
+            else:
+                self._m_used -= entry.size
+                self.used -= entry.size
+                self._notify_evict(entry)
+                return
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._small or key in self._main
+
+    def __len__(self) -> int:
+        return len(self._small) + len(self._main)

@@ -1,0 +1,10 @@
+"""One module per paper table/figure; each exposes ``run()`` returning
+structured rows and ``format_rows()`` for human-readable output.
+
+The benchmark harness (``benchmarks/``) and the CLI both drive these;
+EXPERIMENTS.md records paper-vs-measured for every experiment.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,110 @@
+"""Ablations of S3-FIFO's design constants (DESIGN.md Section 4).
+
+1. Ghost queue size (paper default: as many entries as M holds).
+2. Frequency cap (paper: 3, i.e. two bits).
+3. Move-to-main threshold (Algorithm 1: freq > 1, i.e. threshold 2).
+4. M's reinsertion: freq-1 on reinsert (paper) vs clearing to 0 —
+   approximated by freq_cap=1, which collapses the counter to one bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.common import LARGE_CACHE_RATIO, format_rows
+from repro.sim.metrics import mean, miss_ratio_reduction
+from repro.sim.runner import run_sweep
+from repro.traces.datasets import make_dataset_jobs
+
+#: label -> s3fifo kwargs.
+ABLATIONS: Dict[str, Dict[str, Any]] = {
+    "default (ghost=|M|, cap=3, thr=2)": {},
+    "ghost=0.1x|M|": {"ghost_entries_factor": 0.1},
+    "ghost=4x|M|": {"ghost_entries_factor": 4.0},
+    "freq-cap=1 (one bit)": {"freq_cap": 1},
+    "freq-cap=7 (three bits)": {"freq_cap": 7},
+    "move-threshold=1": {"move_to_main_threshold": 1},
+    "move-threshold=3": {"move_to_main_threshold": 3},
+}
+
+
+def _resolve_kwargs(
+    kwargs: Dict[str, Any], cache_size: int
+) -> Dict[str, Any]:
+    resolved = dict(kwargs)
+    factor = resolved.pop("ghost_entries_factor", None)
+    if factor is not None:
+        main_cap = max(1, cache_size - max(1, int(cache_size * 0.1)))
+        resolved["ghost_entries"] = max(1, int(main_cap * factor))
+    return resolved
+
+
+def run(
+    ablations: Optional[Dict[str, Dict[str, Any]]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    cache_ratio: float = LARGE_CACHE_RATIO,
+    scale: float = 1.0,
+    processes: Optional[int] = None,
+    seed: int = 0,
+    traces_per_dataset: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Mean reduction vs FIFO for each ablated configuration."""
+    ablations = ablations or ABLATIONS
+    jobs = make_dataset_jobs(
+        ["fifo"],
+        cache_ratio,
+        datasets=list(datasets) if datasets else None,
+        scale=scale,
+        seed=seed,
+        traces_per_dataset=traces_per_dataset,
+    )
+    for label, kwargs in ablations.items():
+        base_jobs = make_dataset_jobs(
+            ["s3fifo"],
+            cache_ratio,
+            datasets=list(datasets) if datasets else None,
+            scale=scale,
+            seed=seed,
+            traces_per_dataset=traces_per_dataset,
+        )
+        for job in base_jobs:
+            job.policy_kwargs = _resolve_kwargs(kwargs, job.cache_size)
+            job.tags["ablation"] = label
+        jobs.extend(base_jobs)
+    results = [r for r in run_sweep(jobs, processes=processes) if r.ok]
+    fifo_mr = {
+        r.trace_name: r.miss_ratio for r in results if r.policy == "fifo"
+    }
+    rows: List[Dict[str, Any]] = []
+    for label in ablations:
+        reductions = [
+            miss_ratio_reduction(fifo_mr[r.trace_name], r.miss_ratio)
+            for r in results
+            if r.tags.get("ablation") == label and r.trace_name in fifo_mr
+        ]
+        if not reductions:
+            continue
+        rows.append(
+            {
+                "ablation": label,
+                "mean_reduction": mean(reductions),
+                "min_reduction": min(reductions),
+                "traces": len(reductions),
+            }
+        )
+    return rows
+
+
+def format_table(rows: List[Dict[str, Any]] = None) -> str:
+    if rows is None:
+        rows = run()
+    return format_rows(
+        rows,
+        columns=["ablation", "mean_reduction", "min_reduction", "traces"],
+        title="Ablations — S3-FIFO design constants",
+        float_fmt="{:+.3f}",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table())

@@ -1,0 +1,77 @@
+"""Fig. 2: one-hit-wonder ratio vs sequence length.
+
+Left pair: synthetic Zipf traces of varying skew alpha — the ratio
+falls as the sequence covers more of the object population, and more
+skewed workloads sit lower.  Right pair: production traces (MSR hm_0
+and Twitter cluster52 in the paper; our dataset stand-ins here) match
+the left region of the synthetic curves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.experiments.common import format_rows
+from repro.traces.analysis import one_hit_wonder_curve
+from repro.traces.datasets import generate_dataset_trace
+from repro.traces.synthetic import zipf_trace
+
+DEFAULT_ALPHAS = (0.6, 0.8, 1.0, 1.2)
+DEFAULT_FRACTIONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+PRODUCTION_STANDINS = ("msr", "twitter")
+
+
+def run(
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    num_objects: int = 5000,
+    num_requests: int = 100_000,
+    num_samples: int = 8,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """Rows of (trace, fraction, one-hit-wonder ratio)."""
+    rows: List[Dict[str, Any]] = []
+    for alpha in alphas:
+        trace = zipf_trace(num_objects, num_requests, alpha=alpha, seed=seed)
+        for frac, ratio in one_hit_wonder_curve(
+            trace, fractions, num_samples=num_samples, seed=seed
+        ):
+            rows.append(
+                {"trace": f"zipf-{alpha}", "fraction": frac, "ohw_ratio": ratio}
+            )
+    for dataset in PRODUCTION_STANDINS:
+        trace = generate_dataset_trace(dataset, 0, seed=seed)
+        for frac, ratio in one_hit_wonder_curve(
+            trace, fractions, num_samples=num_samples, seed=seed
+        ):
+            rows.append(
+                {"trace": dataset, "fraction": frac, "ohw_ratio": ratio}
+            )
+    return rows
+
+
+def format_table(rows: List[Dict[str, Any]] = None) -> str:
+    if rows is None:
+        rows = run()
+    return format_rows(
+        rows,
+        columns=["trace", "fraction", "ohw_ratio"],
+        title="Fig. 2 — one-hit-wonder ratio vs sequence length",
+        float_fmt="{:.3f}",
+    )
+
+
+def monotonically_decreasing(rows: List[Dict[str, Any]], trace: str, tolerance: float = 0.05) -> bool:
+    """Sanity check used by tests/benchmarks: the curve for ``trace``
+    decreases (within noise) as the fraction grows."""
+    points = sorted(
+        (r["fraction"], r["ohw_ratio"]) for r in rows if r["trace"] == trace
+    )
+    return all(
+        points[i + 1][1] <= points[i][1] + tolerance
+        for i in range(len(points) - 1)
+    )
+
+
+if __name__ == "__main__":
+    print(format_table())

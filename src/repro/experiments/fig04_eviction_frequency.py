@@ -1,0 +1,74 @@
+"""Fig. 4: the frequency of objects at eviction.
+
+Running LRU and Belady on Twitter-like and MSR-like traces with a
+cache of 10% of the trace footprint, the distribution of per-object
+access counts (after insertion) at eviction time shows that a large
+fraction of evicted objects were never reused — 26%/24% (LRU/Belady)
+on the Twitter trace and 82%/68% on the MSR trace in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.cache.registry import create_policy
+from repro.experiments.common import format_rows
+from repro.traces.analysis import annotate_next_access, frequency_at_eviction
+from repro.traces.datasets import generate_dataset_trace
+
+DEFAULT_TRACES = ("twitter", "msr")
+DEFAULT_POLICIES = ("lru", "belady")
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_TRACES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    cache_ratio: float = 0.1,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_freq: int = 4,
+) -> List[Dict[str, Any]]:
+    """One row per (dataset, policy): CDF of frequency at eviction.
+
+    ``freq0`` is the one-hit-wonder-at-eviction fraction; ``freq<=k``
+    columns accumulate the CDF up to ``max_freq``.
+    """
+    rows: List[Dict[str, Any]] = []
+    for dataset in datasets:
+        trace = generate_dataset_trace(dataset, 0, scale=scale, seed=seed)
+        annotated = annotate_next_access(trace)
+        capacity = max(10, int(len(set(trace)) * cache_ratio))
+        for policy_name in policies:
+            policy = create_policy(policy_name, capacity=capacity)
+            histogram = frequency_at_eviction(policy, annotated)
+            total = sum(histogram.values())
+            row: Dict[str, Any] = {
+                "dataset": dataset,
+                "policy": policy_name,
+                "evictions": total,
+            }
+            cumulative = 0
+            for k in range(max_freq + 1):
+                cumulative += histogram.get(k, 0)
+                row[f"freq<={k}"] = cumulative / total if total else 0.0
+            row["freq0"] = (histogram.get(0, 0) / total) if total else 0.0
+            rows.append(row)
+    return rows
+
+
+def format_table(rows: List[Dict[str, Any]] = None) -> str:
+    if rows is None:
+        rows = run()
+    columns = ["dataset", "policy", "evictions", "freq0"] + [
+        key for key in rows[0] if key.startswith("freq<=")
+    ]
+    return format_rows(
+        rows,
+        columns=columns,
+        title="Fig. 4 — frequency of objects at eviction (CDF)",
+        float_fmt="{:.3f}",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table())

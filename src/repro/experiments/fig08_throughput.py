@@ -1,0 +1,85 @@
+"""Fig. 8: throughput scaling with CPU cores.
+
+Reproduced with the concurrency cost model (DESIGN.md substitution 2)
+at the paper's two operating points: a large cache (LRU miss ratio
+0.02) and a small cache (0.21) on a Zipf(1.0) workload.  The
+reproduced claims: strict LRU cannot scale at all, optimized LRU stops
+scaling around two cores, TinyLFU/2Q sit below LRU, Segcache and
+S3-FIFO scale near-linearly, and S3-FIFO is >6x optimized LRU at 16
+threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.concurrency.costs import profile_for
+from repro.concurrency.model import throughput_curve
+from repro.experiments.common import format_rows
+
+DEFAULT_POLICIES = (
+    "lru-strict",
+    "lru-optimized",
+    "tinylfu",
+    "twoq",
+    "segcache",
+    "s3fifo",
+)
+DEFAULT_THREADS = (1, 2, 4, 8, 16)
+#: (label, miss ratio) per Fig. 8's two subplots.
+OPERATING_POINTS = (("large", 0.02), ("small", 0.21))
+
+
+def run(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    use_simulation: bool = False,
+    requests: int = 100_000,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """One row per (cache, policy) with MQPS per thread count."""
+    rows: List[Dict[str, Any]] = []
+    for label, miss_ratio in OPERATING_POINTS:
+        for policy in policies:
+            curve = throughput_curve(
+                profile_for(policy),
+                threads,
+                miss_ratio,
+                use_simulation=use_simulation,
+                requests=requests,
+                seed=seed,
+            )
+            row: Dict[str, Any] = {"cache": label, "policy": policy}
+            for point in curve:
+                row[f"t{point.threads}"] = point.mqps
+            rows.append(row)
+    return rows
+
+
+def speedup_at(
+    rows: List[Dict[str, Any]],
+    cache: str,
+    policy: str,
+    baseline: str,
+    threads: int,
+) -> float:
+    """Throughput ratio policy/baseline at a thread count."""
+    col = f"t{threads}"
+    by_policy = {r["policy"]: r for r in rows if r["cache"] == cache}
+    return by_policy[policy][col] / by_policy[baseline][col]
+
+
+def format_table(rows: List[Dict[str, Any]] = None) -> str:
+    if rows is None:
+        rows = run()
+    thread_cols = [key for key in rows[0] if key.startswith("t")]
+    return format_rows(
+        rows,
+        columns=["cache", "policy"] + thread_cols,
+        title="Fig. 8 — modeled throughput (MQPS) vs threads",
+        float_fmt="{:.1f}",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table())

@@ -1,0 +1,179 @@
+"""Fig. 10 + Table 2: quick-demotion speed, precision, and miss ratio.
+
+For ARC, TinyLFU, and S3-FIFO (the latter two swept over small-queue
+sizes 1%-40%), measure on Twitter-like and MSR-like traces at large
+and small cache sizes:
+
+* normalized demotion speed (LRU eviction age / time in probation),
+* demotion precision (fraction of early evictions not reused soon),
+* the resulting miss ratio (Table 2).
+
+Reproduced claims: smaller S always demotes faster; S3-FIFO's
+precision rises then falls with S (peaking at intermediate sizes) and
+its miss ratio is U-shaped in S; TinyLFU demotes slightly faster at
+equal S but with lower, less predictable precision; ARC's adaptive S
+can land far from the best size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cache.registry import create_policy
+from repro.core.demotion import (
+    AccessIndex,
+    DemotionTracker,
+    compute_demotion_stats,
+    lru_eviction_age,
+)
+from repro.experiments.common import (
+    LARGE_CACHE_RATIO,
+    SMALL_CACHE_RATIO,
+    format_rows,
+)
+from repro.sim.request import Request
+from repro.sim.simulator import simulate
+from repro.traces.datasets import generate_dataset_trace
+
+DEFAULT_TRACES = ("twitter", "msr")
+S_SIZES = (0.4, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01)
+
+
+def _measure(
+    policy_name: str,
+    capacity: int,
+    trace: List[int],
+    index: AccessIndex,
+    lru_age: float,
+    policy_kwargs: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    policy = create_policy(policy_name, capacity=capacity, **(policy_kwargs or {}))
+    tracker = DemotionTracker().attach(policy)
+    result = simulate(policy, [Request(k) for k in trace])
+    stats = compute_demotion_stats(
+        tracker.events, index, lru_age, capacity, result.miss_ratio
+    )
+    return {
+        "miss_ratio": result.miss_ratio,
+        "speed": stats.speed,
+        "precision": stats.precision,
+        "demoted": stats.demoted_count,
+        "promoted": stats.promoted_count,
+    }
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_TRACES,
+    s_sizes: Sequence[float] = S_SIZES,
+    cache_ratios: Sequence[float] = (LARGE_CACHE_RATIO, SMALL_CACHE_RATIO),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """One row per (dataset, cache, policy, S size) point of Fig. 10."""
+    rows: List[Dict[str, Any]] = []
+    for dataset in datasets:
+        trace = generate_dataset_trace(dataset, 0, scale=scale, seed=seed)
+        index = AccessIndex(Request(k) for k in trace)
+        footprint = len(set(trace))
+        for ratio in cache_ratios:
+            label = "large" if ratio == max(cache_ratios) else "small"
+            capacity = max(10, int(footprint * ratio))
+            lru_age = lru_eviction_age([Request(k) for k in trace], capacity)
+
+            lru_result = simulate(
+                create_policy("lru", capacity=capacity),
+                [Request(k) for k in trace],
+            )
+            arc = _measure("arc", capacity, trace, index, lru_age)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "cache": label,
+                    "policy": "lru",
+                    "s_size": None,
+                    "miss_ratio": lru_result.miss_ratio,
+                    "speed": 1.0,
+                    "precision": None,
+                    "demoted": None,
+                    "promoted": None,
+                }
+            )
+            rows.append(
+                {"dataset": dataset, "cache": label, "policy": "arc",
+                 "s_size": None, **arc}
+            )
+            for s_size in s_sizes:
+                for policy, kwargs in (
+                    ("s3fifo", {"small_ratio": s_size}),
+                    ("tinylfu", {"window_ratio": s_size}),
+                ):
+                    measured = _measure(
+                        policy, capacity, trace, index, lru_age, kwargs
+                    )
+                    rows.append(
+                        {
+                            "dataset": dataset,
+                            "cache": label,
+                            "policy": policy,
+                            "s_size": s_size,
+                            **measured,
+                        }
+                    )
+    return rows
+
+
+def table2_view(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Pivot the Fig. 10 rows into Table 2: miss ratio by S size."""
+    out: List[Dict[str, Any]] = []
+    settings = sorted({(r["dataset"], r["cache"]) for r in rows})
+    for dataset, cache in settings:
+        subset = [
+            r for r in rows if r["dataset"] == dataset and r["cache"] == cache
+        ]
+        for policy in ("tinylfu", "s3fifo"):
+            row: Dict[str, Any] = {
+                "dataset": dataset,
+                "cache": cache,
+                "policy": policy,
+            }
+            for r in subset:
+                if r["policy"] == policy and r["s_size"] is not None:
+                    row[f"s={r['s_size']:g}"] = r["miss_ratio"]
+            out.append(row)
+        for reference in ("arc", "lru"):
+            ref = next(
+                (r for r in subset if r["policy"] == reference), None
+            )
+            if ref:
+                out.append(
+                    {
+                        "dataset": dataset,
+                        "cache": cache,
+                        "policy": reference,
+                        "s=ref": ref["miss_ratio"],
+                    }
+                )
+    return out
+
+
+def format_table(rows: List[Dict[str, Any]] = None) -> str:
+    if rows is None:
+        rows = run()
+    return format_rows(
+        rows,
+        columns=[
+            "dataset",
+            "cache",
+            "policy",
+            "s_size",
+            "miss_ratio",
+            "speed",
+            "precision",
+        ],
+        title="Fig. 10 / Table 2 — quick demotion speed, precision, miss ratio",
+        float_fmt="{:.4f}",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table())

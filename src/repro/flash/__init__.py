@@ -1,0 +1,28 @@
+"""DRAM + flash hybrid caching (Section 5.4).
+
+A two-layer cache where DRAM admission decides which objects reach
+flash; the flash layer always uses FIFO eviction (the production norm
+for write locality).  The experiment of Fig. 9 compares admission
+policies on both *miss ratio* and *flash write bytes*.
+"""
+
+from repro.flash.admission import (
+    AdmissionPolicy,
+    NoAdmission,
+    ProbabilisticAdmission,
+    S3FifoAdmission,
+    FlashieldAdmission,
+)
+from repro.flash.flashcache import FlashCacheResult, HybridFlashCache
+from repro.flash.flashield import LogisticModel
+
+__all__ = [
+    "AdmissionPolicy",
+    "NoAdmission",
+    "ProbabilisticAdmission",
+    "S3FifoAdmission",
+    "FlashieldAdmission",
+    "FlashCacheResult",
+    "HybridFlashCache",
+    "LogisticModel",
+]

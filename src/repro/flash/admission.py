@@ -1,0 +1,168 @@
+"""Flash admission policies (Section 5.4 / Fig. 9).
+
+All four schemes the paper compares:
+
+* :class:`NoAdmission` — "FIFO": every DRAM-evicted object is written
+  to flash.
+* :class:`ProbabilisticAdmission` — admit DRAM-evicted objects with a
+  fixed probability (20% in the paper).
+* :class:`S3FifoAdmission` — the paper's proposal: the DRAM layer is
+  S3-FIFO's small queue (plus ghost); only objects requested again
+  while in DRAM — or whose key hits the ghost — are written to flash.
+* :class:`FlashieldAdmission` — ML admission: predict from
+  DRAM-observed features whether the object will be read on flash.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, List, Tuple
+
+from repro.cache.base import CacheEntry
+from repro.flash.flashield import LogisticModel
+from repro.structures.ghost import GhostFifo
+
+
+class AdmissionPolicy(ABC):
+    """Decides which DRAM-evicted objects get written to flash."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def should_admit(self, entry: CacheEntry, clock: int) -> bool:
+        """Whether a DRAM-evicted object is written to flash."""
+
+    def on_dram_hit(self, entry: CacheEntry, clock: int) -> None:
+        """Observe a DRAM hit (feature collection)."""
+
+    def on_flash_hit(self, key: Hashable, clock: int) -> None:
+        """Observe a flash hit (label collection)."""
+
+    def on_flash_evict(self, key: Hashable, clock: int) -> None:
+        """Observe a flash eviction (label collection)."""
+
+
+class NoAdmission(AdmissionPolicy):
+    """Write everything to flash — the paper's "FIFO" baseline."""
+
+    name = "no-admission"
+
+    def should_admit(self, entry: CacheEntry, clock: int) -> bool:
+        return True
+
+
+class ProbabilisticAdmission(AdmissionPolicy):
+    """Admit with fixed probability (20% in the paper's Fig. 9)."""
+
+    name = "probabilistic"
+
+    def __init__(self, probability: float = 0.2, seed: int = 0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        self._p = probability
+        self._rng = random.Random(seed)
+
+    def should_admit(self, entry: CacheEntry, clock: int) -> bool:
+        return self._rng.random() < self._p
+
+
+class S3FifoAdmission(AdmissionPolicy):
+    """The small-FIFO-queue filter.
+
+    Objects requested at least ``min_freq`` times while in DRAM are
+    admitted; objects evicted cold go to a ghost queue, and a re-miss
+    on a ghosted key admits that object on (re-)insertion — Section
+    5.4: "Only objects requested in S and G are written to the flash."
+    """
+
+    name = "s3fifo-filter"
+
+    def __init__(self, ghost_entries: int, min_freq: int = 1) -> None:
+        if min_freq < 1:
+            raise ValueError(f"min_freq must be >= 1, got {min_freq}")
+        self._min_freq = min_freq
+        self.ghost = GhostFifo(max(1, ghost_entries))
+
+    def should_admit(self, entry: CacheEntry, clock: int) -> bool:
+        if entry.freq >= self._min_freq:
+            return True
+        self.ghost.add(entry.key)
+        return False
+
+    def was_ghosted(self, key: Hashable) -> bool:
+        """Check-and-consume a ghost entry for ``key``."""
+        return self.ghost.remove(key)
+
+
+class FlashieldAdmission(AdmissionPolicy):
+    """Flashield-style ML admission (logistic stand-in for the SVM).
+
+    Features are collected while the object sits in DRAM (its read
+    count and normalized DRAM age); the label for a flash-resident
+    object is whether it received any read before its flash eviction.
+    The model trains online on completed flash lifetimes.  When DRAM
+    is tiny, read counts are almost uniformly zero and the model
+    cannot separate classes — the failure mode Fig. 9 demonstrates.
+    """
+
+    name = "flashield"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        batch_size: int = 64,
+        seed: int = 0,
+        warmup_admits: int = 200,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self._model = LogisticModel(num_features=3, seed=seed)
+        self._threshold = threshold
+        self._batch_size = batch_size
+        self._warmup_admits = warmup_admits
+        self._admitted = 0
+        # key -> features captured at admission time.
+        self._inflight: Dict[Hashable, Tuple[float, float, float]] = {}
+        self._flash_read: Dict[Hashable, bool] = {}
+        self._batch_x: List[Tuple[float, float, float]] = []
+        self._batch_y: List[int] = []
+
+    @staticmethod
+    def _features(entry: CacheEntry, clock: int) -> Tuple[float, float, float]:
+        dram_age = max(1, clock - entry.insert_time)
+        return (
+            float(entry.freq),
+            float(entry.freq) / dram_age,
+            1.0,  # bias-like constant feature
+        )
+
+    def should_admit(self, entry: CacheEntry, clock: int) -> bool:
+        features = self._features(entry, clock)
+        if self._admitted < self._warmup_admits:
+            admit = True  # bootstrap: no labels yet
+        else:
+            admit = self._model.predict_proba(features) >= self._threshold
+        if admit:
+            self._admitted += 1
+            self._inflight[entry.key] = features
+            self._flash_read[entry.key] = False
+        return admit
+
+    def on_flash_hit(self, key: Hashable, clock: int) -> None:
+        if key in self._flash_read:
+            self._flash_read[key] = True
+
+    def on_flash_evict(self, key: Hashable, clock: int) -> None:
+        features = self._inflight.pop(key, None)
+        if features is None:
+            return
+        label = 1 if self._flash_read.pop(key, False) else 0
+        self._batch_x.append(features)
+        self._batch_y.append(label)
+        if len(self._batch_x) >= self._batch_size:
+            self._model.partial_fit(self._batch_x, self._batch_y)
+            self._batch_x.clear()
+            self._batch_y.clear()

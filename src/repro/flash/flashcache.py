@@ -1,0 +1,203 @@
+"""The two-layer DRAM + flash cache (Section 5.4).
+
+Request flow: DRAM hit → flash hit → miss.  Misses insert into DRAM;
+objects evicted from DRAM pass through the admission policy, and only
+admitted objects are written to flash (counting toward the write-bytes
+metric).  The flash layer evicts in FIFO order, the production norm
+(Apache TrafficServer, Extstore, Cachelib, Colossus — Section 2.1).
+
+With :class:`~repro.flash.admission.S3FifoAdmission`, the DRAM layer
+is S3-FIFO's small queue: a FIFO whose cold evictions go to a ghost
+queue, and a ghost-hit miss writes the object straight to flash — the
+DRAM+flash split of S3-FIFO the paper proposes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable, Tuple, Union
+
+from repro.cache.base import CacheEntry, EvictionPolicy
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.flash.admission import AdmissionPolicy, S3FifoAdmission
+from repro.sim.request import Request
+
+
+class FlashCacheResult:
+    """Metrics of one hybrid-cache run (one Fig. 9 bar pair)."""
+
+    __slots__ = (
+        "requests",
+        "misses",
+        "bytes_requested",
+        "bytes_missed",
+        "flash_bytes_written",
+        "flash_objects_written",
+        "dram_hits",
+        "flash_hits",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.misses = 0
+        self.bytes_requested = 0
+        self.bytes_missed = 0
+        self.flash_bytes_written = 0
+        self.flash_objects_written = 0
+        self.dram_hits = 0
+        self.flash_hits = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_missed / self.bytes_requested
+
+    def normalized_writes(self, unique_bytes: int) -> float:
+        """Flash write bytes normalized by the trace's unique bytes
+        (the paper's Fig. 9 normalization)."""
+        if unique_bytes <= 0:
+            raise ValueError(f"unique_bytes must be positive, got {unique_bytes}")
+        return self.flash_bytes_written / unique_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashCacheResult(miss_ratio={self.miss_ratio:.4f}, "
+            f"flash_writes={self.flash_bytes_written})"
+        )
+
+
+class HybridFlashCache:
+    """DRAM front (LRU or FIFO) + flash FIFO with pluggable admission."""
+
+    def __init__(
+        self,
+        dram_capacity: int,
+        flash_capacity: int,
+        admission: AdmissionPolicy,
+        dram_policy: str = "lru",
+        flash_policy: str = "fifo",
+    ) -> None:
+        if dram_capacity <= 0:
+            raise ValueError(f"dram_capacity must be positive, got {dram_capacity}")
+        if flash_capacity <= 0:
+            raise ValueError(
+                f"flash_capacity must be positive, got {flash_capacity}"
+            )
+        if dram_policy == "lru":
+            self._dram: EvictionPolicy = LruCache(dram_capacity)
+        elif dram_policy == "fifo":
+            self._dram = FifoCache(dram_capacity)
+        else:
+            raise ValueError(f"dram_policy must be 'lru' or 'fifo', got {dram_policy!r}")
+        if flash_policy not in {"fifo", "fifo-reinsertion"}:
+            raise ValueError(
+                "flash_policy must be 'fifo' or 'fifo-reinsertion', "
+                f"got {flash_policy!r}"
+            )
+        self._dram.add_eviction_listener(self._on_dram_evict)
+        # key -> [size, ref_bit]; ref bit only used by fifo-reinsertion.
+        self._flash: "OrderedDict[Hashable, list]" = OrderedDict()
+        self._flash_capacity = flash_capacity
+        self._flash_policy = flash_policy
+        self._flash_used = 0
+        self._admission = admission
+        self._clock = 0
+        self.result = FlashCacheResult()
+
+    # ------------------------------------------------------------------
+    @property
+    def dram(self) -> EvictionPolicy:
+        return self._dram
+
+    @property
+    def flash_used(self) -> int:
+        return self._flash_used
+
+    def in_flash(self, key: Hashable) -> bool:
+        return key in self._flash
+
+    # ------------------------------------------------------------------
+    def request(self, key: Hashable, size: int = 1) -> bool:
+        self._clock += 1
+        self.result.requests += 1
+        self.result.bytes_requested += size
+        if key in self._dram:
+            self._dram.request(Request(key, size=size))
+            self.result.dram_hits += 1
+            return True
+        slot = self._flash.get(key)
+        if slot is not None:
+            slot[1] = True  # reference bit (fifo-reinsertion only)
+            self._admission.on_flash_hit(key, self._clock)
+            self.result.flash_hits += 1
+            return True
+        # Miss.
+        self.result.misses += 1
+        self.result.bytes_missed += size
+        if isinstance(self._admission, S3FifoAdmission) and (
+            self._admission.was_ghosted(key)
+        ):
+            # Second miss within the ghost window: straight to flash,
+            # the S3-FIFO DRAM->flash promotion path.
+            self._write_flash(key, size)
+            return False
+        if size <= self._dram.capacity:
+            self._dram.request(Request(key, size=size))
+        else:
+            # Too large for DRAM: apply admission to a synthetic entry.
+            entry = CacheEntry(key, size, self._clock)
+            if self._admission.should_admit(entry, self._clock):
+                self._write_flash(key, size)
+        return False
+
+    # ------------------------------------------------------------------
+    def _on_dram_evict(self, event) -> None:
+        entry = CacheEntry(event.key, event.size, event.insert_time)
+        entry.freq = event.freq
+        if self._admission.should_admit(entry, self._clock):
+            self._write_flash(event.key, event.size)
+
+    def _write_flash(self, key: Hashable, size: int) -> None:
+        if key in self._flash:
+            return  # already resident; no rewrite
+        while self._flash_used + size > self._flash_capacity and self._flash:
+            self._evict_flash()
+        if size > self._flash_capacity:
+            return  # cannot fit at all
+        self._flash[key] = [size, False]
+        self._flash_used += size
+        self.result.flash_bytes_written += size
+        self.result.flash_objects_written += 1
+
+    def _evict_flash(self) -> None:
+        while True:
+            old_key, slot = self._flash.popitem(last=False)
+            old_size, ref = slot
+            if self._flash_policy == "fifo-reinsertion" and ref:
+                # Second chance: rewrite at the log head.  This costs a
+                # flash write (the production trade-off of reinsertion).
+                self._flash[old_key] = [old_size, False]
+                self.result.flash_bytes_written += old_size
+                continue
+            self._flash_used -= old_size
+            self._admission.on_flash_evict(old_key, self._clock)
+            return
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Iterable[Union[Hashable, Tuple[Hashable, int]]],
+    ) -> FlashCacheResult:
+        """Replay a trace (keys or ``(key, size)`` tuples)."""
+        for item in trace:
+            if isinstance(item, tuple):
+                self.request(item[0], item[1])
+            else:
+                self.request(item)
+        return self.result

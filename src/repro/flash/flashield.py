@@ -1,0 +1,69 @@
+"""A small online logistic-regression model (numpy, SGD).
+
+Stand-in for Flashield's SVM (the paper's ML admission baseline):
+scikit-learn is unavailable offline, and logistic regression trained
+on the same features exhibits the same qualitative behaviour — it
+needs enough DRAM-resident history per object to separate flash-worthy
+objects from the rest (see DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class LogisticModel:
+    """Binary logistic regression trained by mini-batch SGD."""
+
+    def __init__(
+        self,
+        num_features: int,
+        learning_rate: float = 0.1,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        rng = np.random.default_rng(seed)
+        self._weights = rng.normal(0, 0.01, size=num_features)
+        self._bias = 0.0
+        self._lr = learning_rate
+        self._l2 = l2
+        self.samples_seen = 0
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+    def predict_proba(self, features: Sequence[float]) -> float:
+        """P(label=1) for one feature vector."""
+        x = np.asarray(features, dtype=np.float64)
+        return float(self._sigmoid(x @ self._weights + self._bias))
+
+    def partial_fit(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[int],
+    ) -> None:
+        """One SGD step over a mini-batch."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if x.shape[0] == 0:
+            return
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"shape mismatch: features {x.shape}, labels {y.shape}"
+            )
+        pred = self._sigmoid(x @ self._weights + self._bias)
+        error = pred - y
+        grad_w = x.T @ error / x.shape[0] + self._l2 * self._weights
+        grad_b = float(error.mean())
+        self._weights -= self._lr * grad_w
+        self._bias -= self._lr * grad_b
+        self.samples_seen += x.shape[0]

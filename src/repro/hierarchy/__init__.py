@@ -1,0 +1,14 @@
+"""Multi-level cache hierarchies (Section 7 context).
+
+The paper situates quick demotion among hierarchical-cache techniques
+(exclusive caching, demotion-based placement — Wong & Wilkes, ULC,
+Karma, MQ).  This package provides an N-level hierarchy simulator with
+inclusive and exclusive modes so those interactions can be studied
+with any of the library's eviction policies at any level; the flash
+cache of :mod:`repro.flash` is the admission-focused two-level special
+case.
+"""
+
+from repro.hierarchy.multilevel import HierarchyResult, MultiLevelCache
+
+__all__ = ["HierarchyResult", "MultiLevelCache"]

@@ -1,0 +1,162 @@
+"""N-level cache hierarchy with inclusive or exclusive placement.
+
+Levels are ordered fastest (L1) to slowest (Ln); each level is any
+:class:`~repro.cache.base.EvictionPolicy`.  Two placement disciplines:
+
+* **exclusive** — an object lives in exactly one level.  L1 misses
+  that hit a lower level *promote* the object upward (removing it
+  below); objects evicted from level i are *demoted* into level i+1
+  (the victim-cache pattern); evictions from the last level leave the
+  hierarchy.  Total effective capacity is the sum of levels.
+* **inclusive** — lower levels are supersets: a miss fills every
+  level, an upper-level hit refreshes the levels below, and an
+  eviction from level i does not touch level i+1.
+
+Demotions into lower levels count toward a ``demotion_bytes`` metric —
+for a DRAM-over-flash hierarchy this is the write-endurance cost the
+paper's Fig. 9 is about.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple, Union
+
+from repro.cache.base import EvictionPolicy
+from repro.sim.request import Request
+
+
+class HierarchyResult:
+    """Aggregate and per-level statistics of one hierarchy run."""
+
+    def __init__(self, num_levels: int) -> None:
+        self.requests = 0
+        self.misses = 0
+        self.level_hits = [0] * num_levels
+        self.promotions = 0
+        self.demotions = 0
+        self.demotion_bytes = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.requests if self.requests else 0.0
+
+    def hit_ratio_at(self, level: int) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.level_hits[level] / self.requests
+
+    def __repr__(self) -> str:
+        hits = ", ".join(
+            f"L{i + 1}={h}" for i, h in enumerate(self.level_hits)
+        )
+        return (
+            f"HierarchyResult(miss_ratio={self.miss_ratio:.4f}, {hits})"
+        )
+
+
+class MultiLevelCache:
+    """A hierarchy of eviction policies with pluggable placement."""
+
+    def __init__(
+        self,
+        levels: Sequence[EvictionPolicy],
+        mode: str = "exclusive",
+    ) -> None:
+        if not levels:
+            raise ValueError("need at least one cache level")
+        if mode not in {"exclusive", "inclusive"}:
+            raise ValueError(
+                f"mode must be 'exclusive' or 'inclusive', got {mode!r}"
+            )
+        self._levels: List[EvictionPolicy] = list(levels)
+        self._mode = mode
+        self.result = HierarchyResult(len(levels))
+        # Wire demotion-on-eviction for the exclusive discipline: each
+        # level's eviction victim is inserted into the level below it
+        # (a chain of victim caches).  Promotions remove the object
+        # from the lower level with `delete` when the policy supports
+        # it; `delete` does not emit an eviction event, so promotion
+        # never triggers a spurious demotion.
+        if mode == "exclusive":
+            for i, level in enumerate(self._levels):
+                level.add_eviction_listener(self._make_demoter(i))
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> List[EvictionPolicy]:
+        return self._levels
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def _make_demoter(self, index: int):
+        def on_evict(event) -> None:
+            if index + 1 >= len(self._levels):
+                return  # evicted from the last level: leaves hierarchy
+            below = self._levels[index + 1]
+            if event.size > below.capacity:
+                return
+            self.result.demotions += 1
+            self.result.demotion_bytes += event.size
+            below.request(Request(event.key, size=event.size))
+
+        return on_evict
+
+    # ------------------------------------------------------------------
+    def request(self, key: Hashable, size: int = 1) -> bool:
+        self.result.requests += 1
+        for i, level in enumerate(self._levels):
+            if key in level:
+                level.request(Request(key, size=size))
+                self.result.level_hits[i] += 1
+                if i > 0:
+                    if self._mode == "exclusive":
+                        self._promote(key, size, from_level=i)
+                    else:
+                        self._fill_upper(key, size, up_to=i)
+                return True
+        # Full miss.
+        self.result.misses += 1
+        if self._mode == "exclusive":
+            if size <= self._levels[0].capacity:
+                self._levels[0].request(Request(key, size=size))
+        else:
+            for level in self._levels:
+                if size <= level.capacity:
+                    level.request(Request(key, size=size))
+        return False
+
+    def _promote(self, key: Hashable, size: int, from_level: int) -> None:
+        """Exclusive: move a lower-level hit up to L1."""
+        self.result.promotions += 1
+        lower = self._levels[from_level]
+        remover = getattr(lower, "delete", None)
+        if callable(remover):
+            remover(key)
+        # Policies without delete support keep a stale lower copy that
+        # ages out naturally (strict exclusivity needs delete;
+        # S3FifoRingCache provides it, the others approximate).
+        if size <= self._levels[0].capacity:
+            self._levels[0].request(Request(key, size=size))
+
+    def _fill_upper(self, key: Hashable, size: int, up_to: int) -> None:
+        """Inclusive: copy a hit into every level above it."""
+        for level in self._levels[:up_to]:
+            if size <= level.capacity:
+                level.request(Request(key, size=size))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Iterable[Union[Hashable, Tuple[Hashable, int]]],
+    ) -> HierarchyResult:
+        for item in trace:
+            if isinstance(item, tuple):
+                self.request(item[0], item[1])
+            else:
+                self.request(item)
+        return self.result
+
+    def __contains__(self, key: Hashable) -> bool:
+        return any(key in level for level in self._levels)

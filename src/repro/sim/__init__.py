@@ -1,0 +1,47 @@
+"""Trace-driven cache simulation engine.
+
+A miniature libCacheSim: streaming simulation of one policy over one
+trace (:func:`simulate`), metric helpers implementing the paper's
+miss-ratio-reduction formula (:mod:`repro.sim.metrics`), and a
+multiprocessing sweep runner standing in for the authors' distributed
+computation platform (:mod:`repro.sim.runner`).
+
+Attributes are resolved lazily (PEP 562): :mod:`repro.cache.base`
+imports :mod:`repro.sim.request` while the simulator imports the
+policy base class, and laziness breaks that cycle.
+"""
+
+from repro.sim.request import Request
+
+__all__ = [
+    "Request",
+    "SimulationResult",
+    "simulate",
+    "miss_ratio_reduction",
+    "percentile_summary",
+    "SweepJob",
+    "SweepResult",
+    "run_sweep",
+]
+
+_LAZY = {
+    "SimulationResult": "repro.sim.simulator",
+    "simulate": "repro.sim.simulator",
+    "miss_ratio_reduction": "repro.sim.metrics",
+    "percentile_summary": "repro.sim.metrics",
+    "SweepJob": "repro.sim.runner",
+    "SweepResult": "repro.sim.runner",
+    "run_sweep": "repro.sim.runner",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,69 @@
+"""Metric helpers, including the paper's miss-ratio-reduction formula.
+
+Section 5.1.2: because miss ratios span a wide range across traces,
+results are presented as the reduction relative to FIFO,
+
+    (MR_fifo - MR_algo) / MR_fifo            when the algorithm wins,
+    -(MR_algo - MR_fifo) / MR_algo           when FIFO wins,
+
+which bounds the value to [-1, 1] and avoids outliers dominating
+means.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def miss_ratio_reduction(mr_fifo: float, mr_algo: float) -> float:
+    """The paper's symmetric, bounded miss-ratio-reduction metric."""
+    if not 0.0 <= mr_fifo <= 1.0:
+        raise ValueError(f"mr_fifo must be in [0, 1], got {mr_fifo}")
+    if not 0.0 <= mr_algo <= 1.0:
+        raise ValueError(f"mr_algo must be in [0, 1], got {mr_algo}")
+    if mr_fifo == mr_algo:
+        return 0.0
+    if mr_algo < mr_fifo:
+        return (mr_fifo - mr_algo) / mr_fifo if mr_fifo > 0 else 0.0
+    return -(mr_algo - mr_fifo) / mr_algo if mr_algo > 0 else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy 'linear' method), q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def percentile_summary(
+    values: Iterable[float],
+    qs: Sequence[float] = (10, 25, 50, 75, 90),
+) -> Dict[str, float]:
+    """Mean plus the requested percentiles — one Fig. 6 box/whisker."""
+    data: List[float] = list(values)
+    if not data:
+        raise ValueError("percentile_summary of empty sequence")
+    summary = {"mean": sum(data) / len(data)}
+    for q in qs:
+        label = f"p{int(q) if float(q).is_integer() else q}"
+        summary[label] = percentile(data, q)
+    return summary
+
+
+def mean(values: Iterable[float]) -> float:
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    return sum(data) / len(data)

@@ -1,0 +1,208 @@
+"""Miss-ratio curves: exact (LRU) and sampled (any policy).
+
+Section 6.2.3 of the paper points operators who need per-workload
+parameters to "downsized simulations using spatial sampling"
+(SHARDS / miniature simulations).  This module provides both halves:
+
+* :func:`lru_mrc` — the exact LRU miss-ratio curve in one pass via
+  Mattson's stack algorithm (reuse distances with a Fenwick tree,
+  O(N log N)).
+* :func:`sampled_mrc` — SHARDS-style spatial sampling for *arbitrary*
+  policies: keep the keys whose hash falls under the sampling
+  threshold, simulate at a proportionally downsized cache, and read
+  the full-size miss ratio off the miniature simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.cache.registry import create_policy
+from repro.sim.simulator import simulate
+from repro.structures.fenwick import FenwickTree
+from repro.structures.ghost import fingerprint
+
+
+class MissRatioCurve:
+    """A (cache size -> miss ratio) curve with step interpolation."""
+
+    def __init__(self, sizes: Sequence[int], miss_ratios: Sequence[float]) -> None:
+        if len(sizes) != len(miss_ratios):
+            raise ValueError("sizes and miss_ratios must align")
+        if not sizes:
+            raise ValueError("curve must have at least one point")
+        order = sorted(range(len(sizes)), key=lambda i: sizes[i])
+        self.sizes = [sizes[i] for i in order]
+        self.miss_ratios = [miss_ratios[i] for i in order]
+
+    def at(self, size: int) -> float:
+        """Miss ratio at ``size`` (largest measured size <= requested;
+        the curve left of the first point is 1.0-ish conservative)."""
+        result = self.miss_ratios[0]
+        for s, mr in zip(self.sizes, self.miss_ratios):
+            if s <= size:
+                result = mr
+            else:
+                break
+        return result
+
+    def is_monotone(self, tolerance: float = 1e-9) -> bool:
+        """LRU curves never rise with size (no Belady anomaly)."""
+        return all(
+            self.miss_ratios[i + 1] <= self.miss_ratios[i] + tolerance
+            for i in range(len(self.miss_ratios) - 1)
+        )
+
+    def __repr__(self) -> str:
+        points = ", ".join(
+            f"{s}:{mr:.3f}" for s, mr in zip(self.sizes, self.miss_ratios)
+        )
+        return f"MissRatioCurve({points})"
+
+
+def reuse_distances(trace: Sequence[Hashable]) -> List[Optional[int]]:
+    """LRU stack distance of every request (None for first accesses).
+
+    The distance is the number of *distinct* keys touched since the
+    previous access to the same key — exactly the smallest LRU cache
+    size (in objects) at which the request hits.
+    """
+    n = len(trace)
+    if n == 0:
+        return []
+    tree = FenwickTree(n)
+    last_seen: Dict[Hashable, int] = {}
+    out: List[Optional[int]] = [None] * n
+    for i, key in enumerate(trace):
+        time = i + 1
+        prev = last_seen.get(key)
+        if prev is not None:
+            # Distinct keys touched in (prev, time): marked last-access
+            # slots in that window.
+            out[i] = tree.range_sum(prev + 1, time - 1) + 1
+            tree.add(prev, -1)
+        last_seen[key] = time
+        tree.add(time, 1)
+    return out
+
+
+def lru_mrc(
+    trace: Sequence[Hashable],
+    sizes: Optional[Sequence[int]] = None,
+) -> MissRatioCurve:
+    """Exact LRU miss-ratio curve via Mattson's algorithm."""
+    distances = reuse_distances(trace)
+    if not distances:
+        raise ValueError("cannot build an MRC from an empty trace")
+    max_distance = max((d for d in distances if d is not None), default=1)
+    if sizes is None:
+        sizes = _default_sizes(max_distance)
+    histogram: Dict[int, int] = {}
+    infinite = 0
+    for d in distances:
+        if d is None:
+            infinite += 1
+        else:
+            histogram[d] = histogram.get(d, 0) + 1
+    total = len(distances)
+    # Cumulative hits for increasing cache size.
+    sorted_dists = sorted(histogram)
+    miss_ratios = []
+    for size in sorted(sizes):
+        hits = sum(histogram[d] for d in sorted_dists if d <= size)
+        miss_ratios.append((total - hits) / total)
+    return MissRatioCurve(sorted(sizes), miss_ratios)
+
+
+def _default_sizes(max_distance: int) -> List[int]:
+    sizes = []
+    size = 1
+    while size < max_distance:
+        sizes.append(size)
+        size *= 2
+    sizes.append(max_distance)
+    return sizes
+
+
+def spatial_sample(
+    trace: Sequence[Hashable],
+    rate: float,
+    seed: int = 0,
+) -> List[Hashable]:
+    """SHARDS spatial sampling: keep keys with hash(key) mod M < M*rate.
+
+    Sampling is per-*key* (every request to a sampled key survives), so
+    reuse behaviour within the sample mirrors the full trace.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    if rate == 1.0:
+        return list(trace)
+    modulus = 1 << 24
+    threshold = int(modulus * rate)
+    salt = seed * 0x9E3779B9
+    return [
+        key
+        for key in trace
+        if (fingerprint((salt, key)) % modulus) < threshold
+    ]
+
+
+def sampled_mrc(
+    policy: str,
+    trace: Sequence[Hashable],
+    sizes: Sequence[int],
+    rate: float = 0.1,
+    seed: int = 0,
+    ensembles: int = 1,
+    **policy_kwargs,
+) -> MissRatioCurve:
+    """Downsized-simulation MRC for an arbitrary policy.
+
+    Each requested cache ``size`` is simulated on a spatial sample at
+    ``max(1, size * rate)`` capacity; the measured miss ratio estimates
+    the full-trace miss ratio at ``size`` (SHARDS' fixed-rate variant).
+
+    A single sample is an unbiased but *noisy* estimator on skewed
+    workloads: whether the few hottest keys land in the sample moves
+    the whole curve (the hot-key lottery).  ``ensembles > 1`` draws
+    several independent samples and aggregates misses over requests
+    (ratio of sums), which is how SHARDS-style mini-simulations are
+    deployed in practice.
+    """
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    if ensembles < 1:
+        raise ValueError(f"ensembles must be >= 1, got {ensembles}")
+    samples = []
+    for i in range(ensembles):
+        sample = spatial_sample(trace, rate, seed=seed + i)
+        if sample:
+            samples.append(sample)
+    if not samples:
+        raise ValueError(
+            f"sampling rate {rate} produced an empty trace; raise the rate"
+        )
+    miss_ratios = []
+    for size in sorted(sizes):
+        scaled = max(1, int(size * rate))
+        misses = 0
+        requests = 0
+        for sample in samples:
+            cache = create_policy(policy, capacity=scaled, **policy_kwargs)
+            result = simulate(cache, sample)
+            misses += result.misses
+            requests += result.requests
+        miss_ratios.append(misses / requests if requests else 0.0)
+    return MissRatioCurve(sorted(sizes), miss_ratios)
+
+
+def mrc_error(
+    estimate: MissRatioCurve, reference: MissRatioCurve
+) -> float:
+    """Mean absolute error between two curves at the estimate's sizes."""
+    errors = [
+        abs(estimate.at(size) - reference.at(size))
+        for size in estimate.sizes
+    ]
+    return sum(errors) / len(errors)

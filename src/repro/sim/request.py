@@ -1,0 +1,60 @@
+"""The request model shared by all policies and the simulator."""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+
+class Request:
+    """A single cache request.
+
+    Attributes
+    ----------
+    key:
+        Object identifier (any hashable).
+    size:
+        Object size in the simulation's units.  The paper's main
+        evaluation ignores sizes (slab storage), which corresponds to
+        ``size=1``; the byte-miss-ratio evaluation passes real sizes.
+    time:
+        Logical timestamp (request sequence number).  Filled in by the
+        simulator; policies may also maintain their own clock.
+    next_access:
+        Logical time of the *next* request to the same key, or ``None``
+        when the key never recurs.  Only populated when a trace has been
+        annotated for offline policies (Belady).
+    """
+
+    __slots__ = ("key", "size", "time", "next_access")
+
+    def __init__(
+        self,
+        key: Hashable,
+        size: int = 1,
+        time: int = 0,
+        next_access: Optional[int] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"request size must be positive, got {size}")
+        self.key = key
+        self.size = size
+        self.time = time
+        self.next_access = next_access
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(key={self.key!r}, size={self.size}, time={self.time})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.size == other.size
+            and self.time == other.time
+            and self.next_access == other.next_access
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.size, self.time, self.next_access))

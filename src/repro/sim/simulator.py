@@ -1,0 +1,155 @@
+"""Streaming trace simulation of a single policy."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.cache.base import EvictionPolicy
+from repro.sim.request import Request
+
+
+class SimulationResult:
+    """Outcome of one (policy, trace, cache size) simulation."""
+
+    __slots__ = (
+        "policy_name",
+        "capacity",
+        "requests",
+        "misses",
+        "bytes_requested",
+        "bytes_missed",
+        "evictions",
+        "warmup_requests",
+    )
+
+    def __init__(
+        self,
+        policy_name: str,
+        capacity: int,
+        requests: int,
+        misses: int,
+        bytes_requested: int,
+        bytes_missed: int,
+        evictions: int,
+        warmup_requests: int = 0,
+    ) -> None:
+        self.policy_name = policy_name
+        self.capacity = capacity
+        self.requests = requests
+        self.misses = misses
+        self.bytes_requested = bytes_requested
+        self.bytes_missed = bytes_missed
+        self.evictions = evictions
+        self.warmup_requests = warmup_requests
+
+    @property
+    def hits(self) -> int:
+        return self.requests - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_missed / self.bytes_requested
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.policy_name}, capacity={self.capacity}, "
+            f"miss_ratio={self.miss_ratio:.4f})"
+        )
+
+
+def simulate(
+    policy: EvictionPolicy,
+    trace: Iterable[Union[Request, tuple, str, int]],
+    warmup: float = 0.0,
+    warmup_requests: Optional[int] = None,
+) -> SimulationResult:
+    """Run ``policy`` over ``trace`` and return the measured miss ratios.
+
+    ``trace`` may yield :class:`Request` objects, bare keys, or
+    ``(key, size)`` tuples.  With ``warmup`` (fraction of the trace) or
+    ``warmup_requests`` set, hits/misses during the warmup prefix are
+    excluded from the reported counts, the standard methodology for
+    steady-state miss ratios.  Fractional warmup requires a sized
+    trace (list/tuple).
+    """
+
+    if warmup and warmup_requests is None:
+        if not hasattr(trace, "__len__"):
+            raise ValueError("fractional warmup requires a sized trace")
+        if not 0.0 <= warmup < 1.0:
+            raise ValueError(f"warmup must be in [0, 1), got {warmup}")
+        warmup_requests = int(len(trace) * warmup)  # type: ignore[arg-type]
+    warmup_requests = warmup_requests or 0
+
+    requests = 0
+    misses = 0
+    bytes_requested = 0
+    bytes_missed = 0
+    seen = 0
+    for item in trace:
+        if isinstance(item, Request):
+            req = item
+        elif isinstance(item, tuple):
+            req = Request(item[0], size=item[1])
+        else:
+            req = Request(item)
+        hit = policy.request(req)
+        seen += 1
+        if seen <= warmup_requests:
+            continue
+        requests += 1
+        bytes_requested += req.size
+        if not hit:
+            misses += 1
+            bytes_missed += req.size
+    return SimulationResult(
+        policy_name=policy.name,
+        capacity=policy.capacity,
+        requests=requests,
+        misses=misses,
+        bytes_requested=bytes_requested,
+        bytes_missed=bytes_missed,
+        evictions=policy.stats.evictions,
+        warmup_requests=warmup_requests,
+    )
+
+
+def windowed_miss_ratios(
+    policy: EvictionPolicy,
+    trace: Iterable[Union[Request, tuple, str, int]],
+    window: int,
+) -> List[float]:
+    """Miss ratio per consecutive window of ``window`` requests.
+
+    Useful for watching warmup converge and for spotting phase changes
+    (scans show up as miss-ratio spikes).  The trailing partial window
+    is included when non-empty.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    ratios: List[float] = []
+    misses = 0
+    count = 0
+    for item in trace:
+        if isinstance(item, Request):
+            req = item
+        elif isinstance(item, tuple):
+            req = Request(item[0], size=item[1])
+        else:
+            req = Request(item)
+        if not policy.request(req):
+            misses += 1
+        count += 1
+        if count == window:
+            ratios.append(misses / count)
+            misses = 0
+            count = 0
+    if count:
+        ratios.append(misses / count)
+    return ratios

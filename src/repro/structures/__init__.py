@@ -1,0 +1,24 @@
+"""Substrate data structures used by the cache policies.
+
+These are the building blocks the paper's implementation relies on
+(Section 4.2): intrusive doubly-linked lists, ring-buffer FIFO queues,
+a fingerprint bucket-hash ghost table, Bloom filters, and a count-min
+sketch.  They are deliberately dependency-free and usable on their own.
+"""
+
+from repro.structures.bloom import BloomFilter, CountingBloomFilter
+from repro.structures.cms import CountMinSketch
+from repro.structures.dlist import DList, DListNode
+from repro.structures.fifo_queue import RingBufferFifo
+from repro.structures.ghost import GhostCache, GhostFifo
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "CountMinSketch",
+    "DList",
+    "DListNode",
+    "RingBufferFifo",
+    "GhostCache",
+    "GhostFifo",
+]

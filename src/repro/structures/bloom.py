@@ -1,0 +1,128 @@
+"""Bloom filters.
+
+B-LRU (Bloom-filter LRU, Section 5.2) admits an object only on its
+second request: the first request inserts the key into a Bloom filter
+and is rejected.  CDN admission policies (Section 3.2) use the same
+trick.  The counting variant supports deletion and is the substrate for
+window-based flash-admission baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Tuple
+
+
+def _optimal_params(expected_items: int, fp_rate: float) -> Tuple[int, int]:
+    """Return (number of bits, number of hashes) for the target rate."""
+    if expected_items <= 0:
+        raise ValueError(f"expected_items must be positive, got {expected_items}")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    nbits = max(8, int(-expected_items * math.log(fp_rate) / (math.log(2) ** 2)))
+    nhashes = max(1, round(nbits / expected_items * math.log(2)))
+    return nbits, nhashes
+
+
+def _indexes(key: Hashable, nhashes: int, nbits: int) -> List[int]:
+    """Double hashing (Kirsch–Mitzenmacher): h1 + i*h2 mod m."""
+    h = hash(key)
+    h1 = h & 0xFFFFFFFF
+    h2 = (h >> 32) | 1  # force odd so the stride never degenerates
+    return [(h1 + i * h2) % nbits for i in range(nhashes)]
+
+
+class BloomFilter:
+    """A standard Bloom filter with double hashing."""
+
+    __slots__ = ("_bits", "_nbits", "_nhashes", "_count")
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        self._nbits, self._nhashes = _optimal_params(expected_items, fp_rate)
+        self._bits = bytearray((self._nbits + 7) // 8)
+        self._count = 0
+
+    @property
+    def num_bits(self) -> int:
+        return self._nbits
+
+    @property
+    def num_hashes(self) -> int:
+        return self._nhashes
+
+    @property
+    def count(self) -> int:
+        """Number of ``add`` calls for keys not already (apparently) present."""
+        return self._count
+
+    def add(self, key: Hashable) -> bool:
+        """Insert ``key``; returns True if it was (apparently) new."""
+        new = False
+        for idx in _indexes(key, self._nhashes, self._nbits):
+            byte, bit = divmod(idx, 8)
+            if not self._bits[byte] & (1 << bit):
+                new = True
+                self._bits[byte] |= 1 << bit
+        if new:
+            self._count += 1
+        return new
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all(
+            self._bits[idx // 8] & (1 << (idx % 8))
+            for idx in _indexes(key, self._nhashes, self._nbits)
+        )
+
+    def clear(self) -> None:
+        self._bits = bytearray(len(self._bits))
+        self._count = 0
+
+    def estimated_fp_rate(self) -> float:
+        """Current false-positive probability given the fill level."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        fill = set_bits / self._nbits
+        return fill**self._nhashes
+
+
+class CountingBloomFilter:
+    """Bloom filter with 4-bit-style counters, supporting removal.
+
+    Counters saturate at ``cap`` and never go negative; ``remove`` on an
+    absent key is a no-op on saturated counters (the standard caveat).
+    """
+
+    __slots__ = ("_counters", "_nbits", "_nhashes", "_cap")
+
+    def __init__(
+        self, expected_items: int, fp_rate: float = 0.01, cap: int = 15
+    ) -> None:
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap}")
+        self._nbits, self._nhashes = _optimal_params(expected_items, fp_rate)
+        self._counters = bytearray(self._nbits)
+        self._cap = cap
+
+    def add(self, key: Hashable) -> None:
+        for idx in _indexes(key, self._nhashes, self._nbits):
+            if self._counters[idx] < self._cap:
+                self._counters[idx] += 1
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self:
+            return
+        for idx in _indexes(key, self._nhashes, self._nbits):
+            if 0 < self._counters[idx] < self._cap:
+                self._counters[idx] -= 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all(
+            self._counters[idx] > 0
+            for idx in _indexes(key, self._nhashes, self._nbits)
+        )
+
+    def estimate(self, key: Hashable) -> int:
+        """Minimum counter value across the key's slots (CM-style)."""
+        return min(
+            self._counters[idx]
+            for idx in _indexes(key, self._nhashes, self._nbits)
+        )

@@ -1,0 +1,104 @@
+"""Count-min sketch with periodic aging, the TinyLFU frequency oracle.
+
+TinyLFU (Section 5.2) estimates object popularity with a count-min
+sketch whose counters are halved every *sample window* so the estimate
+tracks recent popularity.  Counters are capped (4 bits in the original
+paper) which also bounds the error introduced by halving.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+
+class CountMinSketch:
+    """Conservative count-min sketch with halving-based aging.
+
+    Parameters
+    ----------
+    width:
+        Counters per row.  The original TinyLFU sizes this at roughly
+        the cache's object capacity.
+    depth:
+        Number of rows (independent hash functions).
+    cap:
+        Saturation value per counter (15 for 4-bit counters).
+    sample_size:
+        After this many increments all counters are halved ("reset" /
+        aging), keeping the sketch fresh.  ``0`` disables aging.
+    """
+
+    __slots__ = ("_width", "_depth", "_cap", "_sample", "_rows", "_increments")
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 4,
+        cap: int = 15,
+        sample_size: int = 0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap}")
+        if sample_size < 0:
+            raise ValueError(f"sample_size must be >= 0, got {sample_size}")
+        self._width = width
+        self._depth = depth
+        self._cap = cap
+        self._sample = sample_size
+        self._rows: List[bytearray] = [bytearray(width) for _ in range(depth)]
+        self._increments = 0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def increments(self) -> int:
+        """Increments since the last aging event."""
+        return self._increments
+
+    def _slots(self, key: Hashable) -> List[int]:
+        h = hash(key)
+        h1 = h & 0xFFFFFFFF
+        h2 = (h >> 32) | 1
+        return [(h1 + i * h2) % self._width for i in range(self._depth)]
+
+    def add(self, key: Hashable) -> None:
+        """Increment the key's counters (conservative update)."""
+        slots = self._slots(key)
+        current = min(self._rows[i][s] for i, s in enumerate(slots))
+        if current < self._cap:
+            for i, s in enumerate(slots):
+                if self._rows[i][s] == current:
+                    self._rows[i][s] += 1
+        self._increments += 1
+        if self._sample and self._increments >= self._sample:
+            self._age()
+
+    def estimate(self, key: Hashable) -> int:
+        """Estimated frequency of ``key`` (never underestimates between
+        aging events)."""
+        return min(
+            self._rows[i][s] for i, s in enumerate(self._slots(key))
+        )
+
+    def _age(self) -> None:
+        """Halve all counters (TinyLFU's reset operation)."""
+        for row in self._rows:
+            for i, value in enumerate(row):
+                row[i] = value >> 1
+        self._increments = 0
+
+    def clear(self) -> None:
+        for row in self._rows:
+            for i in range(self._width):
+                row[i] = 0
+        self._increments = 0

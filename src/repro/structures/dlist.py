@@ -1,0 +1,160 @@
+"""Intrusive doubly-linked list.
+
+The classic substrate for LRU-family policies.  The list owns sentinel
+head/tail nodes so that insertion and unlinking never special-case the
+ends.  Nodes are exposed to callers, which keep a ``dict`` from key to
+node for O(1) lookup — the same layout as production caches such as
+Memcached and Cachelib (two pointers per object, Section 2.2 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class DListNode:
+    """A node of :class:`DList` carrying an arbitrary payload."""
+
+    __slots__ = ("prev", "next", "data", "_list")
+
+    def __init__(self, data: Any = None) -> None:
+        self.prev: Optional[DListNode] = None
+        self.next: Optional[DListNode] = None
+        self.data = data
+        self._list: Optional[DList] = None
+
+    @property
+    def linked(self) -> bool:
+        """Whether this node is currently part of a list."""
+        return self._list is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DListNode({self.data!r})"
+
+
+class DList:
+    """Doubly-linked list with O(1) head/tail insertion and unlinking.
+
+    The *head* is the most-recently inserted end (MRU for an LRU queue)
+    and the *tail* is the eviction end.
+    """
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(self) -> None:
+        # Sentinels: _head.next is the first real node, _tail.prev the last.
+        self._head = DListNode()
+        self._tail = DListNode()
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def head(self) -> Optional[DListNode]:
+        """The node at the head (most recently inserted), or ``None``."""
+        node = self._head.next
+        return node if node is not self._tail else None
+
+    @property
+    def tail(self) -> Optional[DListNode]:
+        """The node at the tail (next eviction candidate), or ``None``."""
+        node = self._tail.prev
+        return node if node is not self._head else None
+
+    def push_head(self, node: DListNode) -> DListNode:
+        """Insert ``node`` at the head.  The node must not be linked."""
+        if node.linked:
+            raise ValueError("node is already linked to a list")
+        first = self._head.next
+        assert first is not None
+        node.prev = self._head
+        node.next = first
+        self._head.next = node
+        first.prev = node
+        node._list = self
+        self._size += 1
+        return node
+
+    def push_tail(self, node: DListNode) -> DListNode:
+        """Insert ``node`` at the tail.  The node must not be linked."""
+        if node.linked:
+            raise ValueError("node is already linked to a list")
+        last = self._tail.prev
+        assert last is not None
+        node.next = self._tail
+        node.prev = last
+        self._tail.prev = node
+        last.next = node
+        node._list = self
+        self._size += 1
+        return node
+
+    def unlink(self, node: DListNode) -> DListNode:
+        """Remove ``node`` from this list and return it."""
+        if node._list is not self:
+            raise ValueError("node is not linked to this list")
+        prev, nxt = node.prev, node.next
+        assert prev is not None and nxt is not None
+        prev.next = nxt
+        nxt.prev = prev
+        node.prev = node.next = None
+        node._list = None
+        self._size -= 1
+        return node
+
+    def move_to_head(self, node: DListNode) -> DListNode:
+        """Unlink ``node`` and reinsert it at the head (LRU promotion)."""
+        self.unlink(node)
+        return self.push_head(node)
+
+    def move_to_tail(self, node: DListNode) -> DListNode:
+        """Unlink ``node`` and reinsert it at the tail."""
+        self.unlink(node)
+        return self.push_tail(node)
+
+    def pop_tail(self) -> Optional[DListNode]:
+        """Remove and return the tail node, or ``None`` when empty."""
+        node = self.tail
+        if node is None:
+            return None
+        return self.unlink(node)
+
+    def pop_head(self) -> Optional[DListNode]:
+        """Remove and return the head node, or ``None`` when empty."""
+        node = self.head
+        if node is None:
+            return None
+        return self.unlink(node)
+
+    def __iter__(self) -> Iterator[DListNode]:
+        """Iterate nodes from head to tail.
+
+        Unlinking the *current* node while iterating is safe; unlinking
+        other nodes is not.
+        """
+        node = self._head.next
+        while node is not self._tail:
+            assert node is not None
+            nxt = node.next
+            yield node
+            node = nxt
+
+    def iter_from_tail(self) -> Iterator[DListNode]:
+        """Iterate nodes from tail to head (eviction-scan order)."""
+        node = self._tail.prev
+        while node is not self._head:
+            assert node is not None
+            prev = node.prev
+            yield node
+            node = prev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        items = ", ".join(repr(n.data) for n in self)
+        return f"DList([{items}])"

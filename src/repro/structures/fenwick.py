@@ -1,0 +1,53 @@
+"""Fenwick (binary indexed) tree — the reuse-distance substrate.
+
+Computing LRU stack distances needs "how many *distinct* keys were
+touched since this key's previous access", which is a prefix-sum over
+a 0/1 array indexed by time with point updates.  A Fenwick tree gives
+both operations in O(log n), making exact miss-ratio-curve
+construction O(N log N) (Mattson via last-access marking).
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """1-indexed Fenwick tree over integers."""
+
+    __slots__ = ("_tree", "_size")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Add ``delta`` at ``index`` (1-based)."""
+        if not 1 <= index <= self._size:
+            raise IndexError(f"index {index} out of range 1..{self._size}")
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of values in [1, index]; 0 when index <= 0."""
+        if index > self._size:
+            index = self._size
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of values in [lo, hi] (inclusive, 1-based)."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+    def total(self) -> int:
+        return self.prefix_sum(self._size)

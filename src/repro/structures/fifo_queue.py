@@ -1,0 +1,123 @@
+"""Ring-buffer FIFO queue.
+
+Section 4.2 of the paper contrasts linked-list and ring-buffer
+implementations of FIFO queues: the ring buffer avoids the two
+per-object pointers and supports lock-free head/tail bumping.  This
+module provides a capacity-checked ring buffer with the same
+semantics, including *tombstoning* of deleted slots — the paper notes
+deleted objects waste space until the tail pointer passes them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+_TOMBSTONE = object()
+
+
+class RingBufferFifo:
+    """Fixed-capacity FIFO queue backed by a circular array.
+
+    ``push`` appends at the head; ``pop`` removes the oldest item.
+    ``delete`` tombstones an arbitrary slot: the slot keeps consuming a
+    position until the tail pointer reaches it, mirroring the space
+    behaviour Section 4.2 describes for ring-buffer caches.
+    """
+
+    __slots__ = ("_buf", "_capacity", "_head", "_tail", "_live", "_occupied")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._buf: List[Any] = [None] * capacity
+        self._head = 0  # next slot to write
+        self._tail = 0  # oldest occupied slot
+        self._live = 0  # items excluding tombstones
+        self._occupied = 0  # items including tombstones
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        """Number of live (non-deleted) items."""
+        return self._live
+
+    @property
+    def slots_used(self) -> int:
+        """Number of occupied slots, including tombstones."""
+        return self._occupied
+
+    @property
+    def full(self) -> bool:
+        return self._occupied == self._capacity
+
+    def push(self, item: Any) -> int:
+        """Append ``item``; returns its slot index.
+
+        Raises :class:`OverflowError` when no slot is free — the caller
+        must pop (evict) first, exactly as a cache would.
+        """
+        if item is None:
+            raise ValueError("cannot store None in RingBufferFifo")
+        if self.full:
+            raise OverflowError("ring buffer is full")
+        slot = self._head
+        self._buf[slot] = item
+        self._head = (self._head + 1) % self._capacity
+        self._live += 1
+        self._occupied += 1
+        return slot
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the oldest live item (skipping tombstones).
+
+        Returns ``None`` when the queue holds no live items.  Tombstoned
+        slots encountered on the way are reclaimed.
+        """
+        while self._occupied > 0:
+            item = self._buf[self._tail]
+            self._buf[self._tail] = None
+            self._tail = (self._tail + 1) % self._capacity
+            self._occupied -= 1
+            if item is _TOMBSTONE:
+                continue
+            self._live -= 1
+            return item
+        return None
+
+    def peek(self) -> Optional[Any]:
+        """Return the oldest live item without removing it."""
+        idx = self._tail
+        remaining = self._occupied
+        while remaining > 0:
+            item = self._buf[idx]
+            if item is not _TOMBSTONE:
+                return item
+            idx = (idx + 1) % self._capacity
+            remaining -= 1
+        return None
+
+    def delete(self, slot: int) -> None:
+        """Tombstone ``slot``.  The slot is reclaimed only when the tail
+        pointer passes it (see Section 4.2 on deletions)."""
+        if not 0 <= slot < self._capacity:
+            raise IndexError(f"slot {slot} out of range")
+        item = self._buf[slot]
+        if item is None or item is _TOMBSTONE:
+            raise KeyError(f"slot {slot} holds no live item")
+        self._buf[slot] = _TOMBSTONE
+        self._live -= 1
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate live items from oldest to newest."""
+        idx = self._tail
+        for _ in range(self._occupied):
+            item = self._buf[idx]
+            if item is not None and item is not _TOMBSTONE:
+                yield item
+            idx = (idx + 1) % self._capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RingBufferFifo(capacity={self._capacity}, live={self._live})"

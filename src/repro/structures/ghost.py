@@ -1,0 +1,199 @@
+"""Ghost queues: FIFO histories of evicted keys (no data).
+
+The paper's ghost queue :math:`\\mathcal{G}` remembers the keys of
+objects recently evicted from the small queue so that their *second*
+insertion goes straight to the main queue.
+
+Two implementations are provided:
+
+* :class:`GhostFifo` — the straightforward dict+deque version used by
+  most policies in this library.
+* :class:`GhostCache` — the bucket-hash fingerprint table described in
+  Section 4.2: each entry stores a 4-byte hash of the key and the
+  logical insertion time; entries older than the queue length are
+  treated as absent, and stale slots are reclaimed lazily on collision.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+
+class GhostFifo:
+    """A FIFO set of keys with a fixed capacity.
+
+    ``add`` inserts a key (moving it to the newest position if already
+    present); once more than ``capacity`` keys are held, the oldest is
+    dropped.  Membership is O(1).
+    """
+
+    __slots__ = ("_capacity", "_queue", "_present")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._queue: Deque[Hashable] = deque()
+        # Maps key -> number of live occurrences in the deque.  Re-adding
+        # a key enqueues it again rather than relocating (FIFO semantics);
+        # stale duplicates are skipped when they reach the front.
+        self._present: Dict[Hashable, int] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the ghost window (evicting oldest entries if shrunk).
+
+        S3-FIFO sizes its ghost at "as many entries as M holds
+        objects"; for byte-capacity caches that object count changes
+        over time, so the ghost tracks it dynamically.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        while len(self._present) > self._capacity:
+            self._evict_oldest()
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._present
+
+    def add(self, key: Hashable) -> None:
+        """Insert ``key`` at the ghost queue head."""
+        if self._capacity == 0:
+            return
+        self._queue.append(key)
+        self._present[key] = self._present.get(key, 0) + 1
+        while len(self._present) > self._capacity:
+            self._evict_oldest()
+
+    def remove(self, key: Hashable) -> bool:
+        """Forget ``key`` (e.g. when it is re-admitted to the cache).
+
+        Returns whether the key was present.  Its queue slots become
+        stale and are skipped during future evictions.
+        """
+        if key not in self._present:
+            return False
+        del self._present[key]
+        return True
+
+    def _evict_oldest(self) -> None:
+        while self._queue:
+            key = self._queue.popleft()
+            count = self._present.get(key)
+            if count is None:
+                continue  # stale slot of a removed key
+            if count > 1:
+                self._present[key] = count - 1
+                continue  # a newer occurrence exists
+            del self._present[key]
+            return
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self._present.clear()
+
+
+def fingerprint(key: Hashable, bits: int = 32) -> int:
+    """A stable ``bits``-bit fingerprint of ``key`` (4 bytes by default,
+    as in Section 4.2)."""
+    return hash(key) & ((1 << bits) - 1)
+
+
+class GhostCache:
+    """Bucket-based hash table of (fingerprint, insertion-time) pairs.
+
+    This mirrors the implementation sketch in Section 4.2: the ghost
+    queue is folded into the index.  An entry is *in* the ghost queue if
+    its insertion timestamp is within the last ``capacity`` insertions;
+    expired entries are only physically removed when their slot is
+    needed (lazy reclamation on hash collision).
+
+    Fingerprints may collide (4 bytes), exactly as in the real system;
+    the false-positive probability is negligible at cache scale.
+    """
+
+    __slots__ = ("_capacity", "_buckets", "_nbuckets", "_bucket_size", "_insertions")
+
+    def __init__(self, capacity: int, bucket_size: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        self._capacity = capacity
+        self._bucket_size = bucket_size
+        # Enough buckets to hold `capacity` entries at ~50% occupancy.
+        self._nbuckets = max(1, (2 * capacity + bucket_size - 1) // bucket_size)
+        self._buckets: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self._nbuckets)
+        ]
+        self._insertions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def insertions(self) -> int:
+        """Total number of insertions ever performed (the logical clock)."""
+        return self._insertions
+
+    def _bucket_of(self, fp: int) -> List[Tuple[int, int]]:
+        return self._buckets[fp % self._nbuckets]
+
+    def _expired(self, inserted_at: int) -> bool:
+        return self._insertions - inserted_at > self._capacity
+
+    def add(self, key: Hashable) -> None:
+        """Record ``key`` as freshly evicted."""
+        fp = fingerprint(key)
+        self._insertions += 1
+        bucket = self._bucket_of(fp)
+        for i, (entry_fp, _) in enumerate(bucket):
+            if entry_fp == fp:
+                bucket[i] = (fp, self._insertions)
+                return
+        if len(bucket) >= self._bucket_size:
+            # Lazy reclamation: drop expired entries; if none, drop oldest.
+            bucket[:] = [e for e in bucket if not self._expired(e[1])]
+            if len(bucket) >= self._bucket_size:
+                oldest = min(range(len(bucket)), key=lambda i: bucket[i][1])
+                bucket.pop(oldest)
+        bucket.append((fp, self._insertions))
+
+    def __contains__(self, key: Hashable) -> bool:
+        fp = fingerprint(key)
+        for entry_fp, inserted_at in self._bucket_of(fp):
+            if entry_fp == fp:
+                return not self._expired(inserted_at)
+        return False
+
+    def remove(self, key: Hashable) -> bool:
+        """Forget ``key``; returns whether a live entry was present."""
+        fp = fingerprint(key)
+        bucket = self._bucket_of(fp)
+        for i, (entry_fp, inserted_at) in enumerate(bucket):
+            if entry_fp == fp:
+                bucket.pop(i)
+                return not self._expired(inserted_at)
+        return False
+
+    def __len__(self) -> int:
+        """Number of live (non-expired) entries.  O(table size)."""
+        return sum(
+            1
+            for bucket in self._buckets
+            for (_, t) in bucket
+            if not self._expired(t)
+        )
+
+    def load_factor(self) -> float:
+        """Physical occupancy of the table including stale entries."""
+        total = sum(len(b) for b in self._buckets)
+        return total / (self._nbuckets * self._bucket_size)

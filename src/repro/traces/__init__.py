@@ -1,0 +1,65 @@
+"""Workload generation, dataset stand-ins, trace analysis, and trace I/O."""
+
+from repro.traces.analysis import (
+    annotate_next_access,
+    frequency_at_eviction,
+    one_hit_wonder_curve,
+    one_hit_wonder_ratio,
+    subsequence_one_hit_wonder_ratio,
+    unique_objects,
+)
+from repro.traces.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    generate_dataset_trace,
+    make_dataset_jobs,
+)
+from repro.traces.multitenant import (
+    multitenant_trace,
+    shared_vs_partitioned,
+    split_by_tenant,
+)
+from repro.traces.stats import (
+    estimate_zipf_alpha,
+    reuse_distance_histogram,
+    working_set_curve,
+)
+from repro.traces.synthetic import (
+    loop_trace,
+    mixed_trace,
+    scan_trace,
+    two_access_trace,
+    zipf_sizes,
+    zipf_trace,
+    zipf_with_churn,
+    zipf_with_scans,
+)
+
+__all__ = [
+    "annotate_next_access",
+    "frequency_at_eviction",
+    "one_hit_wonder_curve",
+    "one_hit_wonder_ratio",
+    "subsequence_one_hit_wonder_ratio",
+    "unique_objects",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "generate_dataset_trace",
+    "make_dataset_jobs",
+    "multitenant_trace",
+    "shared_vs_partitioned",
+    "split_by_tenant",
+    "estimate_zipf_alpha",
+    "reuse_distance_histogram",
+    "working_set_curve",
+    "loop_trace",
+    "mixed_trace",
+    "scan_trace",
+    "two_access_trace",
+    "zipf_sizes",
+    "zipf_trace",
+    "zipf_with_churn",
+    "zipf_with_scans",
+]

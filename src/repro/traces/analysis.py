@@ -1,0 +1,144 @@
+"""Trace analysis: one-hit wonders, next-access annotation, evictions.
+
+These functions reproduce the Section 3 methodology:
+
+* the one-hit-wonder ratio of a full trace and of random
+  subsequences containing a given fraction of the trace's objects
+  (Figs. 1–3), and
+* the frequency-of-objects-at-eviction distribution (Fig. 4), which
+  needs the next-access annotation that also powers Belady.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cache.base import EvictionPolicy
+from repro.sim.request import Request
+
+TraceItem = Union[Hashable, Tuple[Hashable, int]]
+
+
+def _keys_of(trace: Sequence[TraceItem]) -> List[Hashable]:
+    if trace and isinstance(trace[0], tuple):
+        return [item[0] for item in trace]  # type: ignore[index]
+    return list(trace)  # type: ignore[arg-type]
+
+
+def unique_objects(trace: Sequence[TraceItem]) -> int:
+    """Number of distinct objects in the trace (its footprint)."""
+    return len(set(_keys_of(trace)))
+
+
+def one_hit_wonder_ratio(trace: Sequence[TraceItem]) -> float:
+    """Fraction of objects requested exactly once in the whole trace."""
+    counts = Counter(_keys_of(trace))
+    if not counts:
+        return 0.0
+    singles = sum(1 for c in counts.values() if c == 1)
+    return singles / len(counts)
+
+
+def subsequence_one_hit_wonder_ratio(
+    trace: Sequence[TraceItem],
+    object_fraction: float,
+    num_samples: int = 10,
+    seed: int = 0,
+) -> float:
+    """Mean one-hit-wonder ratio of random subsequences that contain
+    ``object_fraction`` of the trace's unique objects (Section 3.1).
+
+    Each sample starts at a uniformly random request and extends until
+    the required number of distinct objects has been observed (or the
+    trace ends).
+    """
+    if not 0.0 < object_fraction <= 1.0:
+        raise ValueError(
+            f"object_fraction must be in (0, 1], got {object_fraction}"
+        )
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    keys = _keys_of(trace)
+    if not keys:
+        return 0.0
+    total_unique = len(set(keys))
+    target = max(1, int(total_unique * object_fraction))
+    if target >= total_unique:
+        return one_hit_wonder_ratio(keys)
+    rng = np.random.default_rng(seed)
+    ratios: List[float] = []
+    for _ in range(num_samples):
+        start = int(rng.integers(0, len(keys)))
+        counts: Counter = Counter()
+        i = start
+        while i < len(keys) and len(counts) < target:
+            counts[keys[i]] += 1
+            i += 1
+        if not counts:
+            continue
+        singles = sum(1 for c in counts.values() if c == 1)
+        ratios.append(singles / len(counts))
+    return float(np.mean(ratios)) if ratios else 0.0
+
+
+def one_hit_wonder_curve(
+    trace: Sequence[TraceItem],
+    fractions: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+    num_samples: int = 10,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """(fraction, one-hit-wonder ratio) points — one Fig. 2 curve."""
+    return [
+        (
+            frac,
+            subsequence_one_hit_wonder_ratio(
+                trace, frac, num_samples=num_samples, seed=seed
+            ),
+        )
+        for frac in fractions
+    ]
+
+
+def annotate_next_access(trace: Sequence[TraceItem]) -> List[Request]:
+    """Build :class:`Request` objects with ``next_access`` filled in.
+
+    Times are 1-based request sequence numbers; an object's last
+    request has ``next_access=None``.  This is the input Belady
+    requires.
+    """
+    items: List[Tuple[Hashable, int]] = []
+    for item in trace:
+        if isinstance(item, tuple):
+            items.append((item[0], item[1]))
+        else:
+            items.append((item, 1))
+    next_seen: Dict[Hashable, int] = {}
+    annotated: List[Optional[Request]] = [None] * len(items)
+    for i in range(len(items) - 1, -1, -1):
+        key, size = items[i]
+        time = i + 1
+        annotated[i] = Request(
+            key, size=size, time=time, next_access=next_seen.get(key)
+        )
+        next_seen[key] = time
+    return annotated  # type: ignore[return-value]
+
+
+def frequency_at_eviction(
+    policy: EvictionPolicy,
+    trace: Iterable[Request],
+) -> Counter:
+    """Run ``policy`` over ``trace``; histogram of per-object access
+    counts (after insertion) at eviction time (Fig. 4).
+
+    A count of 0 means the object was never requested again after
+    insertion — a one-hit wonder at eviction.
+    """
+    histogram: Counter = Counter()
+    policy.add_eviction_listener(lambda event: histogram.update([event.freq]))
+    for req in trace:
+        policy.request(req)
+    return histogram

@@ -1,0 +1,118 @@
+"""Workload characterization statistics.
+
+The paper's Section 3 analysis rests on workload properties: Zipf-like
+popularity (skew), reuse distances, and footprint growth.  This module
+provides the estimators used to sanity-check the synthetic dataset
+stand-ins against their targets and to characterize user traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.mrc import reuse_distances
+
+
+def popularity_counts(trace: Sequence[Hashable]) -> List[int]:
+    """Access counts sorted descending (the rank-frequency profile)."""
+    return sorted(Counter(trace).values(), reverse=True)
+
+
+def estimate_zipf_alpha(
+    trace: Sequence[Hashable],
+    head_fraction: float = 0.5,
+) -> float:
+    """Estimate Zipf skew by least-squares on log(rank)-log(count).
+
+    Only the head of the rank-frequency curve is fitted (default: the
+    most popular half of objects with >= 2 accesses) because the tail
+    of finite traces is truncated by sampling noise.
+    """
+    if not 0.0 < head_fraction <= 1.0:
+        raise ValueError(
+            f"head_fraction must be in (0, 1], got {head_fraction}"
+        )
+    counts = [c for c in popularity_counts(trace) if c >= 2]
+    if len(counts) < 10:
+        raise ValueError("trace too small to estimate skew")
+    head = counts[: max(10, int(len(counts) * head_fraction))]
+    ranks = np.arange(1, len(head) + 1, dtype=np.float64)
+    log_rank = np.log(ranks)
+    log_count = np.log(np.asarray(head, dtype=np.float64))
+    slope, _ = np.polyfit(log_rank, log_count, 1)
+    return float(-slope)
+
+
+def reuse_distance_histogram(
+    trace: Sequence[Hashable],
+    num_buckets: int = 32,
+) -> Dict[str, int]:
+    """Power-of-two-bucketed histogram of LRU reuse distances.
+
+    The ``inf`` bucket counts first accesses (cold misses under any
+    policy).
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    histogram: Dict[str, int] = {"inf": 0}
+    for distance in reuse_distances(trace):
+        if distance is None:
+            histogram["inf"] += 1
+            continue
+        bucket = min(num_buckets - 1, int(distance).bit_length())
+        label = f"<{1 << bucket}"
+        histogram[label] = histogram.get(label, 0) + 1
+    return histogram
+
+
+def working_set_curve(
+    trace: Sequence[Hashable],
+    window: int,
+) -> List[int]:
+    """Distinct objects per non-overlapping window (working-set sizes)."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    sizes = []
+    for start in range(0, len(trace), window):
+        sizes.append(len(set(trace[start : start + window])))
+    return sizes
+
+
+def footprint_over_time(
+    trace: Sequence[Hashable],
+    points: int = 50,
+) -> List[Tuple[int, int]]:
+    """(requests seen, cumulative distinct objects) growth curve."""
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points}")
+    seen: set = set()
+    out: List[Tuple[int, int]] = []
+    step = max(1, len(trace) // points)
+    for i, key in enumerate(trace, start=1):
+        seen.add(key)
+        if i % step == 0 or i == len(trace):
+            out.append((i, len(seen)))
+    return out
+
+
+def summarize(trace: Sequence[Hashable]) -> Dict[str, float]:
+    """One-call workload summary used by the CLI's analyze command."""
+    from repro.traces.analysis import one_hit_wonder_ratio
+
+    counts = Counter(trace)
+    uniques = len(counts)
+    summary = {
+        "requests": float(len(trace)),
+        "objects": float(uniques),
+        "requests_per_object": len(trace) / uniques if uniques else 0.0,
+        "one_hit_wonder_ratio": one_hit_wonder_ratio(list(trace)),
+        "max_popularity": float(max(counts.values())) if counts else 0.0,
+    }
+    try:
+        summary["zipf_alpha"] = estimate_zipf_alpha(list(trace))
+    except ValueError:
+        summary["zipf_alpha"] = float("nan")
+    return summary

@@ -1,0 +1,241 @@
+"""Synthetic workload generators.
+
+The paper's analysis (Section 3.1) uses Zipf traces generated under
+the independent reference model (IRM); its evaluation additionally
+relies on workload features common in the production datasets: scans
+and loops (block workloads), constant object churn (Twitter-like KV
+workloads), and the "two accesses, far apart" adversarial pattern of
+Section 5.2.  Each generator here produces a list of integer keys (or
+``(key, size)`` tuples when sizes are requested) consumable by
+:func:`repro.sim.simulate`.
+
+Key spaces of different generators are offset (``key_base``) so traces
+can be concatenated without accidental overlap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Trace = List[int]
+SizedTrace = List[Tuple[int, int]]
+
+
+def zipf_probabilities(num_objects: int, alpha: float) -> np.ndarray:
+    """Zipf(alpha) probability vector over ranks 1..num_objects."""
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be positive, got {num_objects}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, num_objects + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+def zipf_trace(
+    num_objects: int,
+    num_requests: int,
+    alpha: float = 1.0,
+    seed: int = 0,
+    key_base: int = 0,
+    shuffle_ranks: bool = True,
+) -> Trace:
+    """IRM trace with Zipf(alpha) object popularity.
+
+    ``shuffle_ranks`` permutes the rank-to-key mapping so key order
+    carries no popularity information (matching real traces).
+    """
+    if num_requests <= 0:
+        raise ValueError(f"num_requests must be positive, got {num_requests}")
+    rng = np.random.default_rng(seed)
+    probs = zipf_probabilities(num_objects, alpha)
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0  # guard against floating-point shortfall
+    draws = rng.random(num_requests)
+    ranks = np.searchsorted(cdf, draws, side="right")
+    if shuffle_ranks:
+        perm = rng.permutation(num_objects)
+        keys = perm[ranks]
+    else:
+        keys = ranks
+    return (keys + key_base).tolist()
+
+
+def scan_trace(
+    num_objects: int,
+    start: int = 0,
+    repeats: int = 1,
+) -> Trace:
+    """A sequential scan over ``num_objects`` keys, ``repeats`` times."""
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be positive, got {num_objects}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    one_pass = list(range(start, start + num_objects))
+    return one_pass * repeats
+
+
+def loop_trace(
+    num_objects: int,
+    num_requests: int,
+    start: int = 0,
+) -> Trace:
+    """Cyclic loop over a working set — the classic LRU-thrashing pattern."""
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be positive, got {num_objects}")
+    out = []
+    key = 0
+    for _ in range(num_requests):
+        out.append(start + key)
+        key = (key + 1) % num_objects
+    return out
+
+
+def two_access_trace(
+    num_objects: int,
+    gap: int,
+    seed: int = 0,
+    key_base: int = 0,
+) -> Trace:
+    """The Section 5.2 adversarial pattern: every object is requested
+    exactly twice, with about ``gap`` other requests in between.
+
+    When ``gap`` exceeds the small-queue size, the second access misses
+    under S3-FIFO (and other space-partitioned policies) but can hit
+    under plain LRU/FIFO with the same total capacity.
+    """
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be positive, got {num_objects}")
+    if gap < 1:
+        raise ValueError(f"gap must be >= 1, got {gap}")
+    rng = np.random.default_rng(seed)
+    trace: Trace = []
+    # Interleave: a sliding window of `gap` distinct in-flight objects.
+    pending: List[int] = []
+    next_key = key_base
+    issued = 0
+    while issued < num_objects or pending:
+        if issued < num_objects and (len(pending) < gap or not pending):
+            trace.append(next_key)
+            pending.append(next_key)
+            next_key += 1
+            issued += 1
+        else:
+            idx = int(rng.integers(0, max(1, len(pending) // 4) )) if pending else 0
+            trace.append(pending.pop(idx))
+    return trace
+
+
+def zipf_with_scans(
+    num_objects: int,
+    num_requests: int,
+    alpha: float = 0.8,
+    scan_length: int = 1000,
+    scan_every: int = 10000,
+    seed: int = 0,
+) -> Trace:
+    """Zipf base traffic with periodic sequential scans over cold keys.
+
+    Models block workloads (MSR-like): the scan keys are disjoint from
+    the hot set and each scan uses fresh keys, so scanned blocks are
+    one-hit wonders.
+    """
+    base = zipf_trace(num_objects, num_requests, alpha=alpha, seed=seed)
+    if scan_length <= 0 or scan_every <= 0:
+        return base
+    out: Trace = []
+    scan_base = num_objects + 1_000_000
+    position = 0
+    for i, key in enumerate(base):
+        out.append(key)
+        if (i + 1) % scan_every == 0:
+            out.extend(range(scan_base + position, scan_base + position + scan_length))
+            position += scan_length
+    return out
+
+
+def zipf_with_churn(
+    num_objects: int,
+    num_requests: int,
+    alpha: float = 1.0,
+    churn_fraction: float = 0.1,
+    seed: int = 0,
+) -> Trace:
+    """Zipf traffic where a fraction of requests go to newly created
+    objects (Twitter-like constant churn, Section 6.1).
+
+    New objects are drawn from an ever-growing key space; a new object
+    receives a short burst of follow-up requests with decaying
+    probability, modeling fresh-content popularity.
+    """
+    if not 0.0 <= churn_fraction < 1.0:
+        raise ValueError(
+            f"churn_fraction must be in [0, 1), got {churn_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    base = zipf_trace(
+        num_objects, num_requests, alpha=alpha, seed=seed, key_base=0
+    )
+    if churn_fraction == 0.0:
+        return base
+    out: Trace = []
+    new_key = num_objects + 10_000_000
+    recent: List[int] = []
+    for key in base:
+        if rng.random() < churn_fraction:
+            if recent and rng.random() < 0.5:
+                out.append(recent[int(rng.integers(0, len(recent)))])
+            else:
+                out.append(new_key)
+                recent.append(new_key)
+                if len(recent) > 256:
+                    recent.pop(0)
+                new_key += 1
+        else:
+            out.append(key)
+    return out
+
+
+def mixed_trace(parts: Sequence[Trace], interleave: bool = False, seed: int = 0) -> Trace:
+    """Concatenate traces, or shuffle-interleave them preserving each
+    part's internal order (a fair merge)."""
+    if not parts:
+        return []
+    if not interleave:
+        out: Trace = []
+        for part in parts:
+            out.extend(part)
+        return out
+    rng = np.random.default_rng(seed)
+    iters = [list(reversed(p)) for p in parts if p]
+    weights = np.array([len(p) for p in iters], dtype=np.float64)
+    out = []
+    while iters:
+        weights_sum = weights.sum()
+        idx = int(rng.choice(len(iters), p=weights / weights_sum))
+        out.append(iters[idx].pop())
+        weights[idx] -= 1
+        if not iters[idx]:
+            iters.pop(idx)
+            weights = np.delete(weights, idx)
+    return out
+
+
+def zipf_sizes(
+    keys: Sequence[int],
+    mean_size: int = 4096,
+    sigma: float = 1.0,
+    seed: int = 0,
+) -> SizedTrace:
+    """Assign each unique key a log-normal size (CDN-like) and return a
+    sized trace.  Sizes are stable per key across the trace."""
+    if mean_size <= 0:
+        raise ValueError(f"mean_size must be positive, got {mean_size}")
+    rng = np.random.default_rng(seed)
+    unique = list(dict.fromkeys(keys))
+    raw = rng.lognormal(mean=0.0, sigma=sigma, size=len(unique))
+    scale = mean_size / raw.mean()
+    sizes = {k: max(1, int(s * scale)) for k, s in zip(unique, raw)}
+    return [(k, sizes[k]) for k in keys]

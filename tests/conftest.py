@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.synthetic import zipf_trace
+
+
+@pytest.fixture(scope="session")
+def small_zipf():
+    """A small, deterministic Zipf trace shared by many tests."""
+    return zipf_trace(num_objects=500, num_requests=10_000, alpha=1.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def skewed_zipf():
+    """A more skewed trace (alpha=1.2) for ordering assertions."""
+    return zipf_trace(num_objects=1_000, num_requests=20_000, alpha=1.2, seed=7)

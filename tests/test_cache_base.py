@@ -1,0 +1,119 @@
+"""Tests for the EvictionPolicy base class contract."""
+
+import pytest
+
+from repro.cache.base import CacheStats, EvictionPolicy
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.sim.request import Request
+
+
+class TestRequestModel:
+    def test_defaults(self):
+        req = Request("k")
+        assert req.size == 1
+        assert req.time == 0
+        assert req.next_access is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Request("k", size=0)
+
+    def test_equality_and_hash(self):
+        assert Request("k", 2, 3) == Request("k", 2, 3)
+        assert Request("k") != Request("j")
+        assert hash(Request("k", 2)) == hash(Request("k", 2))
+
+    def test_repr(self):
+        assert "k" in repr(Request("k"))
+
+
+class TestCacheStats:
+    def test_miss_ratio(self):
+        stats = CacheStats()
+        stats.record(Request("a"), hit=False)
+        stats.record(Request("a"), hit=True)
+        assert stats.miss_ratio == 0.5
+
+    def test_empty_ratios(self):
+        stats = CacheStats()
+        assert stats.miss_ratio == 0.0
+        assert stats.byte_miss_ratio == 0.0
+
+    def test_byte_miss_ratio(self):
+        stats = CacheStats()
+        stats.record(Request("a", size=100), hit=False)
+        stats.record(Request("b", size=300), hit=True)
+        assert stats.byte_miss_ratio == 0.25
+
+
+class TestBaseContract:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FifoCache(0)
+        with pytest.raises(ValueError):
+            LruCache(-5)
+
+    def test_oversized_object_never_admitted(self):
+        cache = FifoCache(10)
+        assert cache.access("big", size=100) is False
+        assert "big" not in cache
+        assert cache.stats.misses == 1
+        assert len(cache) == 0
+
+    def test_access_convenience(self):
+        cache = LruCache(4)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+
+    def test_clock_advances(self):
+        cache = FifoCache(4)
+        cache.access("a")
+        cache.access("b")
+        assert cache.clock == 2
+
+    def test_eviction_listener_called(self):
+        cache = FifoCache(2)
+        events = []
+        cache.add_eviction_listener(events.append)
+        for key in ["a", "b", "c"]:
+            cache.access(key)
+        assert len(events) == 1
+        assert events[0].key == "a"
+
+    def test_eviction_event_freq_and_age(self):
+        cache = FifoCache(2)
+        events = []
+        cache.add_eviction_listener(events.append)
+        cache.access("a")   # t=1, insert
+        cache.access("a")   # t=2, hit -> freq 1
+        cache.access("b")   # t=3
+        cache.access("c")   # t=4, evicts a
+        event = events[0]
+        assert event.key == "a"
+        assert event.freq == 1
+        assert event.insert_time == 1
+        assert event.evict_time == 4
+        assert event.age == 3
+
+    def test_stats_eviction_count(self):
+        cache = FifoCache(2)
+        for key in "abcd":
+            cache.access(key)
+        assert cache.stats.evictions == 2
+
+    def test_miss_ratio_property(self):
+        cache = LruCache(10)
+        cache.access("a")
+        cache.access("a")
+        assert cache.miss_ratio == 0.5
+
+    def test_repr(self):
+        cache = FifoCache(4)
+        cache.access("a")
+        text = repr(cache)
+        assert "FifoCache" in text and "capacity=4" in text
+
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            EvictionPolicy(10)

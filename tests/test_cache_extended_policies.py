@@ -1,0 +1,321 @@
+"""Behavioural tests for CAR, CLOCK-Pro, EELRU, LRFU, Hyperbolic, MQ,
+and GDSF — the extended related-work policy set."""
+
+import pytest
+
+from repro.cache.car import CarCache
+from repro.cache.clockpro import ClockProCache
+from repro.cache.eelru import EelruCache
+from repro.cache.gdsf import GdsfCache
+from repro.cache.hyperbolic import HyperbolicCache
+from repro.cache.lrfu import LrfuCache
+from repro.cache.lru import LruCache
+from repro.cache.mq import MqCache
+from repro.sim.simulator import simulate
+from repro.traces.synthetic import loop_trace, zipf_trace
+
+
+class TestCar:
+    def test_hit_sets_ref_without_movement(self):
+        cache = CarCache(4)
+        cache.access("a")
+        cache.access("b")
+        order_before = list(cache._t1)
+        cache.access("a")
+        assert list(cache._t1) == order_before  # no promotion on hit
+        assert cache._t1["a"].ref
+
+    def test_referenced_t1_graduates_to_t2(self):
+        cache = CarCache(2)
+        cache.access("a")
+        cache.access("a")  # ref bit set
+        cache.access("b")
+        cache.access("c")  # replacement: a graduates, b evicted
+        assert "a" in cache._t2
+        assert "b" not in cache
+
+    def test_ghost_hit_adapts_p(self):
+        cache = CarCache(4)
+        # Graduate two pages to T2 so T1 shrinks and B1 can retain
+        # history (CAR bounds |T1|+|B1| at c).
+        for key in "ab":
+            cache.access(key)
+            cache.access(key)
+        for i in range(12):
+            cache.access(i)
+        assert cache._b1
+        ghost = next(iter(cache._b1))
+        p_before = cache.target_t1
+        cache.access(ghost)
+        assert cache.target_t1 >= p_before
+        assert ghost in cache._t2
+
+    def test_capacity_invariant(self):
+        cache = CarCache(10)
+        for i in range(2000):
+            cache.access(i % 60)
+        assert cache.used <= 10
+
+    def test_beats_lru_on_zipf(self, small_zipf):
+        car = simulate(CarCache(50), list(small_zipf)).miss_ratio
+        lru = simulate(LruCache(50), list(small_zipf)).miss_ratio
+        assert car <= lru + 0.01
+
+
+class TestClockPro:
+    def test_capacity_invariant(self):
+        cache = ClockProCache(10)
+        for i in range(2000):
+            cache.access(i % 70)
+        assert cache.used <= 10
+
+    def test_test_period_promotion(self):
+        cache = ClockProCache(10, cold_ratio=0.3)
+        for i in range(10):
+            cache.access(i)
+        cache.access("x")  # evicts a cold page, x is cold-in-test
+        cache.access("x")  # re-referenced: ref bit
+        for i in range(20, 26):
+            cache.access(i)
+        # x was either promoted hot or at least retained over cold misses
+        assert cache.stats.requests == 18
+
+    def test_nonresident_test_hit_grows_cold_target(self):
+        cache = ClockProCache(20, cold_ratio=0.1)
+        for i in range(100):
+            cache.access(i)
+        # Re-request the most recently evicted page (safely in test —
+        # the oldest test entry may expire during this very insertion).
+        hit_key = next(reversed(cache._test), None)
+        assert hit_key is not None
+        target_before = cache.cold_target
+        cache.access(hit_key)
+        # The test hit adds +1; concurrent test expirations may offset
+        # part of it, but the net move is never downward by more than
+        # the expired entries of this single insertion.
+        assert cache.cold_target >= target_before
+        assert hit_key in cache._hot  # promoted straight to hot
+
+    def test_scan_resistance_vs_lru(self):
+        from repro.traces.synthetic import zipf_with_scans
+
+        trace = zipf_with_scans(800, 20_000, alpha=1.0,
+                                scan_length=400, scan_every=2500, seed=2)
+        pro = simulate(ClockProCache(100), list(trace)).miss_ratio
+        lru = simulate(LruCache(100), list(trace)).miss_ratio
+        assert pro < lru + 0.02
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            ClockProCache(10, cold_ratio=0.0)
+
+
+class TestEelru:
+    def test_matches_lru_on_irm(self, small_zipf):
+        eelru = simulate(EelruCache(50), list(small_zipf)).miss_ratio
+        lru = simulate(LruCache(50), list(small_zipf)).miss_ratio
+        assert eelru == pytest.approx(lru, abs=0.02)
+
+    def test_beats_lru_on_loop(self):
+        trace = loop_trace(300, 15_000)
+        eelru = simulate(EelruCache(200), list(trace)).miss_ratio
+        lru = simulate(LruCache(200), list(trace)).miss_ratio
+        assert lru > 0.99  # LRU thrashes completely
+        assert eelru < 0.7  # early eviction retains part of the loop
+
+    def test_early_mode_engages_on_loop(self):
+        """Early mode engages during a loop (it may relax again once
+        the retained loop fragment starts producing early-region hits)."""
+        cache = EelruCache(200)
+        engaged = False
+        for key in loop_trace(300, 10_000):
+            cache.access(key)
+            engaged = engaged or cache.early_mode
+        assert engaged
+
+    def test_lru_mode_on_skewed(self, small_zipf):
+        cache = EelruCache(50)
+        for key in small_zipf:
+            cache.access(key)
+        assert not cache.early_mode
+
+    def test_capacity_invariant(self):
+        cache = EelruCache(10)
+        for i in range(1000):
+            cache.access(i % 40)
+        assert cache.used <= 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EelruCache(10, early_point=0.0)
+
+
+class TestLrfu:
+    def test_large_lambda_behaves_like_lru(self, small_zipf):
+        lrfu = simulate(LrfuCache(50, lam=5.0), list(small_zipf)).miss_ratio
+        lru = simulate(LruCache(50), list(small_zipf)).miss_ratio
+        assert lrfu == pytest.approx(lru, abs=0.02)
+
+    def test_small_lambda_protects_frequent(self):
+        cache = LrfuCache(3, lam=1e-5)  # ~LFU
+        for _ in range(5):
+            cache.access("hot")
+        for i in range(10):
+            cache.access(f"cold{i}")
+        assert "hot" in cache
+
+    def test_capacity_invariant(self):
+        cache = LrfuCache(10)
+        for i in range(1000):
+            cache.access(i % 50)
+        assert len(cache) <= 10
+
+    def test_crf_updates_on_hit(self):
+        cache = LrfuCache(10, lam=0.1)
+        cache.access("a")
+        crf1 = cache._entries["a"].crf
+        cache.access("a")
+        assert cache._entries["a"].crf > crf1
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            LrfuCache(10, lam=0.0)
+
+
+class TestHyperbolic:
+    def test_protects_high_rate_objects(self):
+        cache = HyperbolicCache(5, seed=0, size_aware=False)
+        for _ in range(20):
+            cache.access("hot")
+        for i in range(30):
+            cache.access(f"cold{i}")
+        assert "hot" in cache
+
+    def test_size_aware_prefers_small(self):
+        cache = HyperbolicCache(100, seed=0, size_aware=True, samples=100)
+        cache.access("big", size=50)
+        cache.access("small", size=1)
+        for i in range(200):
+            cache.access(f"x{i}", size=10)
+        # big (low priority / size) should be gone well before small
+        assert "big" not in cache
+
+    def test_capacity_invariant(self):
+        cache = HyperbolicCache(10, seed=1)
+        for i in range(1000):
+            cache.access(i % 50)
+        assert cache.used <= 10
+
+    def test_deterministic(self, small_zipf):
+        a = simulate(HyperbolicCache(50, seed=2), list(small_zipf)).miss_ratio
+        b = simulate(HyperbolicCache(50, seed=2), list(small_zipf)).miss_ratio
+        assert a == b
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            HyperbolicCache(10, samples=0)
+
+
+class TestMq:
+    def test_frequency_levels(self):
+        assert MqCache._level_of(1, 8) == 0
+        assert MqCache._level_of(2, 8) == 1
+        assert MqCache._level_of(4, 8) == 2
+        assert MqCache._level_of(1024, 8) == 7  # capped at top queue
+
+    def test_promotion_across_queues(self):
+        cache = MqCache(10)
+        cache.access("a")
+        assert cache._queues[0]["a"] is not None
+        cache.access("a")
+        assert "a" in cache._queues[1]
+
+    def test_ghost_restores_frequency(self):
+        # Short lifetime so the hot page is demoted and evicted by the
+        # filler churn, landing in the Qout ghost.
+        cache = MqCache(4, lifetime=6, ghost_factor=8)
+        for _ in range(4):
+            cache.access("hot")
+        for i in range(40):
+            cache.access(f"x{i}")
+        assert "hot" not in cache
+        cache.access("hot")  # returns at its remembered level
+        entry = cache._find("hot")
+        assert entry is not None and entry.level >= 1
+
+    def test_lifetime_demotion(self):
+        cache = MqCache(8, lifetime=5)
+        cache.access("a")
+        cache.access("a")  # level 1
+        for i in range(20):
+            cache.access(f"f{i % 4}")
+        entry = cache._find("a")
+        assert entry is None or entry.level <= 1
+
+    def test_capacity_invariant(self):
+        cache = MqCache(10)
+        for i in range(2000):
+            cache.access(i % 80)
+        assert cache.used <= 10
+
+    def test_invalid_queues(self):
+        with pytest.raises(ValueError):
+            MqCache(10, num_queues=1)
+
+
+class TestGdsf:
+    def test_inflation_monotone(self, small_zipf):
+        cache = GdsfCache(30)
+        inflations = []
+        for key in small_zipf[:3000]:
+            cache.access(key)
+            inflations.append(cache.inflation)
+        assert all(
+            inflations[i] <= inflations[i + 1]
+            for i in range(len(inflations) - 1)
+        )
+
+    def test_small_objects_preferred(self):
+        cache = GdsfCache(100)
+        cache.access("small", size=1)
+        cache.access("big", size=50)
+        for i in range(300):
+            cache.access(f"x{i}", size=10)
+        assert "big" not in cache  # big went first
+
+    def test_frequency_raises_priority(self):
+        cache = GdsfCache(10)
+        for _ in range(5):
+            cache.access("hot")
+        for i in range(20):
+            cache.access(f"cold{i}")
+        assert "hot" in cache
+
+    def test_capacity_invariant(self):
+        cache = GdsfCache(10)
+        for i in range(1000):
+            cache.access(i % 50)
+        assert cache.used <= 10
+
+    def test_invalid_cost(self):
+        with pytest.raises(ValueError):
+            GdsfCache(10, cost=0)
+
+
+class TestExtendedRegistry:
+    def test_all_new_policies_registered(self):
+        from repro.cache.registry import policy_names
+
+        names = policy_names()
+        for name in ["car", "clockpro", "eelru", "lrfu", "hyperbolic",
+                     "mq", "gdsf", "s3fifo-ring"]:
+            assert name in names
+
+    def test_new_policies_beat_fifo_on_zipf(self):
+        from repro.cache.registry import create_policy
+
+        trace = zipf_trace(1000, 25_000, alpha=1.0, seed=5)
+        fifo = simulate(create_policy("fifo", capacity=100), list(trace))
+        for name in ["car", "clockpro", "lrfu", "hyperbolic", "mq", "gdsf"]:
+            result = simulate(create_policy(name, capacity=100), list(trace))
+            assert result.miss_ratio < fifo.miss_ratio, name

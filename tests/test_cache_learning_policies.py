@@ -1,0 +1,241 @@
+"""Behavioural tests for LeCaR, CACHEUS, LHD, FIFO-Merge, B-LRU, Belady."""
+
+import pytest
+
+from repro.cache.belady import BeladyCache
+from repro.cache.blru import BloomLruCache
+from repro.cache.cacheus import CacheusCache
+from repro.cache.fifomerge import FifoMergeCache
+from repro.cache.lecar import LeCaRCache
+from repro.cache.lhd import LhdCache
+from repro.sim.request import Request
+from repro.sim.simulator import simulate
+from repro.traces.analysis import annotate_next_access
+
+
+class TestLeCaR:
+    def test_weights_start_balanced(self):
+        cache = LeCaRCache(10)
+        assert cache.weights == (0.5, 0.5)
+
+    def test_ghost_hit_updates_weights(self):
+        cache = LeCaRCache(4, seed=0)
+        for i in range(50):
+            cache.access(i)
+        w_before = cache.weights
+        # Request something recently evicted: one history must hit.
+        hit_key = None
+        for k in list(cache._h_lru) + list(cache._h_lfu):
+            hit_key = k
+            break
+        assert hit_key is not None
+        cache.access(hit_key)
+        assert cache.weights != w_before
+
+    def test_weights_normalized(self):
+        cache = LeCaRCache(8, seed=1)
+        for i in range(2000):
+            cache.access(i % 50)
+        w_lru, w_lfu = cache.weights
+        assert w_lru + w_lfu == pytest.approx(1.0)
+        assert 0 < w_lru < 1
+
+    def test_capacity_invariant(self):
+        cache = LeCaRCache(10, seed=0)
+        for i in range(1000):
+            cache.access(i % 60)
+        assert len(cache) <= 10
+
+    def test_deterministic_with_seed(self, small_zipf):
+        r1 = simulate(LeCaRCache(50, seed=3), small_zipf).miss_ratio
+        r2 = simulate(LeCaRCache(50, seed=3), small_zipf).miss_ratio
+        assert r1 == r2
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            LeCaRCache(10, learning_rate=0.0)
+
+    def test_freq_memory_bounded(self):
+        cache = LeCaRCache(16, seed=0)
+        for i in range(100_000):
+            cache.access(i)
+        assert len(cache._freqs) <= 8 * max(64, 16) + 16
+
+
+class TestCacheus:
+    def test_learning_rate_adapts(self):
+        cache = CacheusCache(32, seed=0)
+        initial_lr = cache.learning_rate
+        for i in range(5000):
+            cache.access(i % 100)
+        # After many windows the LR should have moved at least once.
+        assert cache.learning_rate != initial_lr
+
+    def test_capacity_invariant(self):
+        cache = CacheusCache(10, seed=0)
+        for i in range(1000):
+            cache.access(i % 70)
+        assert len(cache) <= 10
+
+    def test_weights_normalized(self):
+        cache = CacheusCache(8, seed=0)
+        for i in range(2000):
+            cache.access(i % 40)
+        w_lru, w_lfu = cache.weights
+        assert w_lru + w_lfu == pytest.approx(1.0)
+
+    def test_reasonable_on_zipf(self, small_zipf):
+        from repro.cache.fifo import FifoCache
+
+        cacheus = simulate(CacheusCache(50, seed=0), small_zipf).miss_ratio
+        fifo = simulate(FifoCache(50), small_zipf).miss_ratio
+        assert cacheus < fifo
+
+
+class TestLhd:
+    def test_capacity_invariant(self):
+        cache = LhdCache(10, seed=0)
+        for i in range(1000):
+            cache.access(i % 50)
+        assert len(cache) <= 10
+
+    def test_protects_hot_objects(self):
+        cache = LhdCache(20, samples=16, reconfig_interval=200, seed=0)
+        for _ in range(50):
+            for k in range(5):
+                cache.access(f"hot{k}")
+        for i in range(300):
+            cache.access(f"cold{i}")
+            for k in range(5):
+                cache.access(f"hot{k}")
+        hits = sum(cache.access(f"hot{k}") for k in range(5))
+        assert hits == 5
+
+    def test_deterministic_with_seed(self, small_zipf):
+        r1 = simulate(LhdCache(50, seed=2), small_zipf).miss_ratio
+        r2 = simulate(LhdCache(50, seed=2), small_zipf).miss_ratio
+        assert r1 == r2
+
+    def test_beats_fifo_on_zipf(self, small_zipf):
+        from repro.cache.fifo import FifoCache
+
+        lhd = simulate(LhdCache(50, seed=0), small_zipf).miss_ratio
+        fifo = simulate(FifoCache(50), small_zipf).miss_ratio
+        assert lhd < fifo
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            LhdCache(10, samples=0)
+
+
+class TestFifoMerge:
+    def test_capacity_invariant(self):
+        cache = FifoMergeCache(30, nsegments=6)
+        for i in range(2000):
+            cache.access(i % 100)
+        assert cache.used <= 30
+
+    def test_popular_objects_survive_merge(self):
+        cache = FifoMergeCache(30, nsegments=6, merge_ratio=3)
+        for _ in range(10):
+            for k in range(3):
+                cache.access(f"hot{k}")
+        for i in range(100):
+            cache.access(f"cold{i}")
+            for k in range(3):
+                cache.access(f"hot{k}")
+        hits = sum(cache.access(f"hot{k}") for k in range(3))
+        assert hits == 3
+
+    def test_one_hit_wonders_evicted(self):
+        cache = FifoMergeCache(20, nsegments=4)
+        for i in range(200):
+            cache.access(i)
+        assert 0 not in cache
+
+    def test_invalid_merge_ratio(self):
+        with pytest.raises(ValueError):
+            FifoMergeCache(10, merge_ratio=1)
+
+    def test_hits_recorded(self):
+        cache = FifoMergeCache(10)
+        cache.access("a")
+        assert cache.access("a") is True
+
+
+class TestBloomLru:
+    def test_first_request_rejected(self):
+        cache = BloomLruCache(10)
+        assert cache.access("a") is False
+        assert "a" not in cache
+
+    def test_second_request_admits(self):
+        cache = BloomLruCache(10)
+        cache.access("a")
+        assert cache.access("a") is False  # still a miss, but admitted
+        assert "a" in cache
+        assert cache.access("a") is True
+
+    def test_one_hit_wonders_never_enter(self):
+        cache = BloomLruCache(10)
+        for i in range(100):
+            cache.access(f"one-{i}")
+        assert len(cache) == 0
+
+    def test_capacity_invariant(self):
+        cache = BloomLruCache(5)
+        for i in range(500):
+            cache.access(i % 20)
+        assert len(cache) <= 5
+
+    def test_worse_than_lru_generally(self, small_zipf):
+        """The paper: B-LRU is worse than LRU in most cases because
+        every object's second request is a miss."""
+        from repro.cache.lru import LruCache
+
+        blru = simulate(BloomLruCache(50), small_zipf).miss_ratio
+        lru = simulate(LruCache(50), small_zipf).miss_ratio
+        assert blru > lru - 0.02
+
+
+class TestBelady:
+    def _annotated(self, keys):
+        return annotate_next_access(keys)
+
+    def test_optimal_on_simple_pattern(self):
+        # a b c a b d a b: with capacity 2, OPT keeps a and b.
+        trace = self._annotated(["a", "b", "c", "a", "b", "d", "a", "b"])
+        cache = BeladyCache(2)
+        hits = [cache.request(r) for r in trace]
+        assert hits == [False, False, False, True, True, False, True, True]
+
+    def test_never_requested_again_not_cached_under_pressure(self):
+        trace = self._annotated(["a", "b", "x", "a", "b"])
+        cache = BeladyCache(2)
+        for req in trace[:3]:
+            cache.request(req)
+        assert "x" not in cache  # x has no future use once cache is full
+
+    def test_belady_lower_bounds_all_online_policies(self, small_zipf):
+        from repro.cache.registry import create_policy, policy_names
+
+        annotated = self._annotated(small_zipf)
+        opt = simulate(BeladyCache(50), annotated).miss_ratio
+        for name in ["lru", "fifo", "arc", "s3fifo", "tinylfu", "lirs"]:
+            policy = create_policy(name, capacity=50)
+            online = simulate(policy, list(small_zipf)).miss_ratio
+            assert opt <= online + 1e-9, name
+
+    def test_requires_annotation_for_optimality(self):
+        """Without next_access everything looks 'never again' and the
+        cache still behaves (admits while there is room)."""
+        cache = BeladyCache(2)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+
+    def test_capacity_invariant(self, small_zipf):
+        annotated = self._annotated(small_zipf)
+        cache = BeladyCache(30)
+        for req in annotated:
+            cache.request(req)
+        assert len(cache) <= 30

@@ -1,0 +1,228 @@
+"""Behavioural tests for FIFO, LRU, CLOCK, SIEVE, LFU, and Random."""
+
+import pytest
+
+from repro.cache.clock import ClockCache
+from repro.cache.fifo import FifoCache
+from repro.cache.lfu import LfuCache
+from repro.cache.lru import LruCache
+from repro.cache.random_ import RandomCache
+from repro.cache.sieve import SieveCache
+
+
+class TestFifo:
+    def test_eviction_in_insertion_order(self):
+        cache = FifoCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("a")  # hit must NOT reorder
+        cache.access("d")  # evicts a (oldest inserted)
+        assert "a" not in cache
+        assert all(k in cache for k in "bcd")
+
+    def test_hit_ratio_on_repeats(self):
+        cache = FifoCache(2)
+        for key in ["x", "y", "x", "y"]:
+            cache.access(key)
+        assert cache.stats.hits == 2
+
+    def test_size_aware_eviction(self):
+        cache = FifoCache(10)
+        cache.access("a", size=4)
+        cache.access("b", size=4)
+        cache.access("c", size=6)  # evicts a; b + c fit exactly
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.used == 10
+        cache.access("d", size=9)  # evicts both b and c
+        assert "b" not in cache and "c" not in cache
+        assert cache.used == 9
+
+    def test_len(self):
+        cache = FifoCache(3)
+        for key in "ab":
+            cache.access(key)
+        assert len(cache) == 2
+
+
+class TestLru:
+    def test_promotion_protects_recent(self):
+        cache = LruCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("a")  # promote a
+        cache.access("d")  # evicts b (LRU)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_strict_lru_order(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")
+        cache.access("c")  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_used_tracks_sizes(self):
+        cache = LruCache(100)
+        cache.access("a", size=30)
+        cache.access("b", size=50)
+        assert cache.used == 80
+        cache.access("c", size=40)  # evicts a
+        assert cache.used == 90
+
+    def test_lru_beats_fifo_on_skewed(self, small_zipf):
+        from repro.sim.simulator import simulate
+
+        lru = simulate(LruCache(50), small_zipf).miss_ratio
+        fifo = simulate(FifoCache(50), small_zipf).miss_ratio
+        assert lru < fifo
+
+
+class TestClock:
+    def test_second_chance(self):
+        cache = ClockCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("a")  # set a's ref bit
+        cache.access("d")  # b evicted: a reinserted with bit cleared
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_unreferenced_evicted_in_fifo_order(self):
+        cache = ClockCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")
+        assert "a" not in cache
+
+    def test_multi_bit_counter(self):
+        cache = ClockCache(2, nbits=2)
+        cache.access("a")
+        for _ in range(5):
+            cache.access("a")  # saturates at 3
+        cache.access("b")
+        # a survives 3 eviction scans
+        for key in ["c", "d", "e"]:
+            cache.access(key)
+        assert "a" in cache
+
+    def test_invalid_nbits(self):
+        with pytest.raises(ValueError):
+            ClockCache(4, nbits=0)
+
+    def test_matches_fifo_without_hits(self):
+        """With no re-references CLOCK degenerates to FIFO."""
+        from repro.sim.simulator import simulate
+
+        trace = list(range(100))
+        clock = simulate(ClockCache(10), list(trace)).miss_ratio
+        fifo = simulate(FifoCache(10), list(trace)).miss_ratio
+        assert clock == fifo == 1.0
+
+
+class TestSieve:
+    def test_visited_objects_survive(self):
+        cache = SieveCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("a")
+        cache.access("d")  # hand starts at tail (a): visited -> keep; b evicted
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_retained_objects_not_moved(self):
+        """SIEVE keeps survivors in place: the hand resumes from where
+        it stopped, so the same survivor is not rescanned first."""
+        cache = SieveCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("a")
+        cache.access("d")  # evicts b, hand now past a
+        cache.access("e")  # evicts c without touching a again
+        assert "a" in cache
+        assert "c" not in cache
+
+    def test_full_scan_then_oldest_evicted(self):
+        """When everything is visited, the scan clears all bits and the
+        oldest objects are then evicted in FIFO order."""
+        cache = SieveCache(4)
+        for key in "abcd":
+            cache.access(key)
+        for key in "abcd":
+            cache.access(key)  # all visited
+        for key in ["x", "y", "z"]:
+            cache.access(key)  # evicts a, then b, then c
+        assert "d" in cache
+        assert {"x", "y", "z"} <= {k for k in "abcdxyz" if k in cache}
+        assert all(k not in cache for k in "abc")
+
+    def test_wraparound_scan(self):
+        cache = SieveCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # all visited: full scan clears bits, evicts a
+        assert "c" in cache
+        assert len(cache) == 2
+
+
+class TestLfu:
+    def test_evicts_least_frequent(self):
+        cache = LfuCache(2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # b (freq 0) evicted, not a (freq 1)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_lru_tie_break(self):
+        cache = LfuCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # a and b tie at freq 0; a is older
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_freq_increases_protection(self):
+        cache = LfuCache(3)
+        for _ in range(3):
+            cache.access("hot")
+        for key in ["w1", "w2", "w3", "w4"]:
+            cache.access(key)
+        assert "hot" in cache
+
+    def test_min_freq_resets_on_insert(self):
+        cache = LfuCache(2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("b")
+        cache.access("c")  # evicts one of the freq-1s, c enters at 0
+        cache.access("d")  # evicts c (freq 0)
+        assert "c" not in cache
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        from repro.sim.simulator import simulate
+
+        trace = [i % 50 for i in range(1000)]
+        r1 = simulate(RandomCache(10, seed=1), list(trace)).miss_ratio
+        r2 = simulate(RandomCache(10, seed=1), list(trace)).miss_ratio
+        assert r1 == r2
+
+    def test_capacity_respected(self):
+        cache = RandomCache(5, seed=0)
+        for i in range(100):
+            cache.access(i)
+        assert len(cache) == 5
+        assert cache.used == 5
+
+    def test_hits_recorded(self):
+        cache = RandomCache(10, seed=0)
+        cache.access("a")
+        assert cache.access("a") is True

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "fig01"])
+        assert args.name == "fig01"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "nope"])
+
+    def test_all_experiments_registered(self):
+        for exp in [
+            "fig01", "fig02", "fig03", "fig04", "table1", "fig06",
+            "fig07", "fig08", "fig09", "fig10", "fig11", "sec52",
+            "sec523", "sec62", "sec63", "ablations",
+        ]:
+            assert exp in EXPERIMENTS
+
+
+class TestCommands:
+    def test_list_policies(self, capsys):
+        assert main(["list-policies"]) == 0
+        out = capsys.readouterr().out
+        assert "s3fifo" in out
+        assert "lru" in out
+
+    def test_simulate_zipf(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy", "s3fifo",
+                "--objects", "500",
+                "--requests", "5000",
+                "--cache-ratio", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+
+    def test_simulate_dataset(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy", "lru",
+                "--dataset", "msr",
+                "--scale", "0.3",
+            ]
+        )
+        assert code == 0
+        assert "msr" in capsys.readouterr().out
+
+    def test_experiment_fig01(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+    def test_experiment_fig08(self, capsys):
+        assert main(["experiment", "fig08"]) == 0
+        assert "MQPS" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        code = main(["analyze", "--dataset", "twitter", "--scale", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ohw (full)" in out
+        assert "zipf alpha" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--policies", "s3fifo,lru,fifo",
+                "--objects", "500",
+                "--requests", "8000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1." in out and "s3fifo" in out
+
+    def test_mrc_exact(self, capsys):
+        code = main(
+            [
+                "mrc",
+                "--policy", "lru",
+                "--objects", "500",
+                "--requests", "8000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact (Mattson)" in out
+
+    def test_mrc_sampled(self, capsys):
+        code = main(
+            [
+                "mrc",
+                "--policy", "s3fifo",
+                "--objects", "2000",
+                "--requests", "20000",
+                "--rate", "0.4",
+                "--ensembles", "2",
+            ]
+        )
+        assert code == 0
+        assert "sampled" in capsys.readouterr().out
+
+    def test_walkthrough_demo(self, capsys):
+        assert main(["walkthrough"]) == 0
+        out = capsys.readouterr().out
+        assert "ghost" in out
+        assert "hit" in out
+
+    def test_walkthrough_custom_trace(self, capsys):
+        code = main(["walkthrough", "--trace", "a,b,a", "--capacity", "4"])
+        assert code == 0
+        assert "a" in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Tests for the throughput/scalability models (Fig. 8 substrate)."""
+
+import pytest
+
+from repro.concurrency.costs import CostProfile, PROFILES, profile_for
+from repro.concurrency.model import (
+    analytic_throughput,
+    simulate_throughput,
+    speedup_over,
+    throughput_curve,
+)
+
+
+class TestCostProfiles:
+    def test_all_fig8_policies_present(self):
+        for name in [
+            "lru-strict",
+            "lru-optimized",
+            "tinylfu",
+            "twoq",
+            "s3fifo",
+            "segcache",
+        ]:
+            assert name in PROFILES
+
+    def test_profile_for_unknown(self):
+        with pytest.raises(KeyError):
+            profile_for("nope")
+
+    def test_expected_work_interpolates(self):
+        p = CostProfile("t", 100, 10, 200, 50)
+        assert p.parallel_ns(0.0) == 100
+        assert p.parallel_ns(1.0) == 200
+        assert p.critical_ns(0.5) == 30
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostProfile("t", -1, 0, 0, 0)
+
+    def test_s3fifo_has_minimal_critical_work(self):
+        s3 = profile_for("s3fifo")
+        lru = profile_for("lru-strict")
+        assert s3.critical_ns(0.02) < lru.critical_ns(0.02) / 10
+
+
+class TestAnalyticModel:
+    def test_single_thread_positive(self):
+        mqps = analytic_throughput(profile_for("lru-strict"), 1, 0.02)
+        assert mqps > 0
+
+    def test_validation(self):
+        p = profile_for("s3fifo")
+        with pytest.raises(ValueError):
+            analytic_throughput(p, 0, 0.02)
+        with pytest.raises(ValueError):
+            analytic_throughput(p, 1, 1.5)
+
+    def test_s3fifo_scales_nearly_linearly(self):
+        p = profile_for("s3fifo")
+        x1 = analytic_throughput(p, 1, 0.02)
+        x16 = analytic_throughput(p, 16, 0.02)
+        assert x16 > 12 * x1
+
+    def test_strict_lru_does_not_scale(self):
+        p = profile_for("lru-strict")
+        x1 = analytic_throughput(p, 1, 0.02)
+        x16 = analytic_throughput(p, 16, 0.02)
+        assert x16 < 2 * x1
+
+    def test_optimized_lru_plateaus_early(self):
+        """The Fig. 8 shape: scaling stops around a handful of cores
+        and bends down slightly after."""
+        p = profile_for("lru-optimized")
+        curve = [analytic_throughput(p, n, 0.02) for n in (1, 2, 4, 8, 16)]
+        assert curve[1] > 1.5 * curve[0]  # 2 threads still help
+        assert curve[4] <= curve[2]  # 16 threads no better than 4
+
+    def test_paper_headline_6x(self):
+        """S3-FIFO >6x optimized LRU at 16 threads, both cache sizes."""
+        for miss_ratio in (0.02, 0.21):
+            s3 = analytic_throughput(profile_for("s3fifo"), 16, miss_ratio)
+            lru = analytic_throughput(
+                profile_for("lru-optimized"), 16, miss_ratio
+            )
+            assert s3 / lru > 6.0
+
+    def test_tinylfu_below_lru(self):
+        for n in (1, 2, 4):
+            tiny = analytic_throughput(profile_for("tinylfu"), n, 0.02)
+            lru = analytic_throughput(profile_for("lru-optimized"), n, 0.02)
+            assert tiny < lru
+
+    def test_segcache_slower_single_thread_than_s3fifo(self):
+        seg = analytic_throughput(profile_for("segcache"), 1, 0.02)
+        s3 = analytic_throughput(profile_for("s3fifo"), 1, 0.02)
+        assert seg < s3
+
+
+class TestSimulationModel:
+    def test_matches_analytic_unsaturated(self):
+        p = profile_for("s3fifo")
+        sim = simulate_throughput(p, 4, 0.02, requests=50_000, seed=0)
+        ana = analytic_throughput(p, 4, 0.02)
+        assert sim == pytest.approx(ana, rel=0.2)
+
+    def test_matches_analytic_saturated(self):
+        p = profile_for("lru-strict")
+        sim = simulate_throughput(p, 8, 0.02, requests=50_000, seed=0)
+        ana = analytic_throughput(p, 8, 0.02)
+        assert sim == pytest.approx(ana, rel=0.35)
+
+    def test_validation(self):
+        p = profile_for("s3fifo")
+        with pytest.raises(ValueError):
+            simulate_throughput(p, 0, 0.02)
+        with pytest.raises(ValueError):
+            simulate_throughput(p, 10, 0.02, requests=5)
+
+    def test_deterministic(self):
+        p = profile_for("twoq")
+        a = simulate_throughput(p, 4, 0.1, requests=20_000, seed=3)
+        b = simulate_throughput(p, 4, 0.1, requests=20_000, seed=3)
+        assert a == b
+
+
+class TestCurveHelpers:
+    def test_throughput_curve(self):
+        curve = throughput_curve(profile_for("s3fifo"), [1, 2, 4], 0.02)
+        assert [p.threads for p in curve] == [1, 2, 4]
+        assert all(p.mqps > 0 for p in curve)
+
+    def test_speedup_over(self):
+        a = throughput_curve(profile_for("s3fifo"), [16], 0.02)
+        b = throughput_curve(profile_for("lru-optimized"), [16], 0.02)
+        assert speedup_over(a, b, 16) > 6
+
+    def test_speedup_missing_threads(self):
+        a = throughput_curve(profile_for("s3fifo"), [1], 0.02)
+        with pytest.raises(KeyError):
+            speedup_over(a, a, 99)
+
+
+class TestGilHarness:
+    def test_gil_prevents_scaling(self):
+        """The documentation test: real Python threads do not scale."""
+        from repro.concurrency.threads import gil_bound_throughput
+
+        from repro.traces.synthetic import zipf_trace
+
+        trace = zipf_trace(200, 2000, seed=0)
+        stats = gil_bound_throughput(
+            "s3fifo", 50, trace, threads=2, duration=0.1
+        )
+        assert stats["single_thread_ops"] > 0
+        assert stats["scaling_efficiency"] < 0.95
+
+    def test_validation(self):
+        from repro.concurrency.threads import gil_bound_throughput
+
+        with pytest.raises(ValueError):
+            gil_bound_throughput("lru", 10, [], threads=1)
+        with pytest.raises(ValueError):
+            gil_bound_throughput("lru", 10, [1], threads=0)

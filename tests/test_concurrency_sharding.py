@@ -1,0 +1,71 @@
+"""Tests for the sharded-cache scalability model (Section 7)."""
+
+import pytest
+
+from repro.concurrency.costs import profile_for
+from repro.concurrency.model import analytic_throughput
+from repro.concurrency.sharding import (
+    imbalance_factor,
+    shard_load_shares,
+    sharded_throughput,
+    sharding_scaling_curve,
+)
+
+
+class TestLoadShares:
+    def test_shares_sum_to_one(self):
+        shares = shard_load_shares(10_000, 8, alpha=1.0, seed=0)
+        assert sum(shares) == pytest.approx(1.0)
+        assert len(shares) == 8
+
+    def test_uniform_workload_balances(self):
+        shares = shard_load_shares(100_000, 8, alpha=0.0, seed=0)
+        assert imbalance_factor(shares) < 1.1
+
+    def test_skew_increases_imbalance(self):
+        mild = shard_load_shares(100_000, 16, alpha=0.6, seed=0)
+        hot = shard_load_shares(100_000, 16, alpha=1.2, seed=0)
+        assert imbalance_factor(hot) > imbalance_factor(mild)
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            shard_load_shares(100, 0, alpha=1.0)
+
+
+class TestThroughput:
+    def test_balanced_scales_linearly(self):
+        shares = [0.25] * 4
+        assert sharded_throughput(4, 5.0, shares) == pytest.approx(20.0)
+
+    def test_hot_shard_caps_throughput(self):
+        shares = [0.7, 0.1, 0.1, 0.1]
+        assert sharded_throughput(4, 5.0, shares) == pytest.approx(5.0 / 0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sharded_throughput(2, 0.0, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            sharded_throughput(2, 5.0, [1.0])
+
+    def test_imbalance_factor_validation(self):
+        with pytest.raises(ValueError):
+            imbalance_factor([])
+
+
+class TestPaperArgument:
+    def test_sharding_sublinear_on_zipf(self):
+        """Section 7: Zipf load imbalance limits sharded throughput."""
+        curve = sharding_scaling_curve(
+            [1, 16], num_objects=1_000_000, alpha=1.0, per_core_mqps=5.0
+        )
+        speedup = curve[16] / curve[1]
+        assert speedup < 14  # visibly below the 16x ideal
+
+    def test_s3fifo_shared_cache_beats_sharding_at_high_skew(self):
+        """With very hot keys, a lock-free shared cache out-scales
+        hash sharding."""
+        curve = sharding_scaling_curve(
+            [16], num_objects=10_000, alpha=1.3, per_core_mqps=5.0
+        )
+        s3 = analytic_throughput(profile_for("s3fifo"), 16, 0.02)
+        assert s3 > curve[16]

@@ -1,0 +1,116 @@
+"""Tests for the quick-demotion instrumentation (Section 6.1)."""
+
+import pytest
+
+from repro.cache.registry import create_policy
+from repro.core.demotion import (
+    AccessIndex,
+    DemotionTracker,
+    compute_demotion_stats,
+    lru_eviction_age,
+)
+from repro.core.s3fifo import S3FifoCache
+from repro.sim.request import Request
+from repro.sim.simulator import simulate
+from repro.traces.synthetic import zipf_trace
+
+
+@pytest.fixture(scope="module")
+def demo_trace():
+    return zipf_trace(num_objects=800, num_requests=15_000, alpha=1.0, seed=9)
+
+
+class TestAccessIndex:
+    def test_next_access(self):
+        index = AccessIndex([Request(k) for k in ["a", "b", "a", "c", "a"]])
+        assert index.next_access_after("a", 1) == 3
+        assert index.next_access_after("a", 3) == 5
+        assert index.next_access_after("a", 5) is None
+        assert index.next_access_after("zzz", 0) is None
+
+    def test_boundary_is_strict(self):
+        index = AccessIndex([Request("a")])
+        assert index.next_access_after("a", 0) == 1
+        assert index.next_access_after("a", 1) is None
+
+
+class TestTracker:
+    def test_collects_s3fifo_events(self, demo_trace):
+        cache = S3FifoCache(80)
+        tracker = DemotionTracker().attach(cache)
+        for key in demo_trace:
+            cache.access(key)
+        assert tracker.events
+        assert tracker.demoted
+        assert tracker.promoted
+        assert len(tracker.demoted) + len(tracker.promoted) == len(
+            tracker.events
+        )
+
+    def test_collects_tinylfu_and_arc_events(self, demo_trace):
+        for name in ["tinylfu", "arc"]:
+            cache = create_policy(name, capacity=80)
+            tracker = DemotionTracker().attach(cache)
+            for key in demo_trace[:8000]:
+                cache.access(key)
+            assert tracker.events, name
+
+    def test_plain_lru_emits_nothing(self, demo_trace):
+        cache = create_policy("lru", capacity=80)
+        tracker = DemotionTracker().attach(cache)
+        for key in demo_trace[:4000]:
+            cache.access(key)
+        assert tracker.events == []
+
+
+class TestLruEvictionAge:
+    def test_positive_on_evicting_workload(self, demo_trace):
+        age = lru_eviction_age([Request(k) for k in demo_trace], 50)
+        assert age > 0
+
+    def test_trace_length_when_nothing_evicts(self):
+        age = lru_eviction_age([Request(k) for k in "abc"], 100)
+        assert age == 3.0
+
+
+class TestStats:
+    def test_empty_events(self):
+        stats = compute_demotion_stats([], AccessIndex([]), 100.0, 10, 0.1)
+        assert stats.speed == 0.0
+        assert stats.demoted_count == 0
+
+    def test_speed_and_precision_computed(self, demo_trace):
+        capacity = 80
+        cache = S3FifoCache(capacity)
+        tracker = DemotionTracker().attach(cache)
+        requests = [Request(k) for k in demo_trace]
+        result = simulate(cache, [Request(k) for k in demo_trace])
+        index = AccessIndex(requests)
+        lru_age = lru_eviction_age(requests, capacity)
+        stats = compute_demotion_stats(
+            tracker.events, index, lru_age, capacity, result.miss_ratio
+        )
+        assert stats.speed > 1.0  # S3-FIFO demotes faster than LRU evicts
+        assert 0.0 <= stats.precision <= 1.0
+        assert stats.demoted_count > 0
+
+    def test_smaller_s_demotes_faster(self, demo_trace):
+        """The paper's monotonic claim: smaller S -> higher speed."""
+        speeds = {}
+        requests = [Request(k) for k in demo_trace]
+        index = AccessIndex(requests)
+        capacity = 80
+        lru_age = lru_eviction_age(requests, capacity)
+        for ratio in (0.05, 0.4):
+            cache = S3FifoCache(capacity, small_ratio=ratio)
+            tracker = DemotionTracker().attach(cache)
+            result = simulate(cache, [Request(k) for k in demo_trace])
+            stats = compute_demotion_stats(
+                tracker.events, index, lru_age, capacity, result.miss_ratio
+            )
+            speeds[ratio] = stats.speed
+        assert speeds[0.05] > speeds[0.4]
+
+    def test_repr(self):
+        stats = compute_demotion_stats([], AccessIndex([]), 1.0, 1, 0.5)
+        assert "DemotionStats" in repr(stats)

@@ -1,0 +1,160 @@
+"""Edge-case sweep: every policy against degenerate workloads.
+
+These are the inputs that break cache implementations in practice:
+capacity-1 caches, single-key traces, all-unique streams, objects as
+large as the cache, and empty traces.  Every registered online policy
+must survive all of them with consistent accounting.
+"""
+
+import pytest
+
+from repro.cache.registry import create_policy, policy_names
+from repro.sim.request import Request
+from repro.sim.simulator import simulate
+
+ONLINE = policy_names(include_offline=False)
+
+#: Policies that are object-count based (ring buffers) and document
+#: unit-size-only operation.
+UNIT_ONLY = {"s3fifo-ring"}
+
+
+@pytest.mark.parametrize("policy_name", ONLINE)
+class TestDegenerateWorkloads:
+    def test_capacity_two_cache(self, policy_name):
+        cache = create_policy(policy_name, capacity=2)
+        for i in range(200):
+            cache.request(Request(i % 5))
+        assert cache.used <= 2
+        assert cache.stats.requests == 200
+
+    def test_single_key_trace(self, policy_name):
+        cache = create_policy(policy_name, capacity=8)
+        result = simulate(cache, ["k"] * 100)
+        # First access misses; B-LRU also misses the second.
+        assert result.misses <= 2
+        assert result.requests - result.misses >= 98
+
+    def test_all_unique_trace(self, policy_name):
+        cache = create_policy(policy_name, capacity=8)
+        result = simulate(cache, list(range(500)))
+        assert result.miss_ratio == 1.0
+        assert cache.used <= 8
+
+    def test_empty_trace(self, policy_name):
+        cache = create_policy(policy_name, capacity=8)
+        result = simulate(cache, [])
+        assert result.requests == 0
+        assert result.miss_ratio == 0.0
+
+    def test_object_equal_to_capacity(self, policy_name):
+        if policy_name in UNIT_ONLY:
+            pytest.skip("object-slot policy: unit sizes only")
+        cache = create_policy(policy_name, capacity=10)
+        cache.request(Request("big", size=10))
+        assert cache.used <= 10
+        # Everything else must be evicted to fit it on re-insert.
+        cache.request(Request("other", size=1))
+        cache.request(Request("big", size=10))
+        assert cache.used <= 10
+
+    def test_object_larger_than_capacity_rejected(self, policy_name):
+        cache = create_policy(policy_name, capacity=10)
+        assert cache.request(Request("huge", size=11)) is False
+        assert "huge" not in cache
+        assert cache.used == 0 or cache.used <= 10
+
+    def test_alternating_two_keys(self, policy_name):
+        cache = create_policy(policy_name, capacity=4)
+        result = simulate(cache, ["a", "b"] * 200)
+        hits = result.requests - result.misses
+        assert hits >= 200  # both fit comfortably
+
+    def test_mixed_key_types(self, policy_name):
+        cache = create_policy(policy_name, capacity=8)
+        for key in ["str", 42, ("tuple", 1), "str", 42]:
+            cache.request(Request(key))
+        expected_hits = 0 if policy_name == "blru" else 2
+        assert cache.stats.hits == expected_hits
+
+    def test_stats_never_negative(self, policy_name):
+        cache = create_policy(policy_name, capacity=4)
+        for i in range(300):
+            cache.request(Request(i % 9))
+        stats = cache.stats
+        assert stats.hits >= 0 and stats.misses >= 0
+        assert stats.evictions >= 0
+        assert cache.used >= 0
+
+
+class TestListenerRobustness:
+    def test_multiple_listeners_all_called(self):
+        cache = create_policy("s3fifo", capacity=4)
+        calls = []
+        cache.add_eviction_listener(lambda e: calls.append(("a", e.key)))
+        cache.add_eviction_listener(lambda e: calls.append(("b", e.key)))
+        for i in range(20):
+            cache.request(Request(i))
+        assert calls
+        assert len([c for c in calls if c[0] == "a"]) == len(
+            [c for c in calls if c[0] == "b"]
+        )
+
+    def test_listener_sees_consistent_event(self):
+        cache = create_policy("lru", capacity=3)
+
+        def check(event):
+            assert event.evict_time >= event.insert_time
+            assert event.size >= 1
+            assert event.freq >= 0
+
+        cache.add_eviction_listener(check)
+        for i in range(100):
+            cache.request(Request(i % 10))
+
+
+class TestRunnerFailureInjection:
+    def test_factory_exception_isolated(self):
+        from repro.sim.runner import SweepJob, run_sweep
+
+        def boom(**kwargs):
+            raise RuntimeError("trace generation failed")
+
+        jobs = [
+            SweepJob("bad", boom, {}, "lru", 10),
+            SweepJob(
+                "good",
+                _good_factory,
+                {"n": 500},
+                "lru",
+                10,
+            ),
+        ]
+        results = run_sweep(jobs, processes=1)
+        by_name = {r.trace_name: r for r in results}
+        assert not by_name["bad"].ok
+        assert "trace generation failed" in by_name["bad"].error
+        assert by_name["good"].ok
+
+    def test_bad_policy_kwargs_isolated(self):
+        from repro.sim.runner import SweepJob, run_sweep
+
+        jobs = [
+            SweepJob(
+                "t",
+                _good_factory,
+                {"n": 100},
+                "s3fifo",
+                10,
+                policy_kwargs={"small_ratio": 7.0},  # invalid
+            )
+        ]
+        results = run_sweep(jobs, processes=1)
+        assert not results[0].ok
+        assert "small_ratio" in results[0].error
+
+
+def _good_factory(n):
+    from repro.traces.synthetic import zipf_trace
+
+    return zipf_trace(50, n, seed=0)

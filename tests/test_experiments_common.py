@@ -1,0 +1,60 @@
+"""Tests for experiment-harness helpers (formatting, constants)."""
+
+from repro.experiments.common import (
+    FIG6_POLICIES,
+    FIG7_POLICIES,
+    LARGE_CACHE_RATIO,
+    SMALL_CACHE_RATIO,
+    format_rows,
+)
+
+
+class TestConstants:
+    def test_cache_ratios_ordered(self):
+        assert LARGE_CACHE_RATIO > SMALL_CACHE_RATIO > 0
+
+    def test_policy_sets_registered(self):
+        from repro.cache.registry import policy_names
+
+        names = set(policy_names(include_offline=True))
+        assert set(FIG6_POLICIES) <= names
+        assert set(FIG7_POLICIES) <= names
+
+    def test_s3fifo_in_both_sets(self):
+        assert "s3fifo" in FIG6_POLICIES
+        assert "s3fifo" in FIG7_POLICIES
+
+
+class TestFormatRows:
+    def test_alignment_and_header(self):
+        rows = [
+            {"name": "alpha", "value": 0.123456},
+            {"name": "a-much-longer-name", "value": 2.0},
+        ]
+        text = format_rows(rows, columns=["name", "value"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        # All rows padded to equal column starts.
+        assert lines[3].index("0.1235") == lines[4].index("2.0000")
+
+    def test_float_format_applied(self):
+        text = format_rows(
+            [{"x": 0.5}], columns=["x"], float_fmt="{:+.1f}"
+        )
+        assert "+0.5" in text
+
+    def test_missing_keys_blank(self):
+        text = format_rows([{"a": 1}], columns=["a", "b"])
+        assert text  # renders without KeyError
+
+    def test_non_float_values_passthrough(self):
+        text = format_rows(
+            [{"a": "label", "n": 7}], columns=["a", "n"]
+        )
+        assert "label" in text and "7" in text
+
+    def test_empty_rows(self):
+        text = format_rows([], columns=["a"])
+        assert "a" in text

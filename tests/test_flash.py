@@ -1,0 +1,261 @@
+"""Tests for the DRAM+flash hybrid cache and admission policies."""
+
+import pytest
+
+from repro.cache.base import CacheEntry
+from repro.flash.admission import (
+    FlashieldAdmission,
+    NoAdmission,
+    ProbabilisticAdmission,
+    S3FifoAdmission,
+)
+from repro.flash.flashcache import HybridFlashCache
+from repro.flash.flashield import LogisticModel
+from repro.traces.synthetic import zipf_trace
+
+
+def entry(key, size=1, freq=0, t=0):
+    e = CacheEntry(key, size, t)
+    e.freq = freq
+    return e
+
+
+class TestAdmissionPolicies:
+    def test_no_admission_admits_all(self):
+        policy = NoAdmission()
+        assert policy.should_admit(entry("a"), 1)
+
+    def test_probabilistic_rate(self):
+        policy = ProbabilisticAdmission(0.2, seed=0)
+        admitted = sum(
+            policy.should_admit(entry(i), i) for i in range(10_000)
+        )
+        assert 0.15 < admitted / 10_000 < 0.25
+
+    def test_probabilistic_bounds(self):
+        with pytest.raises(ValueError):
+            ProbabilisticAdmission(1.5)
+
+    def test_s3fifo_admits_on_freq(self):
+        policy = S3FifoAdmission(ghost_entries=10)
+        assert policy.should_admit(entry("hot", freq=1), 1)
+        assert not policy.should_admit(entry("cold", freq=0), 1)
+
+    def test_s3fifo_cold_goes_to_ghost(self):
+        policy = S3FifoAdmission(ghost_entries=10)
+        policy.should_admit(entry("cold", freq=0), 1)
+        assert policy.was_ghosted("cold")
+        assert not policy.was_ghosted("cold")  # consumed
+
+    def test_s3fifo_min_freq_param(self):
+        policy = S3FifoAdmission(ghost_entries=10, min_freq=2)
+        assert not policy.should_admit(entry("x", freq=1), 1)
+        assert policy.should_admit(entry("y", freq=2), 1)
+        with pytest.raises(ValueError):
+            S3FifoAdmission(ghost_entries=10, min_freq=0)
+
+    def test_flashield_warmup_admits(self):
+        policy = FlashieldAdmission(warmup_admits=5, seed=0)
+        assert policy.should_admit(entry("a", freq=0, t=0), 10)
+
+    def test_flashield_learns_labels(self):
+        policy = FlashieldAdmission(
+            warmup_admits=0, batch_size=4, seed=0
+        )
+        # Manually feed lifetimes: freq>0 objects get reads on flash.
+        for i in range(64):
+            hot = entry(f"h{i}", freq=3, t=0)
+            if policy.should_admit(hot, 10):
+                policy.on_flash_hit(hot.key, 11)
+                policy.on_flash_evict(hot.key, 20)
+            cold = entry(f"c{i}", freq=0, t=0)
+            if policy.should_admit(cold, 10):
+                policy.on_flash_evict(cold.key, 20)
+        assert policy._model.samples_seen > 0
+
+    def test_flashield_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FlashieldAdmission(threshold=1.0)
+
+
+class TestLogisticModel:
+    def test_learns_separable_data(self):
+        model = LogisticModel(num_features=2, learning_rate=0.5, seed=0)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = rng.normal(0, 1, size=(32, 2))
+            y = (x[:, 0] > 0).astype(int)
+            model.partial_fit(x.tolist(), y.tolist())
+        assert model.predict_proba([3.0, 0.0]) > 0.9
+        assert model.predict_proba([-3.0, 0.0]) < 0.1
+
+    def test_shape_validation(self):
+        model = LogisticModel(num_features=2)
+        with pytest.raises(ValueError):
+            model.partial_fit([[1.0, 2.0]], [1, 0])
+
+    def test_empty_batch_noop(self):
+        model = LogisticModel(num_features=2)
+        model.partial_fit([], [])
+        assert model.samples_seen == 0
+
+    def test_invalid_features(self):
+        with pytest.raises(ValueError):
+            LogisticModel(num_features=0)
+
+
+class TestHybridCache:
+    def test_miss_then_dram_hit(self):
+        cache = HybridFlashCache(10, 100, NoAdmission())
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+        assert cache.result.dram_hits == 1
+
+    def test_dram_eviction_writes_flash(self):
+        cache = HybridFlashCache(2, 100, NoAdmission())
+        for key in ["a", "b", "c"]:
+            cache.request(key)
+        assert cache.in_flash("a")
+        assert cache.result.flash_bytes_written == 1
+
+    def test_flash_hit(self):
+        cache = HybridFlashCache(2, 100, NoAdmission())
+        for key in ["a", "b", "c"]:
+            cache.request(key)
+        assert cache.request("a") is True
+        assert cache.result.flash_hits == 1
+
+    def test_flash_fifo_eviction(self):
+        cache = HybridFlashCache(1, 2, NoAdmission())
+        for key in ["a", "b", "c", "d"]:
+            cache.request(key)
+        # a, b, c evicted from DRAM into flash (capacity 2): a evicted.
+        assert not cache.in_flash("a")
+        assert cache.flash_used <= 2
+
+    def test_rejected_objects_not_written(self):
+        cache = HybridFlashCache(2, 100, ProbabilisticAdmission(0.0, seed=0))
+        for i in range(50):
+            cache.request(i)
+        assert cache.result.flash_bytes_written == 0
+
+    def test_s3fifo_ghost_path_writes_direct(self):
+        admission = S3FifoAdmission(ghost_entries=100)
+        cache = HybridFlashCache(2, 100, admission, dram_policy="fifo")
+        cache.request("x")       # into DRAM
+        cache.request("f1")
+        cache.request("f2")      # x evicted cold -> ghost
+        assert not cache.in_flash("x")
+        cache.request("x")       # ghost hit -> straight to flash
+        assert cache.in_flash("x")
+
+    def test_s3fifo_freq_path(self):
+        admission = S3FifoAdmission(ghost_entries=100)
+        cache = HybridFlashCache(2, 100, admission, dram_policy="fifo")
+        cache.request("x")
+        cache.request("x")  # freq 1 in DRAM
+        cache.request("f1")
+        cache.request("f2")  # x evicted with freq>=1 -> flash
+        assert cache.in_flash("x")
+
+    def test_normalized_writes(self):
+        cache = HybridFlashCache(2, 100, NoAdmission())
+        for key in ["a", "b", "c"]:
+            cache.request(key)
+        assert cache.result.normalized_writes(3) == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            cache.result.normalized_writes(0)
+
+    def test_sized_requests(self):
+        cache = HybridFlashCache(100, 1000, NoAdmission())
+        trace = [("a", 60), ("b", 60), ("a", 60)]
+        cache.run(trace)
+        assert cache.result.bytes_requested == 180
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HybridFlashCache(0, 10, NoAdmission())
+        with pytest.raises(ValueError):
+            HybridFlashCache(10, 0, NoAdmission())
+        with pytest.raises(ValueError):
+            HybridFlashCache(10, 10, NoAdmission(), dram_policy="weird")
+
+    def test_no_rewrite_of_resident(self):
+        cache = HybridFlashCache(1, 100, NoAdmission())
+        cache.request("a")
+        cache.request("b")  # a -> flash
+        cache.request("c")  # b -> flash
+        writes_before = cache.result.flash_bytes_written
+        cache.request("a")  # flash hit; no rewrite
+        assert cache.result.flash_bytes_written == writes_before
+
+
+class TestFig9Shape:
+    """The Fig. 9 qualitative result on a small Zipf workload."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return zipf_trace(2000, 40_000, alpha=0.9, seed=4)
+
+    def _run(self, admission, dram, flash, trace, dram_policy="lru"):
+        cache = HybridFlashCache(dram, flash, admission, dram_policy)
+        cache.run(list(trace))
+        return cache.result
+
+    def test_admission_reduces_writes(self, trace):
+        flash = 200
+        none = self._run(NoAdmission(), 20, flash, trace)
+        s3 = self._run(
+            S3FifoAdmission(ghost_entries=200), 20, flash, trace, "fifo"
+        )
+        assert s3.flash_bytes_written < none.flash_bytes_written
+
+    def test_s3_filter_beats_probabilistic_on_miss_ratio(self, trace):
+        flash = 200
+        prob = self._run(ProbabilisticAdmission(0.2, seed=0), 20, flash, trace)
+        s3 = self._run(
+            S3FifoAdmission(ghost_entries=200), 20, flash, trace, "fifo"
+        )
+        assert s3.miss_ratio <= prob.miss_ratio + 0.02
+
+
+class TestFlashReinsertion:
+    def test_invalid_flash_policy(self):
+        with pytest.raises(ValueError):
+            HybridFlashCache(2, 10, NoAdmission(), flash_policy="weird")
+
+    def test_referenced_objects_survive_one_round(self):
+        cache = HybridFlashCache(
+            1, 3, NoAdmission(), flash_policy="fifo-reinsertion"
+        )
+        for key in ["a", "b", "c", "d"]:
+            cache.request(key)  # a,b,c on flash
+        cache.request("a")  # flash hit: set a's ref bit
+        cache.request("e")
+        cache.request("f")  # d,e evicted from DRAM -> flash pressure
+        # a was reinserted instead of evicted on its first scan.
+        assert cache.in_flash("a")
+
+    def test_reinsertion_costs_extra_writes(self):
+        plain = HybridFlashCache(1, 3, NoAdmission(), flash_policy="fifo")
+        reins = HybridFlashCache(
+            1, 3, NoAdmission(), flash_policy="fifo-reinsertion"
+        )
+        trace = ["a", "b", "c", "a", "d", "e", "f", "a", "g", "h"]
+        for cache in (plain, reins):
+            for key in trace:
+                cache.request(key)
+        assert (
+            reins.result.flash_bytes_written
+            >= plain.result.flash_bytes_written
+        )
+
+    def test_capacity_respected_with_reinsertion(self):
+        cache = HybridFlashCache(
+            2, 10, NoAdmission(), flash_policy="fifo-reinsertion"
+        )
+        for i in range(200):
+            cache.request(i % 30)
+        assert cache.flash_used <= 10

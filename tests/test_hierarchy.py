@@ -1,0 +1,126 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.core.s3fifo import S3FifoCache
+from repro.core.s3fifo_ring import S3FifoRingCache
+from repro.hierarchy.multilevel import MultiLevelCache
+from repro.sim.simulator import simulate
+from repro.traces.synthetic import zipf_trace
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiLevelCache([])
+        with pytest.raises(ValueError):
+            MultiLevelCache([LruCache(4)], mode="weird")
+
+
+class TestExclusive:
+    def test_l1_eviction_demotes_to_l2(self):
+        h = MultiLevelCache([FifoCache(2), FifoCache(4)], mode="exclusive")
+        for key in ["a", "b", "c"]:
+            h.request(key)
+        # a evicted from L1 -> demoted into L2.
+        assert "a" in h.levels[1]
+        assert "a" not in h.levels[0]
+        assert h.result.demotions == 1
+
+    def test_l2_hit_promotes(self):
+        h = MultiLevelCache([FifoCache(2), FifoCache(4)], mode="exclusive")
+        for key in ["a", "b", "c"]:
+            h.request(key)
+        assert h.request("a") is True  # L2 hit
+        assert h.result.level_hits[1] == 1
+        assert "a" in h.levels[0]  # promoted
+        assert h.result.promotions == 1
+
+    def test_strict_exclusivity_with_ring_delete(self):
+        h = MultiLevelCache(
+            [S3FifoRingCache(4), S3FifoRingCache(8)], mode="exclusive"
+        )
+        for i in range(20):
+            h.request(i)
+        hit_key = next(
+            (k for k in range(20) if k in h.levels[1]), None
+        )
+        assert hit_key is not None
+        h.request(hit_key)
+        assert hit_key in h.levels[0]
+        assert hit_key not in h.levels[1]  # deleted below on promotion
+
+    def test_last_level_eviction_leaves_hierarchy(self):
+        h = MultiLevelCache([FifoCache(2), FifoCache(2)], mode="exclusive")
+        for i in range(10):
+            h.request(i)
+        resident = sum(1 for i in range(10) if i in h)
+        assert resident <= 4
+
+    def test_victim_cache_beats_single_l1(self):
+        """L1+victim L2 of the same total size beats L1 alone."""
+        trace = zipf_trace(1000, 20_000, alpha=1.0, seed=0)
+        hierarchy = MultiLevelCache(
+            [LruCache(50), LruCache(150)], mode="exclusive"
+        )
+        hierarchy.run(list(trace))
+        small_only = simulate(LruCache(50), list(trace)).miss_ratio
+        assert hierarchy.result.miss_ratio < small_only
+
+    def test_three_levels_chain(self):
+        h = MultiLevelCache(
+            [FifoCache(2), FifoCache(2), FifoCache(4)], mode="exclusive"
+        )
+        for i in range(8):
+            h.request(i)
+        # Oldest objects cascade to L3.
+        assert any(i in h.levels[2] for i in range(4))
+
+
+class TestInclusive:
+    def test_miss_fills_all_levels(self):
+        h = MultiLevelCache([LruCache(2), LruCache(8)], mode="inclusive")
+        h.request("a")
+        assert "a" in h.levels[0] and "a" in h.levels[1]
+
+    def test_l1_eviction_keeps_l2_copy(self):
+        h = MultiLevelCache([LruCache(1), LruCache(8)], mode="inclusive")
+        h.request("a")
+        h.request("b")  # evicts a from L1
+        assert "a" not in h.levels[0]
+        assert "a" in h.levels[1]
+        assert h.result.demotions == 0
+
+    def test_l2_hit_refills_l1(self):
+        h = MultiLevelCache([LruCache(1), LruCache(8)], mode="inclusive")
+        h.request("a")
+        h.request("b")
+        assert h.request("a") is True
+        assert "a" in h.levels[0]
+
+
+class TestQuickDemotionInHierarchy:
+    def test_s3fifo_l1_beats_lru_l1(self):
+        """Quick demotion at L1 helps the whole hierarchy: one-hit
+        wonders leave L1 fast and don't pollute the demotion stream."""
+        trace = zipf_trace(2000, 40_000, alpha=1.0, seed=5)
+        lru_h = MultiLevelCache(
+            [LruCache(50), FifoCache(200)], mode="exclusive"
+        )
+        lru_h.run(list(trace))
+        s3_h = MultiLevelCache(
+            [S3FifoCache(50), FifoCache(200)], mode="exclusive"
+        )
+        s3_h.run(list(trace))
+        assert s3_h.result.miss_ratio <= lru_h.result.miss_ratio + 0.005
+
+    def test_stats_consistency(self):
+        h = MultiLevelCache([FifoCache(4), FifoCache(8)], mode="exclusive")
+        trace = zipf_trace(100, 2000, seed=1)
+        h.run(list(trace))
+        assert (
+            h.result.misses + sum(h.result.level_hits) == h.result.requests
+        )
+        assert h.result.demotion_bytes == h.result.demotions  # unit sizes

@@ -1,0 +1,79 @@
+"""Hypothesis properties for the DRAM+flash hybrid cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.admission import (
+    NoAdmission,
+    ProbabilisticAdmission,
+    S3FifoAdmission,
+)
+from repro.flash.flashcache import HybridFlashCache
+
+keys = st.integers(min_value=0, max_value=40)
+traces = st.lists(keys, min_size=1, max_size=300)
+
+
+def _build(admission, dram, flash, dram_policy="lru", flash_policy="fifo"):
+    return HybridFlashCache(
+        dram, flash, admission,
+        dram_policy=dram_policy, flash_policy=flash_policy,
+    )
+
+
+class TestFlashInvariants:
+    @given(trace=traces, dram=st.integers(1, 6), flash=st.integers(2, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_capacities_and_accounting(self, trace, dram, flash):
+        cache = _build(NoAdmission(), dram, flash)
+        for key in trace:
+            cache.request(key)
+            assert cache.dram.used <= dram
+            assert cache.flash_used <= flash
+        r = cache.result
+        assert r.requests == len(trace)
+        assert r.dram_hits + r.flash_hits + r.misses == r.requests
+        assert r.flash_bytes_written >= cache.flash_used
+
+    @given(trace=traces, dram=st.integers(1, 6), flash=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_rejecting_admission_writes_nothing(self, trace, dram, flash):
+        cache = _build(ProbabilisticAdmission(0.0, seed=0), dram, flash)
+        for key in trace:
+            cache.request(key)
+        assert cache.result.flash_bytes_written == 0
+        assert cache.result.flash_hits == 0
+
+    @given(trace=traces, dram=st.integers(1, 6), flash=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_admission_never_increases_writes_vs_none(
+        self, trace, dram, flash
+    ):
+        """Any filter writes at most what no-admission writes."""
+        none = _build(NoAdmission(), dram, flash)
+        filt = _build(
+            S3FifoAdmission(ghost_entries=8), dram, flash, dram_policy="fifo"
+        )
+        for key in trace:
+            none.request(key)
+            filt.request(key)
+        assert (
+            filt.result.flash_bytes_written
+            <= none.result.flash_bytes_written
+        )
+
+    @given(
+        trace=traces,
+        dram=st.integers(1, 6),
+        flash=st.integers(2, 20),
+        flash_policy=st.sampled_from(["fifo", "fifo-reinsertion"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_hits_require_residency(self, trace, dram, flash, flash_policy):
+        """A request reported as a hit must have found the key resident
+        somewhere the request before it left it there."""
+        cache = _build(NoAdmission(), dram, flash, flash_policy=flash_policy)
+        for key in trace:
+            was_resident = key in cache.dram or cache.in_flash(key)
+            hit = cache.request(key)
+            assert hit == was_resident

@@ -1,0 +1,138 @@
+"""Hypothesis properties for the hierarchy and MRC subsystems."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.core.s3fifo_ring import S3FifoRingCache
+from repro.hierarchy.multilevel import MultiLevelCache
+from repro.sim.mrc import lru_mrc, reuse_distances
+
+keys = st.integers(min_value=0, max_value=30)
+traces = st.lists(keys, min_size=1, max_size=250)
+
+
+class TestHierarchyProperties:
+    @given(trace=traces, l1=st.integers(2, 8), l2=st.integers(4, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_stats_always_consistent(self, trace, l1, l2):
+        h = MultiLevelCache([FifoCache(l1), FifoCache(l2)], mode="exclusive")
+        for key in trace:
+            h.request(key)
+        assert h.result.misses + sum(h.result.level_hits) == len(trace)
+        assert h.result.level_hits[0] + h.result.level_hits[1] >= 0
+        assert h.levels[0].used <= l1
+        assert h.levels[1].used <= l2
+
+    @given(trace=traces, l1=st.integers(4, 10), l2=st.integers(8, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_ring_hierarchy_exclusive_invariant(self, trace, l1, l2):
+        """With delete-capable levels, no key lives in two levels."""
+        h = MultiLevelCache(
+            [S3FifoRingCache(l1), S3FifoRingCache(l2)], mode="exclusive"
+        )
+        for key in trace:
+            h.request(key)
+            for k in set(trace):
+                assert not (k in h.levels[0] and k in h.levels[1]), k
+
+    @given(trace=traces, l1=st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_inclusive_l1_subset_of_l2(self, trace, l1):
+        """Inclusive mode with a large L2 keeps L1 a subset of L2."""
+        h = MultiLevelCache(
+            [LruCache(l1), LruCache(1000)], mode="inclusive"
+        )
+        for key in trace:
+            h.request(key)
+        for k in set(trace):
+            if k in h.levels[0]:
+                assert k in h.levels[1], k
+
+    @given(trace=traces, capacity=st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_hierarchy_never_worse_than_l1_alone(self, trace, capacity):
+        """Adding a victim L2 can only help (exclusive, same L1)."""
+        from repro.sim.simulator import simulate
+
+        alone = simulate(FifoCache(capacity), list(trace)).miss_ratio
+        h = MultiLevelCache(
+            [FifoCache(capacity), FifoCache(capacity * 2)],
+            mode="exclusive",
+        )
+        for key in trace:
+            h.request(key)
+        assert h.result.miss_ratio <= alone + 1e-9
+
+
+def _naive_reuse_distances(trace):
+    """O(n^2) reference model: distinct keys since previous access."""
+    out = []
+    for i, key in enumerate(trace):
+        prev = None
+        for j in range(i - 1, -1, -1):
+            if trace[j] == key:
+                prev = j
+                break
+        if prev is None:
+            out.append(None)
+        else:
+            out.append(len(set(trace[prev + 1 : i])) + 1)
+    return out
+
+
+class TestMrcProperties:
+    @given(trace=traces)
+    @settings(max_examples=40, deadline=None)
+    def test_reuse_distances_match_naive_model(self, trace):
+        assert reuse_distances(trace) == _naive_reuse_distances(trace)
+
+    @given(trace=traces)
+    @settings(max_examples=25, deadline=None)
+    def test_lru_mrc_monotone_and_bounded(self, trace):
+        curve = lru_mrc(trace)
+        assert curve.is_monotone()
+        assert all(0.0 <= mr <= 1.0 for mr in curve.miss_ratios)
+
+    @given(trace=traces, capacity=st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_mrc_agrees_with_lru_simulation(self, trace, capacity):
+        from repro.sim.simulator import simulate
+
+        curve = lru_mrc(trace, sizes=[capacity])
+        direct = simulate(LruCache(capacity), list(trace)).miss_ratio
+        assert abs(curve.miss_ratios[0] - direct) < 1e-9
+
+
+class TestGhostCapacityProperty:
+    @given(
+        ops=st.lists(st.tuples(st.booleans(), keys), max_size=200),
+        cap1=st.integers(1, 10),
+        cap2=st.integers(1, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_set_capacity_keeps_newest(self, ops, cap1, cap2):
+        """Shrinking a ghost keeps the most recently added keys."""
+        from repro.structures.ghost import GhostFifo
+
+        g = GhostFifo(cap1)
+        model = OrderedDict()
+        for add, key in ops:
+            if add:
+                g.add(key)
+                model.pop(key, None)
+                model[key] = None
+                while len(model) > cap1:
+                    model.popitem(last=False)
+            else:
+                g.remove(key)
+                model.pop(key, None)
+        g.set_capacity(cap2)
+        while len(model) > cap2:
+            model.popitem(last=False)
+        assert len(g) == len(model)
+        for key in model:
+            assert key in g

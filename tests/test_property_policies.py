@@ -1,0 +1,114 @@
+"""Property-based invariants that every eviction policy must satisfy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.registry import create_policy, policy_names
+from repro.sim.request import Request
+
+ONLINE_POLICIES = policy_names(include_offline=False)
+
+key_lists = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=300
+)
+
+sized_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=12),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@pytest.mark.parametrize("policy_name", ONLINE_POLICIES)
+class TestUniversalInvariants:
+    @given(trace=key_lists, capacity=st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_and_consistency(self, policy_name, trace, capacity):
+        """After every request: used <= capacity, repeated access hits,
+        and membership agrees with the hit result."""
+        cache = create_policy(policy_name, capacity=capacity)
+        for key in trace:
+            was_resident = key in cache
+            hit = cache.request(Request(key))
+            assert hit == was_resident, (policy_name, key)
+            assert cache.used <= capacity
+            if policy_name != "blru":  # B-LRU rejects first insertions
+                assert key in cache or len(cache) > 0
+
+    @given(trace=key_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_stats_add_up(self, policy_name, trace):
+        cache = create_policy(policy_name, capacity=10)
+        for key in trace:
+            cache.request(Request(key))
+        assert cache.stats.hits + cache.stats.misses == len(trace)
+        assert 0.0 <= cache.stats.miss_ratio <= 1.0
+
+    @given(requests=sized_requests)
+    @settings(max_examples=10, deadline=None)
+    def test_sized_objects_capacity(self, policy_name, requests):
+        """Byte-mode: a per-key stable size must never break capacity."""
+        sizes = {}
+        cache = create_policy(policy_name, capacity=40)
+        for key, size in requests:
+            size = sizes.setdefault(key, size)
+            cache.request(Request(key, size=size))
+            assert cache.used <= 40, policy_name
+
+
+@pytest.mark.parametrize("policy_name", ONLINE_POLICIES)
+def test_full_cache_keeps_working(policy_name):
+    """Deterministic churn far beyond capacity."""
+    cache = create_policy(policy_name, capacity=8)
+    for i in range(4000):
+        cache.request(Request(i % 100))
+    assert cache.used <= 8
+    assert cache.stats.requests == 4000
+
+
+class TestS3FifoSpecificProperties:
+    @given(
+        trace=key_lists,
+        small_ratio=st.sampled_from([0.05, 0.1, 0.3]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_queue_accounting(self, trace, small_ratio):
+        from repro.core.s3fifo import S3FifoCache
+
+        cache = S3FifoCache(20, small_ratio=small_ratio)
+        for key in trace:
+            cache.request(Request(key))
+            assert cache.small_used + cache.main_used == cache.used
+            assert len(cache) == len(cache._small) + len(cache._main)
+            # An object is never in both queues.
+            assert not (cache.in_small(key) and cache.in_main(key))
+
+    @given(trace=key_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_ghost_disjoint_from_resident(self, trace):
+        from repro.core.s3fifo import S3FifoCache
+
+        cache = S3FifoCache(15)
+        for key in trace:
+            cache.request(Request(key))
+        for key in set(trace):
+            if key in cache:
+                assert key not in cache.ghost
+
+
+class TestDeterminismAcrossPolicies:
+    @given(seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=5, deadline=None)
+    def test_same_trace_same_result(self, seed):
+        from repro.sim.simulator import simulate
+        from repro.traces.synthetic import zipf_trace
+
+        trace = zipf_trace(100, 2000, alpha=1.0, seed=seed)
+        for name in ["s3fifo", "lru", "arc", "tinylfu"]:
+            a = simulate(create_policy(name, capacity=20), list(trace))
+            b = simulate(create_policy(name, capacity=20), list(trace))
+            assert a.miss_ratio == b.miss_ratio, name

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the substrate structures."""
+
+from collections import Counter, deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.bloom import BloomFilter, CountingBloomFilter
+from repro.structures.cms import CountMinSketch
+from repro.structures.dlist import DList, DListNode
+from repro.structures.fifo_queue import RingBufferFifo
+from repro.structures.ghost import GhostFifo
+
+keys = st.integers(min_value=0, max_value=50)
+
+
+class TestDListModel:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["push_head", "push_tail", "pop_head",
+                                       "pop_tail"]), keys),
+            max_size=200,
+        )
+    )
+    def test_matches_deque_model(self, ops):
+        lst = DList()
+        model: deque = deque()
+        for op, value in ops:
+            if op == "push_head":
+                lst.push_head(DListNode(value))
+                model.appendleft(value)
+            elif op == "push_tail":
+                lst.push_tail(DListNode(value))
+                model.append(value)
+            elif op == "pop_head":
+                node = lst.pop_head()
+                expected = model.popleft() if model else None
+                assert (node.data if node else None) == expected
+            else:
+                node = lst.pop_tail()
+                expected = model.pop() if model else None
+                assert (node.data if node else None) == expected
+            assert len(lst) == len(model)
+            assert [n.data for n in lst] == list(model)
+
+
+class TestRingBufferModel:
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["push", "pop"]), keys), max_size=200
+        ),
+    )
+    def test_matches_fifo_model(self, capacity, ops):
+        q = RingBufferFifo(capacity)
+        model = deque()
+        for op, value in ops:
+            if op == "push":
+                if len(model) < capacity:
+                    q.push(value)
+                    model.append(value)
+            else:
+                got = q.pop()
+                expected = model.popleft() if model else None
+                assert got == expected
+            assert len(q) == len(model)
+        assert list(q) == list(model)
+
+
+class TestGhostFifoModel:
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "remove", "check"]), keys),
+            max_size=300,
+        ),
+    )
+    def test_capacity_and_membership(self, capacity, ops):
+        g = GhostFifo(capacity)
+        # Model: ordered dict of keys by most recent add.
+        model: dict = {}
+        for op, key in ops:
+            if op == "add":
+                model.pop(key, None)
+                model[key] = None
+                while len(model) > capacity:
+                    oldest = next(iter(model))
+                    del model[oldest]
+                g.add(key)
+            elif op == "remove":
+                expected = key in model
+                model.pop(key, None)
+                assert g.remove(key) == expected
+            else:
+                assert (key in g) == (key in model)
+            assert len(g) == len(model)
+            assert len(g) <= capacity
+
+
+class TestBloomProperties:
+    @given(st.lists(st.integers(), max_size=300, unique=True))
+    @settings(max_examples=25)
+    def test_no_false_negatives(self, items):
+        bf = BloomFilter(expected_items=max(8, len(items)), fp_rate=0.01)
+        for item in items:
+            bf.add(item)
+        assert all(item in bf for item in items)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=200)
+    )
+    @settings(max_examples=25)
+    def test_counting_bloom_multiset(self, items):
+        cbf = CountingBloomFilter(expected_items=256, cap=255)
+        counts = Counter(items)
+        for item in items:
+            cbf.add(item)
+        for item, count in counts.items():
+            assert cbf.estimate(item) >= min(count, 255)
+
+
+class TestCmsProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=300)
+    )
+    @settings(max_examples=25)
+    def test_never_underestimates_below_cap(self, items):
+        cms = CountMinSketch(width=512, depth=4, cap=255)
+        counts = Counter(items)
+        for item in items:
+            cms.add(item)
+        for item, count in counts.items():
+            assert cms.estimate(item) >= min(count, 255)

@@ -1,0 +1,64 @@
+"""Public API surface tests: what `import repro` promises."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        """The README's quickstart must keep working verbatim."""
+        from repro import S3FifoCache, simulate, zipf_trace
+
+        trace = zipf_trace(num_objects=2000, num_requests=30_000, alpha=1.0)
+        cache = S3FifoCache(capacity=200)
+        result = simulate(cache, trace)
+        assert 0.2 < result.miss_ratio < 0.45
+
+    def test_core_variants_exported(self):
+        assert repro.S3FifoRingCache.name == "s3fifo-ring"
+        assert repro.S3SieveCache.name == "s3sieve"
+        assert repro.S3FifoDCache.name == "s3fifo-d"
+
+    def test_registry_roundtrip(self):
+        for name in repro.policy_names(include_offline=True):
+            cache = repro.create_policy(name, capacity=16)
+            assert cache.capacity == 16
+
+
+class TestSubpackageImports:
+    def test_all_subpackages_importable(self):
+        import importlib
+
+        for module in [
+            "repro.cache",
+            "repro.core",
+            "repro.structures",
+            "repro.sim",
+            "repro.sim.mrc",
+            "repro.traces",
+            "repro.traces.stats",
+            "repro.traces.multitenant",
+            "repro.flash",
+            "repro.concurrency",
+            "repro.hierarchy",
+            "repro.experiments.common",
+            "repro.cli",
+        ]:
+            importlib.import_module(module)
+
+    def test_every_policy_has_docstring(self):
+        from repro.cache.registry import POLICIES, _register_core
+
+        _register_core()
+        for name, cls in POLICIES.items():
+            assert cls.__doc__, f"{name} lacks a class docstring"
+            module = __import__(
+                cls.__module__, fromlist=["__doc__"]
+            )
+            assert module.__doc__, f"{cls.__module__} lacks a module docstring"

@@ -1,0 +1,221 @@
+"""Tests for the simulator, metrics, and the sweep runner."""
+
+import pytest
+
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.cache.registry import POLICIES, create_policy, policy_names
+from repro.sim.metrics import (
+    mean,
+    miss_ratio_reduction,
+    percentile,
+    percentile_summary,
+)
+from repro.sim.request import Request
+from repro.sim.runner import SweepJob, execute_job, run_sweep
+from repro.sim.simulator import simulate
+from repro.traces.synthetic import zipf_trace
+
+
+class TestSimulate:
+    def test_accepts_bare_keys(self):
+        result = simulate(FifoCache(2), ["a", "b", "a"])
+        assert result.requests == 3
+        assert result.misses == 2
+
+    def test_accepts_tuples(self):
+        result = simulate(FifoCache(100), [("a", 10), ("a", 10)])
+        assert result.bytes_requested == 20
+        assert result.bytes_missed == 10
+
+    def test_accepts_requests(self):
+        result = simulate(FifoCache(2), [Request("a"), Request("a")])
+        assert result.miss_ratio == 0.5
+
+    def test_warmup_fraction(self):
+        trace = ["a", "b", "a", "b", "a", "b"]
+        result = simulate(FifoCache(2), trace, warmup=0.5)
+        assert result.requests == 3
+        assert result.misses == 0  # post-warmup everything hits
+
+    def test_warmup_requests(self):
+        trace = ["a", "b", "a", "b"]
+        result = simulate(FifoCache(2), trace, warmup_requests=2)
+        assert result.requests == 2
+
+    def test_fractional_warmup_needs_sized_trace(self):
+        with pytest.raises(ValueError):
+            simulate(FifoCache(2), iter(["a"]), warmup=0.5)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            simulate(FifoCache(2), ["a"], warmup=1.5)
+
+    def test_result_repr(self):
+        result = simulate(FifoCache(2), ["a"])
+        assert "miss_ratio" in repr(result)
+
+    def test_byte_miss_ratio_zero_requests(self):
+        result = simulate(FifoCache(2), [])
+        assert result.miss_ratio == 0.0
+        assert result.byte_miss_ratio == 0.0
+
+
+class TestMetrics:
+    def test_reduction_positive(self):
+        assert miss_ratio_reduction(0.4, 0.2) == pytest.approx(0.5)
+
+    def test_reduction_negative(self):
+        assert miss_ratio_reduction(0.2, 0.4) == pytest.approx(-0.5)
+
+    def test_reduction_bounded(self):
+        assert -1.0 <= miss_ratio_reduction(0.001, 0.999) <= 1.0
+        assert -1.0 <= miss_ratio_reduction(0.999, 0.001) <= 1.0
+
+    def test_reduction_equal(self):
+        assert miss_ratio_reduction(0.3, 0.3) == 0.0
+
+    def test_reduction_zero_fifo(self):
+        assert miss_ratio_reduction(0.0, 0.0) == 0.0
+
+    def test_reduction_validation(self):
+        with pytest.raises(ValueError):
+            miss_ratio_reduction(1.5, 0.5)
+        with pytest.raises(ValueError):
+            miss_ratio_reduction(0.5, -0.1)
+
+    def test_percentile_basics(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 50) == 3
+        assert percentile(data, 100) == 5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([7], 90) == 7
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentile_matches_numpy(self):
+        import numpy as np
+
+        data = [0.3, 0.1, 0.9, 0.5, 0.2, 0.7]
+        for q in (10, 25, 50, 75, 90):
+            assert percentile(data, q) == pytest.approx(
+                float(np.percentile(data, q))
+            )
+
+    def test_summary_keys(self):
+        summary = percentile_summary([1.0, 2.0, 3.0])
+        assert set(summary) == {"mean", "p10", "p25", "p50", "p75", "p90"}
+
+    def test_summary_empty(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestRegistry:
+    def test_known_policy_names(self):
+        names = policy_names(include_offline=True)
+        for expected in [
+            "fifo", "lru", "clock", "sieve", "slru", "arc", "twoq",
+            "lirs", "tinylfu", "tinylfu-0.1", "lruk", "lfu", "lecar",
+            "cacheus", "lhd", "fifomerge", "blru", "sfifo", "random",
+            "belady", "s3fifo", "s3fifo-d", "s3variant",
+        ]:
+            assert expected in names, expected
+
+    def test_belady_excluded_by_default(self):
+        assert "belady" not in policy_names()
+
+    def test_create_policy(self):
+        cache = create_policy("s3fifo", capacity=100)
+        assert cache.capacity == 100
+        assert cache.name == "s3fifo"
+
+    def test_create_with_kwargs(self):
+        cache = create_policy("s3fifo", capacity=100, small_ratio=0.25)
+        assert cache.small_capacity == 25
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            create_policy("nope", capacity=10)
+
+    def test_every_registered_policy_runs(self, small_zipf):
+        from repro.traces.analysis import annotate_next_access
+
+        annotated = annotate_next_access(small_zipf[:2000])
+        for name in policy_names(include_offline=True):
+            policy = create_policy(name, capacity=40)
+            trace = annotated if name == "belady" else small_zipf[:2000]
+            result = simulate(policy, list(trace))
+            assert 0.0 < result.miss_ratio <= 1.0, name
+            assert len(policy) <= 40 or policy.used <= 40, name
+
+
+def _trace_factory(n):
+    return zipf_trace(num_objects=200, num_requests=n, alpha=1.0, seed=0)
+
+
+class TestRunner:
+    def _job(self, policy="lru"):
+        return SweepJob(
+            trace_name="t",
+            trace_factory=_trace_factory,
+            trace_kwargs={"n": 3000},
+            policy=policy,
+            cache_size=20,
+        )
+
+    def test_execute_job(self):
+        result = execute_job(self._job())
+        assert result.ok
+        assert 0 < result.miss_ratio < 1
+        assert result.requests == 3000
+
+    def test_job_failure_captured(self):
+        result = execute_job(self._job(policy="does-not-exist"))
+        assert not result.ok
+        assert "does-not-exist" in result.error
+
+    def test_sequential_sweep(self):
+        results = run_sweep([self._job(), self._job("s3fifo")], processes=1)
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+
+    def test_parallel_sweep(self):
+        jobs = [self._job(p) for p in ["lru", "fifo", "s3fifo", "clock"]]
+        results = run_sweep(jobs, processes=2)
+        assert len(results) == 4
+        assert all(r.ok for r in results)
+
+    def test_s3fifo_wins_in_sweep(self):
+        results = run_sweep(
+            [self._job("fifo"), self._job("s3fifo")], processes=1
+        )
+        by_policy = {r.policy: r.miss_ratio for r in results}
+        assert by_policy["s3fifo"] < by_policy["fifo"]
+
+    def test_empty_sweep(self):
+        assert run_sweep([]) == []
+
+    def test_tags_propagate(self):
+        job = self._job()
+        job.tags["dataset"] = "x"
+        result = execute_job(job)
+        assert result.tags == {"dataset": "x"}
+
+    def test_repr(self):
+        assert "SweepJob" in repr(self._job())
+        assert "SweepResult" in repr(execute_job(self._job()))

@@ -1,0 +1,55 @@
+"""Tests for windowed miss-ratio measurement."""
+
+import pytest
+
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.core.s3fifo import S3FifoCache
+from repro.sim.simulator import windowed_miss_ratios
+from repro.traces.synthetic import zipf_trace, zipf_with_scans
+
+
+class TestWindowedMissRatios:
+    def test_window_count(self):
+        ratios = windowed_miss_ratios(FifoCache(10), list(range(25)), 10)
+        assert len(ratios) == 3  # 10 + 10 + 5
+
+    def test_all_misses_on_distinct_keys(self):
+        ratios = windowed_miss_ratios(FifoCache(10), list(range(30)), 10)
+        assert ratios == [1.0, 1.0, 1.0]
+
+    def test_warmup_converges(self):
+        trace = zipf_trace(500, 20_000, alpha=1.0, seed=0)
+        ratios = windowed_miss_ratios(S3FifoCache(100), trace, 2000)
+        assert ratios[0] > ratios[-1]  # cold start is the worst window
+
+    def test_scan_shows_as_spike(self):
+        trace = zipf_with_scans(
+            500, 20_000, alpha=1.1, scan_length=1500, scan_every=10_000,
+            seed=1,
+        )
+        ratios = windowed_miss_ratios(LruCache(100), trace, 1000)
+        steady = min(ratios[1:])
+        spike = max(ratios[2:])
+        assert spike > steady + 0.2
+
+    def test_aggregate_matches_simulate(self):
+        from repro.sim.simulator import simulate
+
+        trace = zipf_trace(200, 5000, seed=2)
+        windowed = windowed_miss_ratios(FifoCache(20), list(trace), 500)
+        total = simulate(FifoCache(20), list(trace)).miss_ratio
+        assert sum(windowed) / len(windowed) == pytest.approx(total, abs=0.02)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            windowed_miss_ratios(FifoCache(10), [1], 0)
+
+    def test_empty_trace(self):
+        assert windowed_miss_ratios(FifoCache(10), [], 5) == []
+
+    def test_accepts_tuples(self):
+        ratios = windowed_miss_ratios(
+            FifoCache(100), [("a", 10), ("a", 10)], 1
+        )
+        assert ratios == [1.0, 0.0]

@@ -1,0 +1,102 @@
+"""Unit tests for Bloom filters."""
+
+import pytest
+
+from repro.structures.bloom import BloomFilter, CountingBloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(expected_items=1000, fp_rate=0.01)
+        keys = [f"key-{i}" for i in range(500)]
+        for k in keys:
+            bf.add(k)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(expected_items=2000, fp_rate=0.01)
+        for i in range(2000):
+            bf.add(("in", i))
+        fps = sum(1 for i in range(10_000) if ("out", i) in bf)
+        assert fps / 10_000 < 0.05  # generous bound over the 1% target
+
+    def test_add_returns_new(self):
+        bf = BloomFilter(expected_items=100)
+        assert bf.add("a") is True
+        assert bf.add("a") is False
+
+    def test_count(self):
+        bf = BloomFilter(expected_items=100)
+        bf.add("a")
+        bf.add("a")
+        bf.add("b")
+        assert bf.count == 2
+
+    def test_clear(self):
+        bf = BloomFilter(expected_items=100)
+        bf.add("a")
+        bf.clear()
+        assert "a" not in bf
+        assert bf.count == 0
+
+    def test_estimated_fp_rate_grows(self):
+        bf = BloomFilter(expected_items=100, fp_rate=0.01)
+        empty = bf.estimated_fp_rate()
+        for i in range(100):
+            bf.add(i)
+        assert bf.estimated_fp_rate() > empty
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=1.5)
+
+    def test_mixed_key_types(self):
+        bf = BloomFilter(expected_items=100)
+        bf.add(42)
+        bf.add(("tuple", 1))
+        assert 42 in bf
+        assert ("tuple", 1) in bf
+
+
+class TestCountingBloomFilter:
+    def test_add_remove(self):
+        cbf = CountingBloomFilter(expected_items=100)
+        cbf.add("a")
+        assert "a" in cbf
+        cbf.remove("a")
+        assert "a" not in cbf
+
+    def test_remove_absent_is_noop(self):
+        cbf = CountingBloomFilter(expected_items=100)
+        cbf.add("a")
+        cbf.remove("b")  # must not corrupt "a"
+        assert "a" in cbf
+
+    def test_multiset_semantics(self):
+        cbf = CountingBloomFilter(expected_items=100)
+        cbf.add("a")
+        cbf.add("a")
+        cbf.remove("a")
+        assert "a" in cbf
+        cbf.remove("a")
+        assert "a" not in cbf
+
+    def test_estimate_counts(self):
+        cbf = CountingBloomFilter(expected_items=100)
+        for _ in range(3):
+            cbf.add("hot")
+        assert cbf.estimate("hot") >= 3
+
+    def test_saturation_cap(self):
+        cbf = CountingBloomFilter(expected_items=100, cap=3)
+        for _ in range(10):
+            cbf.add("x")
+        assert cbf.estimate("x") == 3
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(10, cap=0)

@@ -1,0 +1,83 @@
+"""Unit tests for the count-min sketch."""
+
+import pytest
+
+from repro.structures.cms import CountMinSketch
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        cms = CountMinSketch(width=256, depth=4, cap=15)
+        truth = {}
+        for i in range(500):
+            key = i % 50
+            cms.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert cms.estimate(key) >= min(count, 15)
+
+    def test_estimate_unknown_key_small(self):
+        cms = CountMinSketch(width=4096, depth=4)
+        for i in range(100):
+            cms.add(i)
+        assert cms.estimate("never-added") <= 2  # collision slack
+
+    def test_cap_saturates(self):
+        cms = CountMinSketch(width=64, depth=4, cap=7)
+        for _ in range(100):
+            cms.add("x")
+        assert cms.estimate("x") == 7
+
+    def test_aging_halves(self):
+        cms = CountMinSketch(width=64, depth=4, cap=15, sample_size=100)
+        for _ in range(99):
+            cms.add("x")
+        before = cms.estimate("x")
+        cms.add("x")  # 100th increment triggers aging
+        assert cms.estimate("x") <= before // 2 + 1
+
+    def test_aging_resets_increment_counter(self):
+        cms = CountMinSketch(width=64, depth=4, sample_size=10)
+        for _ in range(10):
+            cms.add("x")
+        assert cms.increments == 0
+
+    def test_no_aging_when_disabled(self):
+        cms = CountMinSketch(width=64, depth=4, cap=15, sample_size=0)
+        for _ in range(10_000):
+            cms.add("x")
+        assert cms.increments == 10_000
+
+    def test_clear(self):
+        cms = CountMinSketch(width=64, depth=4)
+        cms.add("x")
+        cms.clear()
+        assert cms.estimate("x") == 0
+        assert cms.increments == 0
+
+    def test_conservative_update_accuracy(self):
+        """Conservative update keeps rare-key estimates near truth even
+        under load."""
+        cms = CountMinSketch(width=512, depth=4, cap=15)
+        for i in range(2000):
+            cms.add(i % 200)
+        # every key added 10 times
+        overcounts = [cms.estimate(k) - 10 for k in range(200)]
+        assert max(overcounts) <= 5
+
+    def test_invalid_params(self):
+        for kwargs in (
+            {"width": 0},
+            {"width": 8, "depth": 0},
+            {"width": 8, "cap": 0},
+            {"width": 8, "sample_size": -1},
+        ):
+            with pytest.raises(ValueError):
+                CountMinSketch(**kwargs)
+
+    def test_distinguishes_hot_and_cold(self):
+        cms = CountMinSketch(width=1024, depth=4, cap=15)
+        for _ in range(10):
+            cms.add("hot")
+        cms.add("cold")
+        assert cms.estimate("hot") > cms.estimate("cold")

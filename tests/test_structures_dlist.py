@@ -1,0 +1,144 @@
+"""Unit tests for the intrusive doubly-linked list."""
+
+import pytest
+
+from repro.structures.dlist import DList, DListNode
+
+
+def make_list(values):
+    lst = DList()
+    nodes = [lst.push_tail(DListNode(v)) for v in values]
+    return lst, nodes
+
+
+class TestBasics:
+    def test_empty_list(self):
+        lst = DList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None
+        assert lst.tail is None
+        assert lst.pop_tail() is None
+        assert lst.pop_head() is None
+
+    def test_push_head_order(self):
+        lst = DList()
+        for v in [1, 2, 3]:
+            lst.push_head(DListNode(v))
+        assert [n.data for n in lst] == [3, 2, 1]
+
+    def test_push_tail_order(self):
+        lst, _ = make_list([1, 2, 3])
+        assert [n.data for n in lst] == [1, 2, 3]
+
+    def test_head_and_tail(self):
+        lst, _ = make_list(["a", "b", "c"])
+        assert lst.head.data == "a"
+        assert lst.tail.data == "c"
+
+    def test_len_tracks_changes(self):
+        lst, nodes = make_list([1, 2, 3])
+        assert len(lst) == 3
+        lst.unlink(nodes[1])
+        assert len(lst) == 2
+        lst.pop_tail()
+        assert len(lst) == 1
+
+    def test_bool(self):
+        lst, _ = make_list([1])
+        assert lst
+        lst.pop_head()
+        assert not lst
+
+
+class TestUnlink:
+    def test_unlink_middle(self):
+        lst, nodes = make_list([1, 2, 3])
+        lst.unlink(nodes[1])
+        assert [n.data for n in lst] == [1, 3]
+
+    def test_unlink_head(self):
+        lst, nodes = make_list([1, 2, 3])
+        lst.unlink(nodes[0])
+        assert lst.head.data == 2
+
+    def test_unlink_tail(self):
+        lst, nodes = make_list([1, 2, 3])
+        lst.unlink(nodes[2])
+        assert lst.tail.data == 2
+
+    def test_unlink_only_node(self):
+        lst, nodes = make_list([1])
+        lst.unlink(nodes[0])
+        assert len(lst) == 0
+        assert lst.head is None
+
+    def test_unlink_foreign_node_raises(self):
+        lst, _ = make_list([1])
+        other = DListNode(99)
+        with pytest.raises(ValueError):
+            lst.unlink(other)
+
+    def test_unlink_from_wrong_list_raises(self):
+        lst1, nodes1 = make_list([1])
+        lst2, _ = make_list([2])
+        with pytest.raises(ValueError):
+            lst2.unlink(nodes1[0])
+
+    def test_unlinked_node_is_not_linked(self):
+        lst, nodes = make_list([1, 2])
+        node = lst.unlink(nodes[0])
+        assert not node.linked
+
+    def test_double_push_raises(self):
+        lst, nodes = make_list([1])
+        with pytest.raises(ValueError):
+            lst.push_head(nodes[0])
+
+
+class TestMoves:
+    def test_move_to_head(self):
+        lst, nodes = make_list([1, 2, 3])
+        lst.move_to_head(nodes[2])
+        assert [n.data for n in lst] == [3, 1, 2]
+
+    def test_move_to_tail(self):
+        lst, nodes = make_list([1, 2, 3])
+        lst.move_to_tail(nodes[0])
+        assert [n.data for n in lst] == [2, 3, 1]
+
+    def test_move_head_to_head_is_noop_in_effect(self):
+        lst, nodes = make_list([1, 2])
+        lst.move_to_head(nodes[1])
+        lst.move_to_head(nodes[1])
+        assert [n.data for n in lst] == [2, 1]
+
+    def test_reuse_after_pop(self):
+        lst, _ = make_list([1, 2])
+        node = lst.pop_tail()
+        lst.push_head(node)
+        assert [n.data for n in lst] == [2, 1]
+
+
+class TestIteration:
+    def test_iter_from_tail(self):
+        lst, _ = make_list([1, 2, 3])
+        assert [n.data for n in lst.iter_from_tail()] == [3, 2, 1]
+
+    def test_iter_allows_unlinking_current(self):
+        lst, _ = make_list([1, 2, 3, 4])
+        for node in lst:
+            if node.data % 2 == 0:
+                lst.unlink(node)
+        assert [n.data for n in lst] == [1, 3]
+
+    def test_iter_empty(self):
+        assert list(DList()) == []
+
+    def test_lru_usage_pattern(self):
+        """Simulate an LRU: repeated promotion keeps order correct."""
+        lst, nodes = make_list(list(range(5)))
+        index = {n.data: n for n in nodes}
+        for key in [0, 2, 4, 0]:
+            lst.move_to_head(index[key])
+        assert [n.data for n in lst] == [0, 4, 2, 1, 3]

@@ -1,0 +1,140 @@
+"""Unit tests for the ring-buffer FIFO queue."""
+
+import pytest
+
+from repro.structures.fifo_queue import RingBufferFifo
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferFifo(0)
+
+    def test_push_pop_fifo_order(self):
+        q = RingBufferFifo(4)
+        for v in ["a", "b", "c"]:
+            q.push(v)
+        assert q.pop() == "a"
+        assert q.pop() == "b"
+        assert q.pop() == "c"
+        assert q.pop() is None
+
+    def test_len_counts_live(self):
+        q = RingBufferFifo(4)
+        q.push(1)
+        q.push(2)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_push_none_rejected(self):
+        q = RingBufferFifo(2)
+        with pytest.raises(ValueError):
+            q.push(None)
+
+    def test_overflow_raises(self):
+        q = RingBufferFifo(2)
+        q.push(1)
+        q.push(2)
+        with pytest.raises(OverflowError):
+            q.push(3)
+
+    def test_full_property(self):
+        q = RingBufferFifo(2)
+        assert not q.full
+        q.push(1)
+        q.push(2)
+        assert q.full
+        q.pop()
+        assert not q.full
+
+    def test_wraparound(self):
+        q = RingBufferFifo(3)
+        for i in range(10):
+            q.push(i)
+            assert q.pop() == i
+
+    def test_peek(self):
+        q = RingBufferFifo(3)
+        assert q.peek() is None
+        q.push("x")
+        q.push("y")
+        assert q.peek() == "x"
+        assert len(q) == 2  # peek does not remove
+
+
+class TestTombstones:
+    def test_delete_marks_slot(self):
+        q = RingBufferFifo(4)
+        slot = q.push("a")
+        q.push("b")
+        q.delete(slot)
+        assert len(q) == 1
+        assert q.pop() == "b"
+
+    def test_deleted_slot_not_reusable_until_tail_passes(self):
+        q = RingBufferFifo(2)
+        slot = q.push("a")
+        q.push("b")
+        q.delete(slot)
+        # Still physically full: slots not reclaimed until pop.
+        with pytest.raises(OverflowError):
+            q.push("c")
+        assert q.pop() == "b"  # skips the tombstone, reclaiming it
+        q.push("c")
+        assert list(q) == ["c"]
+
+    def test_delete_invalid_slot(self):
+        q = RingBufferFifo(2)
+        with pytest.raises(IndexError):
+            q.delete(5)
+
+    def test_delete_empty_slot(self):
+        q = RingBufferFifo(2)
+        with pytest.raises(KeyError):
+            q.delete(0)
+
+    def test_double_delete(self):
+        q = RingBufferFifo(2)
+        slot = q.push("a")
+        q.delete(slot)
+        with pytest.raises(KeyError):
+            q.delete(slot)
+
+    def test_peek_skips_tombstones(self):
+        q = RingBufferFifo(4)
+        slot = q.push("a")
+        q.push("b")
+        q.delete(slot)
+        assert q.peek() == "b"
+
+    def test_iter_skips_tombstones(self):
+        q = RingBufferFifo(4)
+        slots = [q.push(v) for v in ["a", "b", "c"]]
+        q.delete(slots[1])
+        assert list(q) == ["a", "c"]
+
+    def test_slots_used_includes_tombstones(self):
+        q = RingBufferFifo(4)
+        slot = q.push("a")
+        q.push("b")
+        q.delete(slot)
+        assert q.slots_used == 2
+        assert len(q) == 1
+
+
+class TestStress:
+    def test_interleaved_operations(self):
+        q = RingBufferFifo(8)
+        import random
+
+        rng = random.Random(0)
+        model = []
+        for _ in range(2000):
+            if model and rng.random() < 0.5:
+                assert q.pop() == model.pop(0)
+            elif not q.full:
+                v = rng.randrange(1000)
+                q.push(v)
+                model.append(v)
+        assert list(q) == model

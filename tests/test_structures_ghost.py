@@ -1,0 +1,145 @@
+"""Unit tests for ghost queues (GhostFifo and the fingerprint table)."""
+
+import pytest
+
+from repro.structures.ghost import GhostCache, GhostFifo, fingerprint
+
+
+class TestGhostFifo:
+    def test_membership(self):
+        g = GhostFifo(3)
+        g.add("a")
+        assert "a" in g
+        assert "b" not in g
+
+    def test_fifo_eviction(self):
+        g = GhostFifo(2)
+        g.add("a")
+        g.add("b")
+        g.add("c")
+        assert "a" not in g
+        assert "b" in g and "c" in g
+        assert len(g) == 2
+
+    def test_readd_refreshes_position(self):
+        g = GhostFifo(2)
+        g.add("a")
+        g.add("b")
+        g.add("a")  # refresh: "a" now newest
+        g.add("c")  # evicts "b"
+        assert "a" in g
+        assert "b" not in g
+
+    def test_remove(self):
+        g = GhostFifo(3)
+        g.add("a")
+        assert g.remove("a")
+        assert "a" not in g
+        assert not g.remove("a")
+
+    def test_remove_then_capacity_respected(self):
+        g = GhostFifo(2)
+        g.add("a")
+        g.add("b")
+        g.remove("a")
+        g.add("c")
+        g.add("d")
+        assert len(g) == 2
+        assert "b" not in g  # b was oldest live entry
+
+    def test_zero_capacity(self):
+        g = GhostFifo(0)
+        g.add("a")
+        assert "a" not in g
+        assert len(g) == 0
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            GhostFifo(-1)
+
+    def test_clear(self):
+        g = GhostFifo(4)
+        for k in "abc":
+            g.add(k)
+        g.clear()
+        assert len(g) == 0
+        assert "a" not in g
+
+    def test_many_readds_stay_bounded(self):
+        g = GhostFifo(4)
+        for i in range(1000):
+            g.add(i % 3)
+        assert len(g) <= 4
+
+    def test_eviction_order_with_duplicates(self):
+        g = GhostFifo(2)
+        g.add("x")
+        g.add("x")
+        g.add("y")
+        g.add("z")  # drops x (oldest live), then keeps y, z
+        assert "x" not in g
+        assert "y" in g and "z" in g
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert fingerprint("abc") == fingerprint("abc")
+
+    def test_bounded(self):
+        for key in ["a", 123, ("x", 1)]:
+            assert 0 <= fingerprint(key) < 2**32
+
+    def test_custom_bits(self):
+        assert 0 <= fingerprint("abc", bits=8) < 256
+
+
+class TestGhostCache:
+    def test_membership_and_expiry(self):
+        g = GhostCache(capacity=4)
+        g.add("a")
+        assert "a" in g
+        for i in range(5):
+            g.add(f"k{i}")
+        assert "a" not in g  # expired after > capacity insertions
+
+    def test_remove(self):
+        g = GhostCache(capacity=8)
+        g.add("a")
+        assert g.remove("a")
+        assert "a" not in g
+        assert not g.remove("a")
+
+    def test_readding_refreshes(self):
+        g = GhostCache(capacity=3)
+        g.add("a")
+        g.add("b")
+        g.add("c")
+        g.add("a")  # refresh a's timestamp
+        g.add("d")
+        g.add("e")
+        assert "a" in g  # refreshed 3 insertions ago (d, e)
+
+    def test_len_counts_live(self):
+        g = GhostCache(capacity=3)
+        for k in "abc":
+            g.add(k)
+        assert len(g) == 3
+
+    def test_bucket_overflow_reclaims(self):
+        # Tiny table forces collisions; must not grow unboundedly.
+        g = GhostCache(capacity=4, bucket_size=2)
+        for i in range(100):
+            g.add(i)
+        assert g.load_factor() <= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GhostCache(0)
+        with pytest.raises(ValueError):
+            GhostCache(4, bucket_size=0)
+
+    def test_insertions_clock(self):
+        g = GhostCache(capacity=4)
+        g.add("a")
+        g.add("b")
+        assert g.insertions == 2

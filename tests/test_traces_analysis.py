@@ -1,0 +1,129 @@
+"""Tests for trace analysis: one-hit wonders, annotation, evictions."""
+
+import pytest
+
+from repro.cache.fifo import FifoCache
+from repro.cache.lru import LruCache
+from repro.traces.analysis import (
+    annotate_next_access,
+    frequency_at_eviction,
+    one_hit_wonder_curve,
+    one_hit_wonder_ratio,
+    subsequence_one_hit_wonder_ratio,
+    unique_objects,
+)
+from repro.traces.synthetic import zipf_trace
+
+
+class TestOneHitWonderRatio:
+    def test_paper_toy_example(self):
+        """Fig. 1's full-trace ratio is 20% (E only)."""
+        trace = list("ABACBADABCBAECABD")
+        assert one_hit_wonder_ratio(trace) == pytest.approx(0.2)
+
+    def test_paper_toy_windows(self):
+        trace = list("ABACBADABCBAECABD")
+        assert one_hit_wonder_ratio(trace[:7]) == pytest.approx(0.5)
+        assert one_hit_wonder_ratio(trace[:4]) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert one_hit_wonder_ratio([]) == 0.0
+
+    def test_all_singles(self):
+        assert one_hit_wonder_ratio([1, 2, 3]) == 1.0
+
+    def test_no_singles(self):
+        assert one_hit_wonder_ratio([1, 1, 2, 2]) == 0.0
+
+    def test_sized_trace(self):
+        assert one_hit_wonder_ratio([("a", 5), ("a", 5), ("b", 2)]) == 0.5
+
+
+class TestSubsequenceRatio:
+    def test_increases_for_shorter_sequences(self):
+        """The paper's core observation (Section 3.1)."""
+        trace = zipf_trace(2000, 60_000, alpha=1.0, seed=0)
+        full = one_hit_wonder_ratio(trace)
+        at_10 = subsequence_one_hit_wonder_ratio(trace, 0.1, seed=0)
+        at_1 = subsequence_one_hit_wonder_ratio(trace, 0.01, seed=0)
+        assert at_10 > full
+        assert at_1 >= at_10 - 0.05
+
+    def test_fraction_one_equals_full(self):
+        trace = zipf_trace(200, 5000, seed=1)
+        assert subsequence_one_hit_wonder_ratio(
+            trace, 1.0
+        ) == pytest.approx(one_hit_wonder_ratio(trace))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subsequence_one_hit_wonder_ratio([1], 0.0)
+        with pytest.raises(ValueError):
+            subsequence_one_hit_wonder_ratio([1], 0.5, num_samples=0)
+
+    def test_empty_trace(self):
+        assert subsequence_one_hit_wonder_ratio([], 0.5) == 0.0
+
+    def test_deterministic(self):
+        trace = zipf_trace(500, 10_000, seed=2)
+        a = subsequence_one_hit_wonder_ratio(trace, 0.1, seed=3)
+        b = subsequence_one_hit_wonder_ratio(trace, 0.1, seed=3)
+        assert a == b
+
+    def test_curve_shape(self):
+        trace = zipf_trace(2000, 60_000, alpha=0.8, seed=0)
+        curve = one_hit_wonder_curve(trace, (0.01, 0.1, 1.0), seed=0)
+        fractions = [f for f, _ in curve]
+        ratios = [r for _, r in curve]
+        assert fractions == [0.01, 0.1, 1.0]
+        assert ratios[0] >= ratios[-1]
+
+
+class TestUniqueObjects:
+    def test_counts(self):
+        assert unique_objects([1, 1, 2, 3]) == 3
+
+    def test_sized(self):
+        assert unique_objects([("a", 1), ("a", 2)]) == 1
+
+
+class TestAnnotation:
+    def test_next_access_times(self):
+        annotated = annotate_next_access(["a", "b", "a"])
+        assert annotated[0].next_access == 3
+        assert annotated[1].next_access is None
+        assert annotated[2].next_access is None
+
+    def test_times_are_one_based(self):
+        annotated = annotate_next_access(["x"])
+        assert annotated[0].time == 1
+
+    def test_sizes_preserved(self):
+        annotated = annotate_next_access([("a", 7)])
+        assert annotated[0].size == 7
+
+    def test_length(self):
+        trace = zipf_trace(100, 1000, seed=0)
+        assert len(annotate_next_access(trace)) == 1000
+
+
+class TestFrequencyAtEviction:
+    def test_one_hit_wonders_dominate_on_singles(self):
+        cache = FifoCache(5)
+        hist = frequency_at_eviction(
+            cache, annotate_next_access(list(range(50)))
+        )
+        assert set(hist) == {0}
+        assert hist[0] == 45
+
+    def test_histogram_counts_match_evictions(self):
+        trace = zipf_trace(300, 5000, seed=0)
+        cache = LruCache(30)
+        hist = frequency_at_eviction(cache, annotate_next_access(trace))
+        assert sum(hist.values()) == cache.stats.evictions
+
+    def test_popular_objects_higher_freq(self):
+        trace = ["hot"] * 10 + list(range(20)) + ["hot"]
+        cache = FifoCache(3)
+        hist = frequency_at_eviction(cache, annotate_next_access(trace))
+        assert any(freq > 0 for freq in hist)

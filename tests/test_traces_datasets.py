@@ -1,0 +1,139 @@
+"""Tests for the Table-1 dataset stand-ins."""
+
+import pytest
+
+from repro.traces.analysis import one_hit_wonder_ratio, unique_objects
+from repro.traces.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    generate_dataset_trace,
+    make_dataset_jobs,
+    sized_dataset_trace,
+)
+
+
+class TestSpecs:
+    def test_fourteen_datasets(self):
+        assert len(DATASETS) == 14
+
+    def test_table1_names_present(self):
+        for name in [
+            "msr", "fiu", "cloudphysics", "cdn1", "tencent_photo",
+            "wikimedia", "systor", "tencent_cbs", "alibaba", "twitter",
+            "social_network", "cdn2", "meta_kv", "meta_cdn",
+        ]:
+            assert name in DATASETS
+
+    def test_cache_types(self):
+        types = {spec.cache_type for spec in DATASETS.values()}
+        assert types == {"block", "kv", "object"}
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "weird", alpha=1.0, target_full_ohw=0.5)
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "block", alpha=1.0, target_full_ohw=1.0)
+
+
+class TestGeneration:
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            generate_dataset_trace("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_dataset_trace("msr", scale=0)
+
+    def test_deterministic(self):
+        a = generate_dataset_trace("msr", 0, seed=1)
+        b = generate_dataset_trace("msr", 0, seed=1)
+        assert a == b
+
+    def test_trace_indexes_differ(self):
+        a = generate_dataset_trace("msr", 0)
+        b = generate_dataset_trace("msr", 1)
+        assert a != b
+
+    def test_scale_grows_footprint(self):
+        small = unique_objects(generate_dataset_trace("fiu", 0, scale=0.5))
+        large = unique_objects(generate_dataset_trace("fiu", 0, scale=2.0))
+        assert large > small
+
+    @pytest.mark.parametrize("dataset", dataset_names())
+    def test_ohw_near_target(self, dataset):
+        """Full-trace one-hit-wonder ratio lands near the Table 1 value."""
+        spec = DATASETS[dataset]
+        trace = generate_dataset_trace(dataset, 0, scale=0.5)
+        got = one_hit_wonder_ratio(trace)
+        assert got == pytest.approx(spec.target_full_ohw, abs=0.12), dataset
+
+    def test_block_traces_contain_scans(self):
+        trace = generate_dataset_trace("msr", 0)
+        scan_keys = [k for k in trace if 1_000_000 <= k < 500_000_000]
+        assert scan_keys
+
+    def test_kv_traces_contain_churn(self):
+        trace = generate_dataset_trace("twitter", 0)
+        churn_keys = [k for k in trace if 10_000_000 <= k < 500_000_000]
+        assert churn_keys
+
+
+class TestSizedTraces:
+    def test_sizes_stable(self):
+        sized = sized_dataset_trace("wikimedia", 0, scale=0.3)
+        by_key = {}
+        for key, size in sized:
+            by_key.setdefault(key, set()).add(size)
+        assert all(len(v) == 1 for v in by_key.values())
+
+    def test_mean_size_tracks_spec(self):
+        sized = sized_dataset_trace("wikimedia", 0, scale=0.3)
+        mean = sum(s for _, s in sized) / len(sized)
+        # log-normal sampling: within a loose factor of the spec mean
+        assert mean > DATASETS["wikimedia"].mean_size / 10
+
+
+class TestJobs:
+    def test_job_matrix_shape(self):
+        jobs = make_dataset_jobs(
+            ["lru", "s3fifo"],
+            0.1,
+            datasets=["msr"],
+            traces_per_dataset=2,
+        )
+        assert len(jobs) == 4  # 2 traces x 2 policies
+        assert {j.policy for j in jobs} == {"lru", "s3fifo"}
+
+    def test_cache_size_from_footprint(self):
+        jobs = make_dataset_jobs(
+            ["lru"], 0.1, datasets=["msr"], traces_per_dataset=1
+        )
+        trace = generate_dataset_trace("msr", 0)
+        assert jobs[0].cache_size == int(len(set(trace)) * 0.1)
+
+    def test_small_caches_skipped(self):
+        jobs = make_dataset_jobs(
+            ["lru"],
+            1e-7,
+            datasets=["msr"],
+            traces_per_dataset=1,
+            min_cache_size=10,
+        )
+        assert jobs == []
+
+    def test_policy_kwargs_attached(self):
+        jobs = make_dataset_jobs(
+            ["s3fifo"],
+            0.1,
+            datasets=["msr"],
+            traces_per_dataset=1,
+            policy_kwargs={"s3fifo": {"small_ratio": 0.2}},
+        )
+        assert jobs[0].policy_kwargs == {"small_ratio": 0.2}
+
+    def test_tags_carry_dataset(self):
+        jobs = make_dataset_jobs(
+            ["lru"], 0.1, datasets=["fiu"], traces_per_dataset=1
+        )
+        assert jobs[0].tags["dataset"] == "fiu"

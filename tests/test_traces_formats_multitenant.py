@@ -1,0 +1,109 @@
+"""Tests for oracleGeneral I/O and multi-tenant trace tooling."""
+
+import pytest
+
+from repro.cache.belady import BeladyCache
+from repro.sim.simulator import simulate
+from repro.traces.analysis import annotate_next_access
+from repro.traces.multitenant import (
+    multitenant_trace,
+    shared_vs_partitioned,
+    split_by_tenant,
+)
+from repro.traces.readers import read_oracle_general, write_oracle_general
+from repro.traces.synthetic import zipf_trace
+
+
+class TestOracleGeneral:
+    def test_roundtrip_keys_and_sizes(self, tmp_path):
+        path = tmp_path / "t.oracleGeneral"
+        write_oracle_general(path, [(5, 100), (6, 200), (5, 100)])
+        back = list(read_oracle_general(path))
+        assert [(r.key, r.size) for r in back] == [(5, 100), (6, 200), (5, 100)]
+
+    def test_next_access_annotation(self, tmp_path):
+        path = tmp_path / "t.oracleGeneral"
+        write_oracle_general(path, [1, 2, 1])
+        back = list(read_oracle_general(path))
+        assert back[0].next_access == 3
+        assert back[1].next_access is None
+        assert back[2].next_access is None
+
+    def test_belady_runs_from_file(self, tmp_path):
+        trace = zipf_trace(200, 4000, alpha=1.0, seed=0)
+        path = tmp_path / "t.oracleGeneral"
+        write_oracle_general(path, trace)
+        from_file = simulate(BeladyCache(40), read_oracle_general(path))
+        in_memory = simulate(BeladyCache(40), annotate_next_access(trace))
+        assert from_file.miss_ratio == in_memory.miss_ratio
+
+    def test_truncated_raises(self, tmp_path):
+        path = tmp_path / "t.oracleGeneral"
+        write_oracle_general(path, [1, 2])
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(ValueError):
+            list(read_oracle_general(path))
+
+    def test_zero_size_clamped(self, tmp_path):
+        import struct
+
+        path = tmp_path / "t.oracleGeneral"
+        path.write_bytes(struct.pack("<IQIq", 1, 7, 0, -1))
+        req = next(iter(read_oracle_general(path)))
+        assert req.size == 1  # zero sizes in real traces are clamped
+
+
+class TestMultitenant:
+    def test_request_count_and_namespaces(self):
+        trace = multitenant_trace([500, 2000], [0.8, 1.2], 10_000, seed=0)
+        assert len(trace) == 10_000
+        per_tenant = split_by_tenant(trace)
+        assert set(per_tenant) == {0, 1}
+        keys0 = set(per_tenant[0])
+        keys1 = set(per_tenant[1])
+        assert not keys0 & keys1  # disjoint key spaces
+
+    def test_weights_bias_traffic(self):
+        trace = multitenant_trace(
+            [1000, 1000], [1.0, 1.0], 20_000,
+            tenant_weights=[0.9, 0.1], seed=1,
+        )
+        per_tenant = split_by_tenant(trace)
+        assert len(per_tenant[0]) > 5 * len(per_tenant[1])
+
+    def test_split_preserves_order(self):
+        trace = multitenant_trace([300, 300], [1.0, 0.7], 5_000, seed=2)
+        per_tenant = split_by_tenant(trace)
+        merged = {t: iter(keys) for t, keys in per_tenant.items()}
+        for tenant, key in trace:
+            assert next(merged[tenant]) == key
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multitenant_trace([100], [1.0, 1.0], 100)
+        with pytest.raises(ValueError):
+            multitenant_trace([], [], 100)
+        with pytest.raises(ValueError):
+            multitenant_trace([100], [1.0], 0)
+        with pytest.raises(ValueError):
+            multitenant_trace([100, 100], [1.0, 1.0], 10,
+                              tenant_weights=[1.0])
+
+    def test_shared_beats_partitioned_on_skewed_mix(self):
+        """Hot tenants borrow slack in a shared cache — the resource-
+        pooling effect the paper's multi-tenant methodology exposes."""
+        trace = multitenant_trace(
+            [200, 4000], [1.3, 0.6], 30_000,
+            tenant_weights=[0.7, 0.3], seed=3,
+        )
+        comparison = shared_vs_partitioned(trace, "s3fifo", 400)
+        assert comparison["tenants"] == 2
+        assert (
+            comparison["shared_miss_ratio"]
+            <= comparison["partitioned_miss_ratio"] + 0.03
+        )
+
+    def test_shared_vs_partitioned_validation(self):
+        trace = multitenant_trace([100, 100], [1.0, 1.0], 1000, seed=0)
+        with pytest.raises(ValueError):
+            shared_vs_partitioned(trace, "lru", 0)

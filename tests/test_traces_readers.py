@@ -1,0 +1,99 @@
+"""Tests for trace file I/O (CSV and binary formats)."""
+
+import pytest
+
+from repro.sim.request import Request
+from repro.traces.readers import (
+    read_binary_trace,
+    read_csv_trace,
+    write_binary_trace,
+    write_csv_trace,
+)
+from repro.traces.synthetic import zipf_trace
+
+
+class TestCsv:
+    def test_roundtrip_keys(self, tmp_path):
+        path = tmp_path / "t.csv"
+        trace = [1, 2, 1, 3]
+        assert write_csv_trace(path, trace) == 4
+        back = list(read_csv_trace(path))
+        assert [r.key for r in back] == trace
+        assert all(r.size == 1 for r in back)
+
+    def test_roundtrip_sized(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv_trace(path, [(5, 100), (6, 200)])
+        back = list(read_csv_trace(path))
+        assert [(r.key, r.size) for r in back] == [(5, 100), (6, 200)]
+
+    def test_roundtrip_requests(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv_trace(path, [Request(9, size=3, time=7)])
+        back = list(read_csv_trace(path))
+        assert back[0].key == 9
+        assert back[0].size == 3
+        assert back[0].time == 7
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,key,size\n1,42,8\n")
+        back = list(read_csv_trace(path))
+        assert len(back) == 1
+        assert back[0].key == 42
+
+    def test_missing_size_defaults(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,42\n")
+        assert list(read_csv_trace(path))[0].size == 1
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,42,1\n\n2,43,1\n")
+        assert len(list(read_csv_trace(path))) == 2
+
+
+class TestBinary:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.bin"
+        trace = zipf_trace(100, 1000, seed=0)
+        assert write_binary_trace(path, trace) == 1000
+        back = [r.key for r in read_binary_trace(path)]
+        assert back == trace
+
+    def test_roundtrip_sized(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [(7, 4096), (8, 12)])
+        back = list(read_binary_trace(path))
+        assert [(r.key, r.size) for r in back] == [(7, 4096), (8, 12)]
+
+    def test_times_sequential_by_default(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [10, 11])
+        back = list(read_binary_trace(path))
+        assert [r.time for r in back] == [1, 2]
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [1, 2])
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ValueError):
+            list(read_binary_trace(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"")
+        assert list(read_binary_trace(path)) == []
+
+    def test_simulation_from_file(self, tmp_path):
+        """End-to-end: write, stream back, simulate."""
+        from repro.cache.fifo import FifoCache
+        from repro.sim.simulator import simulate
+
+        path = tmp_path / "t.bin"
+        trace = zipf_trace(100, 2000, seed=1)
+        write_binary_trace(path, trace)
+        from_file = simulate(FifoCache(20), read_binary_trace(path))
+        in_memory = simulate(FifoCache(20), trace)
+        assert from_file.miss_ratio == in_memory.miss_ratio

@@ -1,0 +1,103 @@
+"""Tests for workload characterization statistics."""
+
+import pytest
+
+from repro.traces.stats import (
+    estimate_zipf_alpha,
+    footprint_over_time,
+    popularity_counts,
+    reuse_distance_histogram,
+    summarize,
+    working_set_curve,
+)
+from repro.traces.synthetic import loop_trace, zipf_trace
+
+
+class TestPopularity:
+    def test_counts_sorted(self):
+        counts = popularity_counts(["a", "b", "a", "a", "b", "c"])
+        assert counts == [3, 2, 1]
+
+    def test_empty(self):
+        assert popularity_counts([]) == []
+
+
+class TestZipfAlpha:
+    @pytest.mark.parametrize("alpha", [0.7, 1.0, 1.3])
+    def test_recovers_generator_skew(self, alpha):
+        trace = zipf_trace(3000, 150_000, alpha=alpha, seed=0)
+        estimate = estimate_zipf_alpha(trace)
+        assert estimate == pytest.approx(alpha, abs=0.2)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            estimate_zipf_alpha(["a", "b"])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            estimate_zipf_alpha(zipf_trace(100, 1000), head_fraction=0.0)
+
+
+class TestReuseHistogram:
+    def test_first_accesses_are_inf(self):
+        hist = reuse_distance_histogram([1, 2, 3])
+        assert hist["inf"] == 3
+
+    def test_buckets_power_of_two(self):
+        hist = reuse_distance_histogram(["a", "a", "b", "c", "a"])
+        # a reused at distance 1 (<2) and 3 (<4)
+        assert hist["inf"] == 3
+        assert hist.get("<2", 0) == 1
+        assert hist.get("<4", 0) == 1
+
+    def test_total_matches_requests(self):
+        trace = zipf_trace(200, 5000, seed=1)
+        hist = reuse_distance_histogram(trace)
+        assert sum(hist.values()) == len(trace)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            reuse_distance_histogram([1], num_buckets=0)
+
+
+class TestWorkingSet:
+    def test_loop_working_set(self):
+        trace = loop_trace(50, 500)
+        sizes = working_set_curve(trace, window=100)
+        assert all(s == 50 for s in sizes)
+
+    def test_window_larger_than_trace(self):
+        assert working_set_curve([1, 1, 2], window=100) == [2]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            working_set_curve([1], window=0)
+
+
+class TestFootprint:
+    def test_monotone_growth(self):
+        trace = zipf_trace(500, 5000, seed=2)
+        curve = footprint_over_time(trace, points=20)
+        uniques = [u for _, u in curve]
+        assert all(uniques[i] <= uniques[i + 1] for i in range(len(uniques) - 1))
+        assert curve[-1] == (len(trace), len(set(trace)))
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            footprint_over_time([1], points=0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        trace = zipf_trace(1000, 30_000, alpha=1.0, seed=0)
+        summary = summarize(trace)
+        assert summary["requests"] == 30_000
+        assert summary["objects"] == len(set(trace))
+        assert 0.0 <= summary["one_hit_wonder_ratio"] <= 1.0
+        assert summary["zipf_alpha"] == pytest.approx(1.0, abs=0.25)
+
+    def test_tiny_trace_alpha_nan(self):
+        import math
+
+        summary = summarize(["a", "b", "a"])
+        assert math.isnan(summary["zipf_alpha"])

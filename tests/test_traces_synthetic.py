@@ -1,0 +1,184 @@
+"""Tests for the synthetic trace generators."""
+
+import pytest
+
+from collections import Counter
+
+from repro.traces.synthetic import (
+    loop_trace,
+    mixed_trace,
+    scan_trace,
+    two_access_trace,
+    zipf_probabilities,
+    zipf_sizes,
+    zipf_trace,
+    zipf_with_churn,
+    zipf_with_scans,
+)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        probs = zipf_probabilities(1000, 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decreasing(self):
+        probs = zipf_probabilities(100, 0.8)
+        assert all(probs[i] >= probs[i + 1] for i in range(99))
+
+    def test_alpha_zero_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert probs[0] == pytest.approx(probs[-1])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 0)
+
+    def test_trace_length_and_keyspace(self):
+        trace = zipf_trace(100, 5000, alpha=1.0, seed=0)
+        assert len(trace) == 5000
+        assert all(0 <= k < 100 for k in trace)
+
+    def test_deterministic(self):
+        assert zipf_trace(50, 1000, seed=5) == zipf_trace(50, 1000, seed=5)
+
+    def test_seeds_differ(self):
+        assert zipf_trace(50, 1000, seed=1) != zipf_trace(50, 1000, seed=2)
+
+    def test_key_base_offsets(self):
+        trace = zipf_trace(10, 100, seed=0, key_base=1000)
+        assert all(k >= 1000 for k in trace)
+
+    def test_skew_increases_top_share(self):
+        low = zipf_trace(1000, 50_000, alpha=0.6, seed=0)
+        high = zipf_trace(1000, 50_000, alpha=1.2, seed=0)
+
+        def top_share(trace):
+            counts = Counter(trace)
+            top = sum(c for _, c in counts.most_common(10))
+            return top / len(trace)
+
+        assert top_share(high) > top_share(low)
+
+    def test_rank_shuffle_changes_keys_not_distribution(self):
+        raw = zipf_trace(100, 10_000, alpha=1.0, seed=0, shuffle_ranks=False)
+        shuffled = zipf_trace(100, 10_000, alpha=1.0, seed=0)
+        assert sorted(Counter(raw).values()) == sorted(
+            Counter(shuffled).values()
+        )
+
+
+class TestScanAndLoop:
+    def test_scan_sequential(self):
+        assert scan_trace(4) == [0, 1, 2, 3]
+
+    def test_scan_repeats(self):
+        assert scan_trace(2, repeats=3) == [0, 1, 0, 1, 0, 1]
+
+    def test_scan_start(self):
+        assert scan_trace(3, start=10) == [10, 11, 12]
+
+    def test_loop(self):
+        assert loop_trace(3, 7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scan_trace(0)
+        with pytest.raises(ValueError):
+            scan_trace(2, repeats=0)
+        with pytest.raises(ValueError):
+            loop_trace(0, 5)
+
+
+class TestTwoAccess:
+    def test_every_key_exactly_twice(self):
+        trace = two_access_trace(500, gap=50, seed=0)
+        counts = Counter(trace)
+        assert all(c == 2 for c in counts.values())
+        assert len(counts) == 500
+
+    def test_gap_roughly_respected(self):
+        trace = two_access_trace(2000, gap=100, seed=0)
+        first = {}
+        gaps = []
+        for i, key in enumerate(trace):
+            if key in first:
+                gaps.append(i - first[key])
+            else:
+                first[key] = i
+        avg = sum(gaps) / len(gaps)
+        assert 100 <= avg <= 500
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            two_access_trace(0, gap=10)
+        with pytest.raises(ValueError):
+            two_access_trace(10, gap=0)
+
+
+class TestComposites:
+    def test_zipf_with_scans_adds_cold_keys(self):
+        base_objects = 500
+        trace = zipf_with_scans(
+            base_objects, 20_000, scan_length=100, scan_every=5000, seed=0
+        )
+        scan_keys = [k for k in trace if k >= base_objects + 1_000_000]
+        assert scan_keys
+        assert all(Counter(scan_keys)[k] == 1 for k in set(scan_keys))
+
+    def test_zipf_with_scans_disabled(self):
+        trace = zipf_with_scans(100, 1000, scan_length=0, seed=0)
+        assert len(trace) == 1000
+
+    def test_churn_adds_new_keys(self):
+        trace = zipf_with_churn(500, 20_000, churn_fraction=0.2, seed=0)
+        churn_keys = {k for k in trace if k >= 500 + 10_000_000}
+        assert churn_keys
+
+    def test_churn_zero_is_plain_zipf(self):
+        a = zipf_with_churn(100, 1000, churn_fraction=0.0, seed=1)
+        b = zipf_trace(100, 1000, seed=1)
+        assert a == b
+
+    def test_churn_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_with_churn(10, 100, churn_fraction=1.0)
+
+    def test_mixed_concat(self):
+        assert mixed_trace([[1, 2], [3]]) == [1, 2, 3]
+
+    def test_mixed_interleave_preserves_order(self):
+        merged = mixed_trace([[1, 2, 3], [10, 20]], interleave=True, seed=0)
+        assert [x for x in merged if x < 10] == [1, 2, 3]
+        assert [x for x in merged if x >= 10] == [10, 20]
+        assert len(merged) == 5
+
+    def test_mixed_empty(self):
+        assert mixed_trace([]) == []
+
+
+class TestSizes:
+    def test_sizes_stable_per_key(self):
+        sized = zipf_sizes([1, 2, 1, 2, 1], mean_size=1000, seed=0)
+        by_key = {}
+        for key, size in sized:
+            by_key.setdefault(key, set()).add(size)
+        assert all(len(s) == 1 for s in by_key.values())
+
+    def test_mean_size_approximate(self):
+        keys = list(range(2000))
+        sized = zipf_sizes(keys, mean_size=4096, seed=0)
+        mean = sum(s for _, s in sized) / len(sized)
+        assert 0.5 * 4096 < mean < 2 * 4096
+
+    def test_sizes_positive(self):
+        sized = zipf_sizes(list(range(100)), mean_size=10, sigma=2.0, seed=0)
+        assert all(s >= 1 for _, s in sized)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            zipf_sizes([1], mean_size=0)
