@@ -1,12 +1,16 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test bench examples experiments all
+.PHONY: install test resilience bench examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+resilience:
+	pytest tests/ -m resilience
+	s3fifo-repro resilience --seed 0
 
 bench:
 	pytest benchmarks/ --benchmark-only

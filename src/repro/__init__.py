@@ -23,6 +23,8 @@ Package layout:
   policies (Section 5.4).
 * :mod:`repro.concurrency` — the throughput/scalability model
   (Section 5.3).
+* :mod:`repro.resilience` — fault injection, retry/backoff, the policy
+  sanitizer, and warm-restart snapshots.
 """
 
 from repro.cache import EvictionPolicy, create_policy, policy_names
@@ -31,6 +33,12 @@ from repro.core import (
     S3FifoDCache,
     S3FifoRingCache,
     S3SieveCache,
+)
+from repro.resilience import (
+    CheckedPolicy,
+    FaultPlan,
+    InvariantViolation,
+    RetryPolicy,
 )
 from repro.sim import Request, simulate
 from repro.traces import zipf_trace
@@ -45,6 +53,10 @@ __all__ = [
     "S3FifoDCache",
     "S3FifoRingCache",
     "S3SieveCache",
+    "CheckedPolicy",
+    "FaultPlan",
+    "InvariantViolation",
+    "RetryPolicy",
     "Request",
     "simulate",
     "zipf_trace",

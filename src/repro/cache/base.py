@@ -47,6 +47,32 @@ class CacheStats:
             self.misses += 1
             self.bytes_missed += req.size
 
+    def as_dict(self) -> dict:
+        """All counters as a plain dict (snapshot / sanitizer interchange)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, counters: dict) -> "CacheStats":
+        stats = cls()
+        for name in cls.__slots__:
+            setattr(stats, name, int(counters.get(name, 0)))
+        return stats
+
+    def checksum(self) -> str:
+        """A stable hex digest of the counters.
+
+        Two stats objects with identical counters — e.g. a snapshot and
+        its warm-restarted twin, or two runs of the same fault plan —
+        have equal checksums, so tests can compare runs without poking
+        ``__slots__`` field by field.
+        """
+        import zlib
+
+        canonical = ",".join(
+            f"{name}={getattr(self, name)}" for name in self.__slots__
+        )
+        return f"{zlib.crc32(canonical.encode()) & 0xFFFFFFFF:08x}"
+
     @property
     def miss_ratio(self) -> float:
         """Fraction of requests that missed (the paper's main metric)."""

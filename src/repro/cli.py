@@ -188,6 +188,94 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Fault-injection demo: outage degradation, crash recovery,
+    trace corruption, and the policy sanitizer — all seed-deterministic."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.flash.admission import S3FifoAdmission
+    from repro.flash.flashcache import HybridFlashCache
+    from repro.resilience import (
+        CRASH,
+        FLASH_WRITE,
+        TRACE_CORRUPTION,
+        FaultPlan,
+        RetryPolicy,
+        corrupt_binary_trace,
+        crash_recovery_experiment,
+        run_checked,
+    )
+    from repro.traces.readers import (
+        SkippedRecords,
+        read_binary_trace,
+        write_binary_trace,
+    )
+    from repro.traces.synthetic import zipf_trace
+
+    trace = zipf_trace(
+        num_objects=args.objects,
+        num_requests=args.requests,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    n = len(trace)
+
+    print("== flash outage: degradation and recovery ==")
+    outage = FaultPlan().add(FLASH_WRITE, n // 4, n // 2)
+    hybrid = HybridFlashCache(
+        dram_capacity=max(10, args.objects // 100),
+        flash_capacity=max(100, args.objects // 10),
+        admission=S3FifoAdmission(ghost_entries=args.objects // 10),
+        faults=outage,
+        retry=RetryPolicy(max_attempts=3, base_delay=2.0, seed=args.seed),
+    )
+    result = hybrid.run(trace)
+    print(f"requests:           {result.requests}")
+    print(f"miss ratio:         {result.miss_ratio:.4f}")
+    print(f"degraded requests:  {result.degraded_requests}")
+    print(f"dropped writes:     {result.dropped_writes}")
+    print(f"write retries:      {result.flash_write_retries}")
+    print(f"bypass entries:     {result.bypass_entries}")
+    print(f"recovered:          {not hybrid.bypassed}")
+
+    print("\n== crash recovery: cold vs. warm restart ==")
+    crash_plan = FaultPlan().add(CRASH, n // 2, n // 2 + 1)
+    recovery = crash_recovery_experiment(
+        trace,
+        capacity=max(10, args.objects // 10),
+        policy="s3fifo",
+        plan=crash_plan,
+    )
+    print(f"crash at request:   {recovery.crash_at}")
+    print(f"cold-restart miss:  {recovery.cold_miss_ratio:.4f}")
+    print(f"warm-restart miss:  {recovery.warm_miss_ratio:.4f}")
+    print(f"recovery benefit:   {recovery.recovery_benefit:+.4f}")
+
+    print("\n== trace corruption: strict=False salvage ==")
+    corruption = FaultPlan().add(TRACE_CORRUPTION, 1, max(2, n // 20))
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = Path(tmp) / "clean.bin"
+        dirty = Path(tmp) / "dirty.bin"
+        write_binary_trace(clean, trace)
+        corrupted = corrupt_binary_trace(clean, dirty, corruption)
+        skipped = SkippedRecords()
+        salvaged = sum(
+            1 for _ in read_binary_trace(dirty, strict=False, skipped=skipped)
+        )
+    print(f"records corrupted:  {corrupted}")
+    print(f"records skipped:    {skipped.count}")
+    print(f"records salvaged:   {salvaged}")
+
+    print("\n== policy sanitizer ==")
+    from repro.cache.registry import create_policy
+
+    policy = create_policy("s3fifo", capacity=max(10, args.objects // 10))
+    checked, _hits = run_checked(policy, trace)
+    print(f"invariant checks:   {checked.checks_run} (all clean)")
+    return 0
+
+
 def _cmd_walkthrough(args: argparse.Namespace) -> int:
     """Print the Fig. 5 style state trace of S3-FIFO on a request list."""
     from repro.core.walkthrough import (
@@ -264,6 +352,16 @@ def build_parser() -> argparse.ArgumentParser:
     mrc.add_argument("--scale", type=float, default=1.0)
     mrc.add_argument("--seed", type=int, default=0)
 
+    res = sub.add_parser(
+        "resilience",
+        help="fault-injection demo: outage degradation, crash recovery, "
+        "trace corruption salvage, and the policy sanitizer",
+    )
+    res.add_argument("--objects", type=int, default=2_000)
+    res.add_argument("--requests", type=int, default=20_000)
+    res.add_argument("--alpha", type=float, default=1.0)
+    res.add_argument("--seed", type=int, default=0)
+
     walk = sub.add_parser(
         "walkthrough", help="Fig. 5 style step-by-step S3-FIFO state trace"
     )
@@ -285,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "mrc": _cmd_mrc,
+        "resilience": _cmd_resilience,
         "walkthrough": _cmd_walkthrough,
     }
     try:

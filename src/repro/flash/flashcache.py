@@ -15,17 +15,28 @@ DRAM+flash split of S3-FIFO the paper proposes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Iterable, Tuple, Union
+from typing import Hashable, Iterable, Optional, Tuple, Union
 
 from repro.cache.base import CacheEntry, EvictionPolicy
 from repro.cache.fifo import FifoCache
 from repro.cache.lru import LruCache
 from repro.flash.admission import AdmissionPolicy, S3FifoAdmission
+from repro.resilience.faults import FLASH_READ, FLASH_WRITE, FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.sim.request import Request
 
 
 class FlashCacheResult:
-    """Metrics of one hybrid-cache run (one Fig. 9 bar pair)."""
+    """Metrics of one hybrid-cache run (one Fig. 9 bar pair).
+
+    The ``degraded_requests`` / ``dropped_writes`` /
+    ``failed_flash_reads`` / ``flash_write_retries`` /
+    ``bypass_entries`` counters are only non-zero when a
+    :class:`~repro.resilience.faults.FaultPlan` is injected: a degraded
+    request is one served without the flash layer (bypass mode), a
+    dropped write is an admitted object lost because flash rejected it
+    even after retries.
+    """
 
     __slots__ = (
         "requests",
@@ -36,6 +47,11 @@ class FlashCacheResult:
         "flash_objects_written",
         "dram_hits",
         "flash_hits",
+        "degraded_requests",
+        "dropped_writes",
+        "failed_flash_reads",
+        "flash_write_retries",
+        "bypass_entries",
     )
 
     def __init__(self) -> None:
@@ -47,6 +63,11 @@ class FlashCacheResult:
         self.flash_objects_written = 0
         self.dram_hits = 0
         self.flash_hits = 0
+        self.degraded_requests = 0
+        self.dropped_writes = 0
+        self.failed_flash_reads = 0
+        self.flash_write_retries = 0
+        self.bypass_entries = 0
 
     @property
     def miss_ratio(self) -> float:
@@ -82,6 +103,8 @@ class HybridFlashCache:
         admission: AdmissionPolicy,
         dram_policy: str = "lru",
         flash_policy: str = "fifo",
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if dram_capacity <= 0:
             raise ValueError(f"dram_capacity must be positive, got {dram_capacity}")
@@ -108,6 +131,9 @@ class HybridFlashCache:
         self._flash_used = 0
         self._admission = admission
         self._clock = 0
+        self._faults = faults
+        self._retry = retry
+        self._bypass = False
         self.result = FlashCacheResult()
 
     # ------------------------------------------------------------------
@@ -119,24 +145,81 @@ class HybridFlashCache:
     def flash_used(self) -> int:
         return self._flash_used
 
+    @property
+    def bypassed(self) -> bool:
+        """Whether the flash layer is currently in DRAM-only bypass."""
+        return self._bypass
+
     def in_flash(self, key: Hashable) -> bool:
         return key in self._flash
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _refresh_bypass(self) -> None:
+        """Recovery: leave bypass once the write-fault window closes."""
+        if self._bypass and not self._faults.active(FLASH_WRITE, self._clock):
+            self._bypass = False
+
+    def _enter_bypass(self) -> None:
+        if not self._bypass:
+            self._bypass = True
+            self.result.bypass_entries += 1
+
+    def _attempt_flash_write(self) -> bool:
+        """Try the write now, then per the retry schedule.
+
+        Backoff delays advance a *logical* timeline from the current
+        clock, so a retry scheduled past the end of the fault window
+        succeeds — all of it deterministic for a fixed plan and retry
+        seed.  Injected latency spikes count against the retry policy's
+        per-attempt timeout.
+        """
+        attempts = self._retry.max_attempts if self._retry else 1
+        timeout = self._retry.attempt_timeout if self._retry else None
+        t = float(self._clock)
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.result.flash_write_retries += 1
+                t += self._retry.backoff(attempt - 1)
+            clock = int(t)
+            timed_out = (
+                timeout is not None and self._faults.latency(clock) > timeout
+            )
+            if not timed_out and not self._faults.active(FLASH_WRITE, clock):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     def request(self, key: Hashable, size: int = 1) -> bool:
         self._clock += 1
         self.result.requests += 1
         self.result.bytes_requested += size
+        if self._faults is not None:
+            self._refresh_bypass()
         if key in self._dram:
             self._dram.request(Request(key, size=size))
             self.result.dram_hits += 1
             return True
-        slot = self._flash.get(key)
-        if slot is not None:
-            slot[1] = True  # reference bit (fifo-reinsertion only)
-            self._admission.on_flash_hit(key, self._clock)
-            self.result.flash_hits += 1
-            return True
+        if self._bypass:
+            # DRAM-only serving: the flash layer is down, so everything
+            # past DRAM is a degraded request.
+            self.result.degraded_requests += 1
+        else:
+            slot = self._flash.get(key)
+            if slot is not None:
+                if self._faults is not None and self._faults.active(
+                    FLASH_READ, self._clock
+                ):
+                    # Transient read failure: served from the backend
+                    # instead; falls through to the miss path.
+                    self.result.failed_flash_reads += 1
+                    self.result.degraded_requests += 1
+                else:
+                    slot[1] = True  # reference bit (fifo-reinsertion only)
+                    self._admission.on_flash_hit(key, self._clock)
+                    self.result.flash_hits += 1
+                    return True
         # Miss.
         self.result.misses += 1
         self.result.bytes_missed += size
@@ -166,6 +249,15 @@ class HybridFlashCache:
     def _write_flash(self, key: Hashable, size: int) -> None:
         if key in self._flash:
             return  # already resident; no rewrite
+        if self._faults is not None:
+            if self._bypass:
+                self.result.dropped_writes += 1
+                return
+            if not self._attempt_flash_write():
+                # Write failed even after retries: persistent outage.
+                self.result.dropped_writes += 1
+                self._enter_bypass()
+                return
         while self._flash_used + size > self._flash_capacity and self._flash:
             self._evict_flash()
         if size > self._flash_capacity:

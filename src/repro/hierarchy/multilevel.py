@@ -19,14 +19,21 @@ paper's Fig. 9 is about.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Sequence, Tuple, Union
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.base import EvictionPolicy
+from repro.resilience.faults import LEVEL_OUTAGE, FaultPlan
 from repro.sim.request import Request
 
 
 class HierarchyResult:
-    """Aggregate and per-level statistics of one hierarchy run."""
+    """Aggregate and per-level statistics of one hierarchy run.
+
+    ``degraded_requests`` counts requests that had to skip at least one
+    failed (bypassed) level; ``dropped_demotions`` counts eviction
+    victims lost because every level below was down;
+    ``level_outages[i]`` counts how many times level ``i`` went dark.
+    """
 
     def __init__(self, num_levels: int) -> None:
         self.requests = 0
@@ -35,6 +42,9 @@ class HierarchyResult:
         self.promotions = 0
         self.demotions = 0
         self.demotion_bytes = 0
+        self.degraded_requests = 0
+        self.dropped_demotions = 0
+        self.level_outages = [0] * num_levels
 
     @property
     def miss_ratio(self) -> float:
@@ -61,6 +71,7 @@ class MultiLevelCache:
         self,
         levels: Sequence[EvictionPolicy],
         mode: str = "exclusive",
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if not levels:
             raise ValueError("need at least one cache level")
@@ -70,6 +81,9 @@ class MultiLevelCache:
             )
         self._levels: List[EvictionPolicy] = list(levels)
         self._mode = mode
+        self._faults = faults
+        self._down = [False] * len(levels)
+        self._touched_down = False
         self.result = HierarchyResult(len(levels))
         # Wire demotion-on-eviction for the exclusive discipline: each
         # level's eviction victim is inserted into the level below it
@@ -90,23 +104,84 @@ class MultiLevelCache:
     def mode(self) -> str:
         return self._mode
 
+    # ------------------------------------------------------------------
+    # Degradation: failed levels are bypassed until they recover
+    # ------------------------------------------------------------------
+    def level_down(self, index: int) -> bool:
+        """Whether level ``index`` is currently bypassed."""
+        return self._down[index]
+
+    def fail_level(self, index: int) -> None:
+        """Take a level dark: lookups, fills, promotions, and demotions
+        bypass it (its contents are retained for recovery)."""
+        if not self._down[index]:
+            self._down[index] = True
+            self.result.level_outages[index] += 1
+
+    def recover_level(self, index: int) -> None:
+        """Bring a failed level back; stale contents age out naturally."""
+        self._down[index] = False
+
+    def _refresh_outages(self) -> None:
+        """Sync level state with the fault plan (clock = request count).
+
+        With a plan installed, the plan is authoritative — it both
+        fails and recovers levels; :meth:`fail_level` /
+        :meth:`recover_level` are for plan-less (manual) operation.
+        """
+        if self._faults is None:
+            return
+        clock = self.result.requests
+        for i in range(len(self._levels)):
+            want_down = self._faults.active(LEVEL_OUTAGE, clock, target=i)
+            if want_down and not self._down[i]:
+                self.fail_level(i)
+            elif not want_down and self._down[i]:
+                self.recover_level(i)
+
+    def _skip(self, index: int) -> bool:
+        """True (and mark the request degraded) when ``index`` is down."""
+        if self._down[index]:
+            self._touched_down = True
+            return True
+        return False
+
     def _make_demoter(self, index: int):
         def on_evict(event) -> None:
-            if index + 1 >= len(self._levels):
-                return  # evicted from the last level: leaves hierarchy
-            below = self._levels[index + 1]
-            if event.size > below.capacity:
+            blocked = False
+            for j in range(index + 1, len(self._levels)):
+                if self._skip(j):
+                    blocked = True
+                    continue
+                below = self._levels[j]
+                if event.size > below.capacity:
+                    return
+                self.result.demotions += 1
+                self.result.demotion_bytes += event.size
+                below.request(Request(event.key, size=event.size))
                 return
-            self.result.demotions += 1
-            self.result.demotion_bytes += event.size
-            below.request(Request(event.key, size=event.size))
+            if blocked:
+                # Every level below was dark: the victim is lost
+                # instead of crashing the demotion chain.
+                self.result.dropped_demotions += 1
 
         return on_evict
 
     # ------------------------------------------------------------------
     def request(self, key: Hashable, size: int = 1) -> bool:
         self.result.requests += 1
+        self._refresh_outages()
+        self._touched_down = False
+        try:
+            return self._request(key, size)
+        finally:
+            if self._touched_down:
+                self.result.degraded_requests += 1
+
+    def _request(self, key: Hashable, size: int) -> bool:
         for i, level in enumerate(self._levels):
+            if self._skip(i):
+                continue
             if key in level:
                 level.request(Request(key, size=size))
                 self.result.level_hits[i] += 1
@@ -119,16 +194,28 @@ class MultiLevelCache:
         # Full miss.
         self.result.misses += 1
         if self._mode == "exclusive":
-            if size <= self._levels[0].capacity:
-                self._levels[0].request(Request(key, size=size))
+            top = self._first_up_level()
+            if top is not None and size <= self._levels[top].capacity:
+                self._levels[top].request(Request(key, size=size))
         else:
-            for level in self._levels:
+            for i, level in enumerate(self._levels):
+                if self._skip(i):
+                    continue
                 if size <= level.capacity:
                     level.request(Request(key, size=size))
         return False
 
+    def _first_up_level(self, below: int = 0) -> Optional[int]:
+        for i in range(below, len(self._levels)):
+            if not self._skip(i):
+                return i
+        return None
+
     def _promote(self, key: Hashable, size: int, from_level: int) -> None:
-        """Exclusive: move a lower-level hit up to L1."""
+        """Exclusive: move a lower-level hit up to the fastest live level."""
+        top = self._first_up_level()
+        if top is None or top >= from_level:
+            return  # nowhere faster to go
         self.result.promotions += 1
         lower = self._levels[from_level]
         remover = getattr(lower, "delete", None)
@@ -137,12 +224,14 @@ class MultiLevelCache:
         # Policies without delete support keep a stale lower copy that
         # ages out naturally (strict exclusivity needs delete;
         # S3FifoRingCache provides it, the others approximate).
-        if size <= self._levels[0].capacity:
-            self._levels[0].request(Request(key, size=size))
+        if size <= self._levels[top].capacity:
+            self._levels[top].request(Request(key, size=size))
 
     def _fill_upper(self, key: Hashable, size: int, up_to: int) -> None:
-        """Inclusive: copy a hit into every level above it."""
-        for level in self._levels[:up_to]:
+        """Inclusive: copy a hit into every live level above it."""
+        for i, level in enumerate(self._levels[:up_to]):
+            if self._skip(i):
+                continue
             if size <= level.capacity:
                 level.request(Request(key, size=size))
 

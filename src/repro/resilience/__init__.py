@@ -1,0 +1,68 @@
+"""Resilience subsystem: fault injection, retry, sanitizing, snapshots.
+
+The paper's evaluation leaned on a distributed fault-tolerant platform;
+a production-bound reproduction needs the same discipline in miniature:
+
+* :mod:`repro.resilience.faults` — deterministic, seed-driven fault
+  schedules (:class:`FaultPlan`) for flash read/write failures, latency
+  spikes, trace corruption, hierarchy-level outages, and crashes.
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, exponential
+  backoff with seeded jitter and attempt timeouts.
+* :mod:`repro.resilience.sanitizer` — :class:`CheckedPolicy`, the
+  always-on invariant checker wrappable around any eviction policy.
+* :mod:`repro.resilience.snapshot` — warm-restart snapshots and the
+  cold-vs-warm crash-recovery experiment.
+"""
+
+from repro.resilience.faults import (
+    CRASH,
+    FAULT_KINDS,
+    FLASH_READ,
+    FLASH_WRITE,
+    LATENCY,
+    LEVEL_OUTAGE,
+    TRACE_CORRUPTION,
+    FaultEvent,
+    FaultPlan,
+    corrupt_binary_trace,
+)
+from repro.resilience.retry import RetryError, RetryPolicy
+from repro.resilience.sanitizer import (
+    CheckedPolicy,
+    InvariantViolation,
+    run_checked,
+)
+from repro.resilience.snapshot import (
+    CrashRecoveryResult,
+    SnapshotError,
+    crash_recovery_experiment,
+    load_snapshot,
+    restore_policy,
+    save_snapshot,
+    snapshot_policy,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "corrupt_binary_trace",
+    "FAULT_KINDS",
+    "FLASH_READ",
+    "FLASH_WRITE",
+    "LATENCY",
+    "TRACE_CORRUPTION",
+    "LEVEL_OUTAGE",
+    "CRASH",
+    "RetryError",
+    "RetryPolicy",
+    "CheckedPolicy",
+    "InvariantViolation",
+    "run_checked",
+    "CrashRecoveryResult",
+    "SnapshotError",
+    "crash_recovery_experiment",
+    "snapshot_policy",
+    "restore_policy",
+    "save_snapshot",
+    "load_snapshot",
+]

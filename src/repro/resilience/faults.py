@@ -1,0 +1,220 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper's evaluation ran on a distributed *fault-tolerant* platform;
+this module is the single-machine stand-in for the faults that platform
+absorbed.  A :class:`FaultPlan` is a schedule of :class:`FaultEvent`
+windows on a logical clock (request sequence number).  Components that
+support degradation (:class:`~repro.flash.flashcache.HybridFlashCache`,
+:class:`~repro.hierarchy.multilevel.MultiLevelCache`) consult the plan
+on every operation, so a given plan produces *byte-identical* degraded
+behaviour across runs — fault injection never uses wall-clock time or
+unseeded randomness.
+
+Fault kinds:
+
+* ``flash-read`` — flash lookups fail (served as misses).
+* ``flash-write`` — flash writes fail; persistent failure drives the
+  flash layer into DRAM-only bypass until the window closes.
+* ``latency`` — an operation is charged extra logical latency, which
+  interacts with :class:`~repro.resilience.retry.RetryPolicy` attempt
+  timeouts.
+* ``trace-corruption`` — trace records inside the window are corrupted
+  on disk (see :func:`corrupt_binary_trace`), exercising the readers'
+  ``strict=False`` path.
+* ``level-outage`` — one hierarchy level goes dark and is bypassed.
+* ``crash`` — the cache process dies; used by the warm-restart
+  experiment in :mod:`repro.resilience.snapshot`.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+FLASH_READ = "flash-read"
+FLASH_WRITE = "flash-write"
+LATENCY = "latency"
+TRACE_CORRUPTION = "trace-corruption"
+LEVEL_OUTAGE = "level-outage"
+CRASH = "crash"
+
+FAULT_KINDS = frozenset(
+    {FLASH_READ, FLASH_WRITE, LATENCY, TRACE_CORRUPTION, LEVEL_OUTAGE, CRASH}
+)
+
+
+class FaultEvent:
+    """One fault window: ``kind`` is active for clocks in [start, stop).
+
+    ``target`` scopes the fault (a hierarchy level index for
+    ``level-outage``; ``None`` means any target).  ``magnitude`` is
+    kind-specific (extra logical latency units for ``latency``).
+    """
+
+    __slots__ = ("kind", "start", "stop", "target", "magnitude")
+
+    def __init__(
+        self,
+        kind: str,
+        start: int,
+        stop: int,
+        target: Optional[int] = None,
+        magnitude: float = 1.0,
+    ) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if stop <= start:
+            raise ValueError(f"stop must be > start, got [{start}, {stop})")
+        self.kind = kind
+        self.start = start
+        self.stop = stop
+        self.target = target
+        self.magnitude = magnitude
+
+    def active(self, clock: int, target: Optional[int] = None) -> bool:
+        if not self.start <= clock < self.stop:
+            return False
+        if self.target is None or target is None:
+            return True
+        return self.target == target
+
+    def __repr__(self) -> str:
+        scope = "" if self.target is None else f", target={self.target}"
+        return f"FaultEvent({self.kind}, [{self.start}, {self.stop}){scope})"
+
+
+class FaultPlan:
+    """An immutable-after-build schedule of fault windows.
+
+    Build explicitly with :meth:`add`, or generate a reproducible random
+    schedule with :meth:`generate`.  Membership queries are O(events of
+    that kind) — plans hold a handful of windows, not one per request.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.start, e.stop, e.kind)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        kind: str,
+        start: int,
+        stop: int,
+        target: Optional[int] = None,
+        magnitude: float = 1.0,
+    ) -> "FaultPlan":
+        """Append a window; returns ``self`` for chaining."""
+        self._events.append(FaultEvent(kind, start, stop, target, magnitude))
+        self._events.sort(key=lambda e: (e.start, e.stop, e.kind))
+        return self
+
+    @classmethod
+    def generate(
+        cls,
+        horizon: int,
+        kinds: Sequence[str] = (FLASH_READ, FLASH_WRITE),
+        count: int = 3,
+        mean_duration: int = 100,
+        seed: int = 0,
+        targets: Sequence[Optional[int]] = (None,),
+    ) -> "FaultPlan":
+        """A reproducible random schedule over ``[0, horizon)``.
+
+        The same arguments always yield the same plan: all randomness
+        comes from ``random.Random(seed)``.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = random.Random(seed)
+        events = []
+        for _ in range(count):
+            kind = rng.choice(list(kinds))
+            duration = max(1, int(rng.expovariate(1.0 / mean_duration)))
+            start = rng.randrange(max(1, horizon - duration))
+            target = rng.choice(list(targets))
+            events.append(
+                FaultEvent(kind, start, min(horizon, start + duration), target)
+            )
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._events)
+
+    def active(
+        self, kind: str, clock: int, target: Optional[int] = None
+    ) -> bool:
+        """Whether any ``kind`` window covers ``clock`` (and ``target``)."""
+        return any(
+            e.kind == kind and e.active(clock, target) for e in self._events
+        )
+
+    def window(
+        self, kind: str, clock: int, target: Optional[int] = None
+    ) -> Optional[FaultEvent]:
+        """The covering window, or ``None``."""
+        for e in self._events:
+            if e.kind == kind and e.active(clock, target):
+                return e
+        return None
+
+    def latency(self, clock: int) -> int:
+        """Total injected latency units at ``clock`` (0 outside spikes)."""
+        return int(
+            sum(
+                e.magnitude
+                for e in self._events
+                if e.kind == LATENCY and e.active(clock)
+            )
+        )
+
+    def events_of(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self._events)} events)"
+
+
+def corrupt_binary_trace(
+    src: Union[str, Path],
+    dst: Union[str, Path],
+    plan: FaultPlan,
+    record_size: int = 16,
+) -> int:
+    """Copy a binary trace, corrupting records inside ``trace-corruption``
+    windows (window clocks are 1-based record numbers).
+
+    Corruption zeroes the record — for the ``(u32 time, u64 obj_id,
+    u32 size)`` format a zero size is invalid, so corrupted records are
+    detectable by the reader.  Returns the number of records corrupted.
+    The same plan always corrupts the same records.
+    """
+    data = bytearray(Path(src).read_bytes())
+    corrupted = 0
+    for i in range(len(data) // record_size):
+        if plan.active(TRACE_CORRUPTION, i + 1):
+            start = i * record_size
+            data[start : start + record_size] = b"\x00" * record_size
+            corrupted += 1
+    Path(dst).write_bytes(bytes(data))
+    return corrupted

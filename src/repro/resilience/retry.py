@@ -1,0 +1,152 @@
+"""Generic retry with exponential backoff, jitter, and attempt timeouts.
+
+Used by :class:`~repro.flash.flashcache.HybridFlashCache` to retry
+injected flash-write failures (backoff measured in *logical* clock
+units so simulations stay deterministic) and by
+:func:`~repro.sim.runner.run_sweep` to bound and retry stuck sweep
+jobs (backoff measured in seconds).
+
+Jitter is derived from ``random.Random(seed)`` per :class:`RetryPolicy`
+instance, so a given policy always produces the same delay sequence —
+the property the fault-injection determinism test pins down.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryError(Exception):
+    """All attempts failed.  ``last_error`` is the final exception."""
+
+    def __init__(self, attempts: int, last_error: Exception) -> None:
+        super().__init__(
+            f"gave up after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter and per-attempt timeouts.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = no retries).
+    base_delay:
+        Backoff before the first retry; attempt ``k`` (0-based retry
+        index) waits ``min(max_delay, base_delay * multiplier**k)``,
+        scaled by a jitter factor drawn from ``[1 - jitter, 1]``.
+    attempt_timeout:
+        Budget for one attempt, in the caller's time units.  ``call``
+        cannot preempt a running function, so in-process users treat
+        this as advisory; :func:`~repro.sim.runner.run_sweep` enforces
+        it on worker processes (seconds).
+    seed:
+        Seeds the jitter stream; same seed, same delays.
+    """
+
+    __slots__ = (
+        "max_attempts",
+        "base_delay",
+        "multiplier",
+        "max_delay",
+        "jitter",
+        "attempt_timeout",
+        "seed",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 1.0,
+        multiplier: float = 2.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.5,
+        attempt_timeout: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {base_delay}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        if attempt_timeout is not None and attempt_timeout <= 0:
+            raise ValueError(
+                f"attempt_timeout must be positive, got {attempt_timeout}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.attempt_timeout = attempt_timeout
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind the jitter stream (for byte-identical reruns)."""
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, retry_index: int) -> float:
+        """Delay before retry ``retry_index`` (0-based), with jitter."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        raw = min(
+            self.max_delay, self.base_delay * (self.multiplier ** retry_index)
+        )
+        factor = 1.0 - self.jitter * self._rng.random()
+        return raw * factor
+
+    def delays(self) -> List[float]:
+        """The full backoff sequence (``max_attempts - 1`` delays)."""
+        return [self.backoff(i) for i in range(self.max_attempts - 1)]
+
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Optional[Callable[[float], None]] = time.sleep,
+        on_retry: Optional[Callable[[int, Exception, float], None]] = None,
+        **kwargs,
+    ) -> T:
+        """Invoke ``fn`` with retries; raises :class:`RetryError` when
+        every attempt fails.
+
+        ``sleep=None`` skips real waiting (simulation use); ``on_retry``
+        observes ``(attempt_number, error, delay)`` before each retry.
+        """
+        last: Optional[Exception] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as exc:  # noqa: PERF203 - retry loop
+                last = exc
+                if attempt == self.max_attempts:
+                    break
+                delay = self.backoff(attempt - 1)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if sleep is not None and delay > 0:
+                    sleep(delay)
+        assert last is not None
+        raise RetryError(self.max_attempts, last)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, seed={self.seed})"
+        )

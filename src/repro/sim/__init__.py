@@ -21,6 +21,8 @@ __all__ = [
     "percentile_summary",
     "SweepJob",
     "SweepResult",
+    "SweepReport",
+    "FailureSummary",
     "run_sweep",
 ]
 
@@ -31,6 +33,8 @@ _LAZY = {
     "percentile_summary": "repro.sim.metrics",
     "SweepJob": "repro.sim.runner",
     "SweepResult": "repro.sim.runner",
+    "SweepReport": "repro.sim.runner",
+    "FailureSummary": "repro.sim.runner",
     "run_sweep": "repro.sim.runner",
 }
 

@@ -10,15 +10,19 @@ an error result instead of aborting the sweep).
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.cache.registry import create_policy
+from repro.resilience.retry import RetryPolicy
 from repro.sim.simulator import simulate
 
 TraceFactory = Callable[..., Sequence]
+
+logger = logging.getLogger(__name__)
 
 
 class SweepJob:
@@ -106,6 +110,85 @@ class SweepResult:
         )
 
 
+class FailureSummary:
+    """One aggregated failure class inside a :class:`SweepReport`."""
+
+    __slots__ = ("exception", "count", "first_traceback", "first_job")
+
+    def __init__(
+        self, exception: str, count: int, first_traceback: str, first_job: str
+    ) -> None:
+        self.exception = exception
+        self.count = count
+        self.first_traceback = first_traceback
+        self.first_job = first_job
+
+    def __repr__(self) -> str:
+        return f"FailureSummary({self.exception}, count={self.count})"
+
+
+def _exception_name(trace_text: str) -> str:
+    """The exception class named on the last line of a traceback."""
+    for line in reversed(trace_text.strip().splitlines()):
+        line = line.strip()
+        if line and not line.startswith(("File ", "Traceback", "^")):
+            return line.split(":", 1)[0].strip() or "Exception"
+    return "Exception"
+
+
+class SweepReport(List[SweepResult]):
+    """The results of one sweep, plus an aggregated failure summary.
+
+    A plain list of :class:`SweepResult` (all existing callers keep
+    working), with the failed jobs surfaced instead of silently lost.
+    """
+
+    @property
+    def ok_results(self) -> List[SweepResult]:
+        return [r for r in self if r.ok]
+
+    @property
+    def failed(self) -> List[SweepResult]:
+        return [r for r in self if not r.ok]
+
+    @property
+    def failures(self) -> List[FailureSummary]:
+        """Failed jobs grouped by exception class, first traceback kept."""
+        groups: Dict[str, FailureSummary] = {}
+        for result in self:
+            if result.ok:
+                continue
+            name = _exception_name(result.error)
+            summary = groups.get(name)
+            if summary is None:
+                groups[name] = FailureSummary(
+                    exception=name,
+                    count=1,
+                    first_traceback=result.error,
+                    first_job=(
+                        f"{result.trace_name}/{result.policy}"
+                        f"/{result.cache_size}"
+                    ),
+                )
+            else:
+                summary.count += 1
+        return sorted(groups.values(), key=lambda s: -s.count)
+
+    def log_failures(self) -> None:
+        """One-line warning per failure class (no-op on a clean sweep)."""
+        for summary in self.failures:
+            logger.warning(
+                "sweep lost %d job(s) to %s (first: %s)",
+                summary.count,
+                summary.exception,
+                summary.first_job,
+            )
+
+
+class SweepTimeout(Exception):
+    """A sweep job exceeded its per-attempt timeout."""
+
+
 def execute_job(job: SweepJob) -> SweepResult:
     """Run one job; never raises — failures land in ``result.error``."""
     try:
@@ -133,27 +216,101 @@ def execute_job(job: SweepJob) -> SweepResult:
         )
 
 
+def _timeout_result(
+    job: SweepJob, timeout: float, attempt: int
+) -> SweepResult:
+    return SweepResult(
+        trace_name=job.trace_name,
+        policy=job.policy,
+        cache_size=job.cache_size,
+        tags=job.tags,
+        error=(
+            f"SweepTimeout: job exceeded {timeout}s "
+            f"(attempt {attempt})\n"
+        ),
+    )
+
+
+def _pool_round(pool, pending, results, timeout, attempt):
+    """Submit one round of jobs; returns the (index, job) pairs that
+    failed or timed out and are eligible for another attempt."""
+    submitted = [
+        (idx, job, pool.apply_async(execute_job, (job,)))
+        for idx, job in pending
+    ]
+    failed = []
+    for idx, job, handle in submitted:
+        try:
+            result = handle.get(timeout)
+        except multiprocessing.TimeoutError:
+            # The worker may still be burning CPU; the pool context
+            # manager terminates stragglers when the sweep finishes.
+            result = _timeout_result(job, timeout, attempt)
+        result.tags["attempts"] = attempt
+        results[idx] = result
+        if not result.ok:
+            failed.append((idx, job))
+    return failed
+
+
 def run_sweep(
     jobs: Iterable[SweepJob],
     processes: Optional[int] = None,
-) -> List[SweepResult]:
+    retry: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+) -> SweepReport:
     """Execute jobs, in parallel when ``processes`` allows it.
 
     ``processes=None`` uses one worker per CPU (capped at the job
     count); ``processes<=1`` runs sequentially in-process, which is
     also the fallback when the platform cannot fork.
+
+    With ``retry`` set, failed (or timed-out) jobs are re-executed up
+    to ``retry.max_attempts`` times; backoff delays are not slept —
+    sweeps are batch work, the retry policy only bounds the attempt
+    count and timeout.  ``timeout`` (seconds per job attempt, parallel
+    mode only — a stuck in-process job cannot be preempted) defaults to
+    ``retry.attempt_timeout``.  Each result records its attempt count
+    in ``tags["attempts"]``, and the returned :class:`SweepReport`
+    aggregates whatever still failed.
     """
     job_list = list(jobs)
+    report = SweepReport()
     if not job_list:
-        return []
+        return report
+    if timeout is None and retry is not None:
+        timeout = retry.attempt_timeout
+    max_attempts = retry.max_attempts if retry is not None else 1
     if processes is None:
         processes = min(len(job_list), multiprocessing.cpu_count())
-    if processes <= 1 or len(job_list) == 1:
-        return [execute_job(job) for job in job_list]
-    try:
-        with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(execute_job, job_list)
-    except (OSError, pickle.PicklingError, AttributeError):
-        # No fork available, or a non-module-level trace factory was
-        # passed: degrade gracefully to sequential execution.
-        return [execute_job(job) for job in job_list]
+
+    results: Dict[int, SweepResult] = {}
+    pending = list(enumerate(job_list))
+    if processes > 1 and len(job_list) > 1:
+        try:
+            with multiprocessing.Pool(processes=processes) as pool:
+                for attempt in range(1, max_attempts + 1):
+                    if not pending:
+                        break
+                    pending = _pool_round(
+                        pool, pending, results, timeout, attempt
+                    )
+        except (OSError, pickle.PicklingError, AttributeError):
+            # No fork available, or a non-module-level trace factory was
+            # passed: degrade gracefully to sequential execution.
+            results.clear()
+            pending = list(enumerate(job_list))
+    for attempt in range(1, max_attempts + 1):
+        if not pending:
+            break
+        failed = []
+        for idx, job in pending:
+            result = execute_job(job)
+            result.tags["attempts"] = attempt
+            results[idx] = result
+            if not result.ok:
+                failed.append((idx, job))
+        pending = failed
+    report.extend(results[idx] for idx in sorted(results))
+    report.log_failures()
+    return report

@@ -20,6 +20,16 @@ from repro.traces.multitenant import (
     shared_vs_partitioned,
     split_by_tenant,
 )
+from repro.traces.readers import (
+    SkippedRecords,
+    TraceFormatError,
+    read_binary_trace,
+    read_csv_trace,
+    read_oracle_general,
+    write_binary_trace,
+    write_csv_trace,
+    write_oracle_general,
+)
 from repro.traces.stats import (
     estimate_zipf_alpha,
     reuse_distance_histogram,
@@ -51,6 +61,14 @@ __all__ = [
     "multitenant_trace",
     "shared_vs_partitioned",
     "split_by_tenant",
+    "SkippedRecords",
+    "TraceFormatError",
+    "read_binary_trace",
+    "read_csv_trace",
+    "read_oracle_general",
+    "write_binary_trace",
+    "write_csv_trace",
+    "write_oracle_general",
     "estimate_zipf_alpha",
     "reuse_distance_histogram",
     "working_set_curve",

@@ -17,13 +17,51 @@ from __future__ import annotations
 import csv
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from repro.sim.request import Request
 
 _RECORD = struct.Struct("<IQI")
 
 TraceItem = Union[int, Tuple[int, int], Request]
+
+
+class TraceFormatError(ValueError):
+    """A malformed trace record, located precisely.
+
+    Carries the file, the 1-based record number, and the byte offset of
+    the offending record so a corrupt multi-gigabyte trace can be
+    triaged without bisecting it by hand.
+    """
+
+    def __init__(
+        self, path, record: int, offset: int, reason: str
+    ) -> None:
+        super().__init__(
+            f"{path}: bad record {record} at byte offset {offset}: {reason}"
+        )
+        self.path = str(path)
+        self.record = record
+        self.offset = offset
+        self.reason = reason
+
+
+class SkippedRecords:
+    """Tally of records dropped by a ``strict=False`` reader pass."""
+
+    __slots__ = ("count", "first_error")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.first_error: Optional[TraceFormatError] = None
+
+    def note(self, error: TraceFormatError) -> None:
+        self.count += 1
+        if self.first_error is None:
+            self.first_error = error
+
+    def __repr__(self) -> str:
+        return f"SkippedRecords(count={self.count})"
 
 
 def _normalize(item: TraceItem, time: int) -> Tuple[int, int, int]:
@@ -46,19 +84,45 @@ def write_csv_trace(path: Union[str, Path], trace: Iterable[TraceItem]) -> int:
     return count
 
 
-def read_csv_trace(path: Union[str, Path]) -> Iterator[Request]:
-    """Stream requests from a CSV trace (header row auto-detected)."""
+def read_csv_trace(
+    path: Union[str, Path],
+    strict: bool = True,
+    skipped: Optional[SkippedRecords] = None,
+) -> Iterator[Request]:
+    """Stream requests from a CSV trace (header row auto-detected).
+
+    Malformed rows raise :class:`TraceFormatError` naming the file,
+    record number, and byte offset.  With ``strict=False`` bad rows are
+    skipped instead (tallied into ``skipped`` when provided) so one
+    corrupt line cannot abort a multi-hour sweep.
+    """
     with open(path, newline="") as fh:
-        reader = csv.reader(fh)
-        for row in reader:
+        offset = 0
+        record = 0
+        for line in fh:
+            line_offset = offset
+            offset += len(line.encode())
+            row = next(csv.reader([line]), [])
             if not row:
                 continue
             if row[0].strip().lower() in {"time", "timestamp", "ts"}:
                 continue  # header
-            time = int(row[0])
-            key = int(row[1])
-            size = int(row[2]) if len(row) > 2 and row[2] else 1
-            yield Request(key, size=size, time=time)
+            record += 1
+            try:
+                time = int(row[0])
+                key = int(row[1])
+                size = int(row[2]) if len(row) > 2 and row[2] else 1
+                req = Request(key, size=size, time=time)
+            except (ValueError, IndexError) as exc:
+                error = TraceFormatError(
+                    path, record, line_offset, f"{line.rstrip()!r}: {exc}"
+                )
+                if strict:
+                    raise error from exc
+                if skipped is not None:
+                    skipped.note(error)
+                continue
+            yield req
 
 
 def write_binary_trace(path: Union[str, Path], trace: Iterable[TraceItem]) -> int:
@@ -72,19 +136,50 @@ def write_binary_trace(path: Union[str, Path], trace: Iterable[TraceItem]) -> in
     return count
 
 
-def read_binary_trace(path: Union[str, Path]) -> Iterator[Request]:
-    """Stream requests from a packed binary trace."""
+def read_binary_trace(
+    path: Union[str, Path],
+    strict: bool = True,
+    skipped: Optional[SkippedRecords] = None,
+) -> Iterator[Request]:
+    """Stream requests from a packed binary trace.
+
+    Truncated files and invalid records (zero size, as produced by
+    bit-rot or :func:`repro.resilience.faults.corrupt_binary_trace`)
+    raise :class:`TraceFormatError` with the record number and byte
+    offset; ``strict=False`` skips bad records and stops cleanly at a
+    truncation, counting both into ``skipped``.
+    """
     with open(path, "rb") as fh:
+        record = 0
         while True:
+            offset = record * _RECORD.size
             chunk = fh.read(_RECORD.size)
             if not chunk:
                 return
+            record += 1
             if len(chunk) != _RECORD.size:
-                raise ValueError(
-                    f"truncated trace file {path}: {len(chunk)} trailing bytes"
+                error = TraceFormatError(
+                    path,
+                    record,
+                    offset,
+                    f"truncated: {len(chunk)} trailing bytes",
                 )
+                if strict:
+                    raise error
+                if skipped is not None:
+                    skipped.note(error)
+                return  # nothing after a truncation can be framed
             time, key, size = _RECORD.unpack(chunk)
-            yield Request(key, size=size, time=time)
+            try:
+                req = Request(key, size=size, time=time)
+            except ValueError as exc:
+                error = TraceFormatError(path, record, offset, str(exc))
+                if strict:
+                    raise error from exc
+                if skipped is not None:
+                    skipped.note(error)
+                continue
+            yield req
 
 
 # ----------------------------------------------------------------------
@@ -101,20 +196,32 @@ def read_binary_trace(path: Union[str, Path]) -> Iterator[Request]:
 _ORACLE_RECORD = struct.Struct("<IQIq")
 
 
-def read_oracle_general(path: Union[str, Path]) -> Iterator[Request]:
+def read_oracle_general(
+    path: Union[str, Path],
+    strict: bool = True,
+    skipped: Optional[SkippedRecords] = None,
+) -> Iterator[Request]:
     """Stream requests from a libCacheSim oracleGeneral trace."""
     with open(path, "rb") as fh:
         index = 0
         while True:
+            offset = index * _ORACLE_RECORD.size
             chunk = fh.read(_ORACLE_RECORD.size)
             if not chunk:
                 return
-            if len(chunk) != _ORACLE_RECORD.size:
-                raise ValueError(
-                    f"truncated oracleGeneral file {path}: "
-                    f"{len(chunk)} trailing bytes"
-                )
             index += 1
+            if len(chunk) != _ORACLE_RECORD.size:
+                error = TraceFormatError(
+                    path,
+                    index,
+                    offset,
+                    f"truncated: {len(chunk)} trailing bytes",
+                )
+                if strict:
+                    raise error
+                if skipped is not None:
+                    skipped.note(error)
+                return
             _, obj_id, size, next_vtime = _ORACLE_RECORD.unpack(chunk)
             yield Request(
                 obj_id,

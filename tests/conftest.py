@@ -7,6 +7,28 @@ import pytest
 from repro.traces.synthetic import zipf_trace
 
 
+@pytest.fixture
+def checked_policy():
+    """Factory building registry policies wrapped in the invariant
+    sanitizer (:class:`repro.resilience.sanitizer.CheckedPolicy`).
+
+    Any test that exercises a policy through this fixture gets every
+    access cross-checked against the interface contract for free —
+    an :class:`~repro.resilience.sanitizer.InvariantViolation` failure
+    points at the corruption site instead of a wrong miss ratio.
+    """
+    from repro.cache.registry import create_policy
+    from repro.resilience.sanitizer import CheckedPolicy
+
+    def make(name: str, capacity: int, deep_every: int = 256, **kwargs):
+        return CheckedPolicy(
+            create_policy(name, capacity=capacity, **kwargs),
+            deep_every=deep_every,
+        )
+
+    return make
+
+
 @pytest.fixture(scope="session")
 def small_zipf():
     """A small, deterministic Zipf trace shared by many tests."""

@@ -124,3 +124,27 @@ class TestCommands:
         code = main(["walkthrough", "--trace", "a,b,a", "--capacity", "4"])
         assert code == 0
         assert "a" in capsys.readouterr().out
+
+
+class TestResilienceCommand:
+    def test_resilience_demo(self, capsys):
+        code = main(
+            [
+                "resilience",
+                "--objects", "500",
+                "--requests", "4000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded requests" in out
+        assert "warm-restart miss" in out
+        assert "records salvaged" in out
+        assert "sanitizer" in out
+
+    def test_resilience_is_deterministic(self, capsys):
+        args = ["resilience", "--objects", "300", "--requests", "3000"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,189 @@
+"""Graceful degradation: flash bypass and hierarchy level outages."""
+
+import pytest
+
+from repro.cache.lru import LruCache
+from repro.core.s3fifo import S3FifoCache
+from repro.flash.admission import NoAdmission, S3FifoAdmission
+from repro.flash.flashcache import HybridFlashCache
+from repro.hierarchy.multilevel import MultiLevelCache
+from repro.resilience.faults import (
+    FLASH_READ,
+    FLASH_WRITE,
+    LATENCY,
+    LEVEL_OUTAGE,
+    FaultPlan,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.traces.synthetic import zipf_trace
+
+pytestmark = pytest.mark.resilience
+
+
+def _hybrid(plan, retry=None, admission=None):
+    return HybridFlashCache(
+        dram_capacity=50,
+        flash_capacity=500,
+        admission=admission or S3FifoAdmission(ghost_entries=200),
+        faults=plan,
+        retry=retry,
+    )
+
+
+class TestFlashOutage:
+    """Acceptance: flash outage under S3FifoAdmission degrades to
+    DRAM-only serving, with degraded/dropped counts reported."""
+
+    def test_outage_degrades_without_crash(self):
+        trace = zipf_trace(1_000, 10_000, alpha=1.0, seed=5)
+        plan = FaultPlan().add(FLASH_WRITE, 2_000, 6_000)
+        cache = _hybrid(plan)
+        result = cache.run(trace)  # must not raise
+        assert result.requests == 10_000
+        assert result.degraded_requests > 0
+        assert result.dropped_writes > 0
+        assert result.bypass_entries >= 1
+
+    def test_recovery_reenables_flash(self):
+        trace = zipf_trace(1_000, 10_000, alpha=1.0, seed=5)
+        plan = FaultPlan().add(FLASH_WRITE, 2_000, 6_000)
+        cache = _hybrid(plan)
+        cache.run(trace)
+        assert not cache.bypassed
+        # Writes resumed after the window: flash is populated again.
+        assert cache.flash_used > 0
+
+    def test_dram_hits_unaffected_during_bypass(self):
+        plan = FaultPlan().add(FLASH_WRITE, 0, 1_000_000)
+        cache = _hybrid(plan, admission=NoAdmission())
+        cache.request(1)
+        assert cache.request(1)  # DRAM hit still served
+        assert cache.result.dram_hits == 1
+
+    def test_no_flash_writes_inside_outage(self):
+        plan = FaultPlan().add(FLASH_WRITE, 0, 1_000_000)
+        cache = _hybrid(plan, admission=NoAdmission())
+        for key in range(500):  # DRAM (50) overflows; all victims dropped
+            cache.request(key)
+        assert cache.result.flash_bytes_written == 0
+        assert cache.result.dropped_writes > 0
+        assert cache.bypassed
+
+    def test_retry_rides_out_window_edge(self):
+        """A write failing at the window's last tick succeeds on a
+        backoff retry that lands past the window."""
+        plan = FaultPlan().add(FLASH_WRITE, 1, 3)
+        retry = RetryPolicy(max_attempts=3, base_delay=4.0, jitter=0.0)
+        cache = _hybrid(plan, retry=retry, admission=NoAdmission())
+        cache.request(1, size=60)  # too big for DRAM(50): straight to flash
+        assert cache.result.flash_write_retries >= 1
+        assert cache.result.flash_bytes_written == 60
+        assert cache.result.dropped_writes == 0
+
+    def test_read_failure_served_as_miss(self):
+        plan = FaultPlan().add(FLASH_READ, 3, 4)
+        cache = _hybrid(plan, admission=NoAdmission())
+        cache.request(1, size=60)  # to flash (oversized for DRAM)
+        assert cache.request(1, size=60)  # request 2: flash hit
+        assert not cache.request(1, size=60)  # request 3: read fails
+        assert cache.result.failed_flash_reads == 1
+        assert cache.result.degraded_requests == 1
+        assert cache.request(1, size=60)  # request 4: healthy again
+
+    def test_latency_spike_times_out_attempts(self):
+        plan = FaultPlan().add(LATENCY, 0, 100, magnitude=50)
+        retry = RetryPolicy(
+            max_attempts=2, base_delay=1.0, jitter=0.0, attempt_timeout=10.0
+        )
+        cache = _hybrid(plan, retry=retry, admission=NoAdmission())
+        cache.request(1, size=60)
+        assert cache.result.dropped_writes == 1
+
+    def test_no_faults_no_counters(self):
+        trace = zipf_trace(500, 5_000, alpha=1.0, seed=2)
+        cache = HybridFlashCache(
+            dram_capacity=50,
+            flash_capacity=500,
+            admission=S3FifoAdmission(ghost_entries=200),
+        )
+        result = cache.run(trace)
+        assert result.degraded_requests == 0
+        assert result.dropped_writes == 0
+        assert result.bypass_entries == 0
+
+
+class TestHierarchyOutage:
+    def _hierarchy(self, plan=None, mode="exclusive"):
+        return MultiLevelCache(
+            [LruCache(20), S3FifoCache(200)], mode=mode, faults=plan
+        )
+
+    def test_manual_fail_and_recover(self):
+        cache = self._hierarchy()
+        for key in range(50):
+            cache.request(key)
+        cache.fail_level(1)
+        assert cache.level_down(1)
+        hit = cache.request(0)
+        assert isinstance(hit, bool)  # served, not crashed
+        assert cache.result.degraded_requests >= 1
+        assert cache.result.level_outages == [0, 1]
+        cache.recover_level(1)
+        assert not cache.level_down(1)
+
+    def test_planned_outage_and_recovery(self):
+        trace = zipf_trace(300, 6_000, alpha=1.0, seed=9)
+        plan = FaultPlan().add(LEVEL_OUTAGE, 1_000, 3_000, target=1)
+        cache = self._hierarchy(plan)
+        result = cache.run(trace)
+        assert result.requests == 6_000
+        assert result.level_outages == [0, 1]
+        assert result.degraded_requests > 0
+        assert not cache.level_down(1)  # recovered after the window
+
+    def test_outage_of_l1_serves_from_l2(self):
+        plan = FaultPlan().add(LEVEL_OUTAGE, 0, 1_000_000, target=0)
+        cache = self._hierarchy(plan)
+        cache.request(7)
+        assert cache.request(7)  # L2 hit: L1 is dark but L2 absorbed the fill
+        assert cache.result.level_hits == [0, 1]
+
+    def test_demotion_dropped_when_lower_level_dark(self):
+        plan = FaultPlan().add(LEVEL_OUTAGE, 0, 1_000_000, target=1)
+        cache = self._hierarchy(plan)
+        for key in range(100):  # overflow L1 (20): victims have nowhere to go
+            cache.request(key)
+        assert cache.result.dropped_demotions > 0
+        assert cache.result.demotions == 0
+
+    def test_inclusive_fill_skips_dark_level(self):
+        plan = FaultPlan().add(LEVEL_OUTAGE, 0, 1_000_000, target=0)
+        cache = self._hierarchy(plan, mode="inclusive")
+        cache.request(3)
+        assert 3 in cache._levels[1]
+        assert 3 not in cache._levels[0]
+
+    def test_degradation_is_deterministic(self):
+        trace = zipf_trace(300, 6_000, alpha=1.0, seed=9)
+        plan = FaultPlan.generate(
+            horizon=6_000,
+            kinds=(LEVEL_OUTAGE,),
+            count=3,
+            mean_duration=500,
+            seed=13,
+            targets=(0, 1),
+        )
+        runs = []
+        for _ in range(2):
+            cache = self._hierarchy(plan)
+            result = cache.run(trace)
+            runs.append(
+                (
+                    result.misses,
+                    result.degraded_requests,
+                    result.dropped_demotions,
+                    tuple(result.level_outages),
+                    tuple(result.level_hits),
+                )
+            )
+        assert runs[0] == runs[1]

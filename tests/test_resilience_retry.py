@@ -1,0 +1,121 @@
+"""Retry policy: backoff shape, jitter determinism, failure modes."""
+
+import pytest
+
+from repro.resilience.retry import RetryError, RetryPolicy
+
+pytestmark = pytest.mark.resilience
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, jitter=0.0
+        )
+        assert policy.delays() == [1.0, 2.0, 4.0, 8.0]
+
+    def test_max_delay_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=10.0, multiplier=10.0,
+            max_delay=50.0, jitter=0.0,
+        )
+        assert max(policy.delays()) == 50.0
+
+    def test_jitter_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_delay=8.0, multiplier=1.0, jitter=0.5
+        )
+        for delay in policy.delays():
+            assert 4.0 <= delay <= 8.0
+
+    def test_jitter_is_seed_deterministic(self):
+        a = RetryPolicy(max_attempts=8, jitter=0.9, seed=3).delays()
+        b = RetryPolicy(max_attempts=8, jitter=0.9, seed=3).delays()
+        c = RetryPolicy(max_attempts=8, jitter=0.9, seed=4).delays()
+        assert a == b
+        assert a != c
+
+    def test_reset_rewinds_jitter_stream(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.9, seed=0)
+        first = policy.delays()
+        policy.reset()
+        assert policy.delays() == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempt_timeout=0)
+
+
+class TestCall:
+    def test_succeeds_first_try(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(lambda: 42, sleep=None) == 42
+
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        assert policy.call(flaky, sleep=None) == "ok"
+        assert len(attempts) == 3
+
+    def test_gives_up_with_retry_error(self):
+        def always_fails():
+            raise OSError("down")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with pytest.raises(RetryError) as info:
+            policy.call(always_fails, sleep=None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, OSError)
+
+    def test_retry_on_filters_exceptions(self):
+        def fails():
+            raise KeyError("not retryable")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with pytest.raises(KeyError):
+            policy.call(fails, retry_on=(OSError,), sleep=None)
+
+    def test_on_retry_observes_attempts(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("x")
+            return 1
+
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+        policy.call(
+            flaky,
+            sleep=None,
+            on_retry=lambda attempt, exc, delay: seen.append(
+                (attempt, type(exc).__name__, delay)
+            ),
+        )
+        assert seen == [(1, "OSError", 1.0), (2, "OSError", 2.0)]
+
+    def test_injected_sleep_receives_backoff(self):
+        slept = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("x")
+            return 1
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        policy.call(flaky, sleep=slept.append)
+        assert slept == [0.5, 1.0]

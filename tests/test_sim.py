@@ -219,3 +219,92 @@ class TestRunner:
     def test_repr(self):
         assert "SweepJob" in repr(self._job())
         assert "SweepResult" in repr(execute_job(self._job()))
+
+
+class TestSweepReport:
+    def _job(self, policy="lru", n=2000):
+        return SweepJob(
+            trace_name="t",
+            trace_factory=_trace_factory,
+            trace_kwargs={"n": n},
+            policy=policy,
+            cache_size=20,
+        )
+
+    def test_failures_grouped_by_exception(self):
+        jobs = [
+            self._job(),
+            self._job(policy="missing-a"),
+            self._job(policy="missing-b"),
+        ]
+        report = run_sweep(jobs, processes=1)
+        assert len(report.ok_results) == 1
+        assert len(report.failed) == 2
+        assert len(report.failures) == 1  # both are KeyError
+        summary = report.failures[0]
+        assert summary.exception == "KeyError"
+        assert summary.count == 2
+        assert "missing-a" in summary.first_traceback
+        assert summary.first_job == "t/missing-a/20"
+
+    def test_failures_sorted_by_count(self):
+        from repro.sim.runner import SweepReport, SweepResult
+
+        report = SweepReport(
+            [
+                SweepResult("t", "p", 1, error="ValueError: x\n"),
+                SweepResult("t", "q", 1, error="KeyError: 'y'\n"),
+                SweepResult("t", "r", 1, error="KeyError: 'z'\n"),
+            ]
+        )
+        assert [s.exception for s in report.failures] == [
+            "KeyError",
+            "ValueError",
+        ]
+        assert [s.count for s in report.failures] == [2, 1]
+
+    def test_timeout_errors_classified(self):
+        from repro.sim.runner import SweepReport, SweepResult
+
+        report = SweepReport(
+            [
+                SweepResult(
+                    "t", "p", 1,
+                    error="SweepTimeout: job exceeded 5s (attempt 1)\n",
+                )
+            ]
+        )
+        assert report.failures[0].exception == "SweepTimeout"
+
+    def test_clean_sweep_has_no_failures(self):
+        report = run_sweep([self._job()], processes=1)
+        assert report.failed == []
+        assert report.failures == []
+
+    def test_failures_logged_as_warning(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.sim.runner"):
+            run_sweep([self._job(policy="missing")], processes=1)
+        assert "sweep lost 1 job(s) to KeyError" in caplog.text
+
+    def test_retry_records_attempts(self):
+        from repro.resilience.retry import RetryPolicy
+
+        report = run_sweep(
+            [self._job(policy="missing")],
+            processes=1,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+        )
+        assert report[0].tags["attempts"] == 3  # exhausted every attempt
+        ok = run_sweep(
+            [self._job()],
+            processes=1,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+        )
+        assert ok[0].tags["attempts"] == 1  # first try succeeded
+
+    def test_report_is_a_list(self):
+        report = run_sweep([self._job()], processes=1)
+        assert isinstance(report, list)
+        assert report == list(report)

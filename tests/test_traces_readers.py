@@ -97,3 +97,80 @@ class TestBinary:
         from_file = simulate(FifoCache(20), read_binary_trace(path))
         in_memory = simulate(FifoCache(20), trace)
         assert from_file.miss_ratio == in_memory.miss_ratio
+
+
+class TestFormatErrors:
+    def test_csv_error_names_file_record_offset(self, tmp_path):
+        from repro.traces.readers import TraceFormatError
+
+        path = tmp_path / "t.csv"
+        path.write_text("1,42,8\n2,not-a-key,8\n")
+        with pytest.raises(TraceFormatError) as info:
+            list(read_csv_trace(path))
+        err = info.value
+        assert err.path == str(path)
+        assert err.record == 2
+        assert err.offset == len("1,42,8\n")
+        assert "not-a-key" in str(err)
+
+    def test_csv_non_strict_skips_and_counts(self, tmp_path):
+        from repro.traces.readers import SkippedRecords
+
+        path = tmp_path / "t.csv"
+        path.write_text("1,10,1\nbroken\n2,20,1\nworse,x\n3,30,1\n")
+        skipped = SkippedRecords()
+        keys = [
+            r.key for r in read_csv_trace(path, strict=False, skipped=skipped)
+        ]
+        assert keys == [10, 20, 30]
+        assert skipped.count == 2
+        assert skipped.first_error.record == 2
+
+    def test_binary_zero_size_record_located(self, tmp_path):
+        from repro.traces.readers import TraceFormatError
+
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [(1, 8), (2, 8), (3, 8)])
+        data = bytearray(path.read_bytes())
+        data[16:32] = b"\x00" * 16  # zero out record 2 (size 0 = invalid)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError) as info:
+            list(read_binary_trace(path))
+        assert info.value.record == 2
+        assert info.value.offset == 16
+
+    def test_binary_non_strict_salvages(self, tmp_path):
+        from repro.traces.readers import SkippedRecords
+
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [(1, 8), (2, 8), (3, 8)])
+        data = bytearray(path.read_bytes())
+        data[16:32] = b"\x00" * 16
+        path.write_bytes(bytes(data))
+        skipped = SkippedRecords()
+        keys = [
+            r.key
+            for r in read_binary_trace(path, strict=False, skipped=skipped)
+        ]
+        assert keys == [1, 3]
+        assert skipped.count == 1
+
+    def test_truncation_non_strict_stops_cleanly(self, tmp_path):
+        from repro.traces.readers import SkippedRecords
+
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [1, 2])
+        path.write_bytes(path.read_bytes()[:-3])
+        skipped = SkippedRecords()
+        keys = [
+            r.key
+            for r in read_binary_trace(path, strict=False, skipped=skipped)
+        ]
+        assert keys == [1]
+        assert skipped.count == 1
+        assert "truncated" in skipped.first_error.reason
+
+    def test_error_is_a_value_error(self, tmp_path):
+        from repro.traces.readers import TraceFormatError
+
+        assert issubclass(TraceFormatError, ValueError)
