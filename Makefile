@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench examples experiments all
+.PHONY: install test resilience bench perf examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,9 @@ resilience:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+perf:
+	pytest benchmarks/perf/ -m perf --no-header -rN
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; python $$script; done

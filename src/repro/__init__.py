@@ -29,6 +29,7 @@ Package layout:
 
 from repro.cache import EvictionPolicy, create_policy, policy_names
 from repro.core import (
+    FastS3FifoCache,
     S3FifoCache,
     S3FifoDCache,
     S3FifoRingCache,
@@ -40,8 +41,8 @@ from repro.resilience import (
     InvariantViolation,
     RetryPolicy,
 )
-from repro.sim import Request, simulate
-from repro.traces import zipf_trace
+from repro.sim import Request, simulate, simulate_compiled
+from repro.traces import CompiledTrace, compile_trace, zipf_trace
 
 __version__ = "1.0.0"
 
@@ -51,6 +52,7 @@ __all__ = [
     "policy_names",
     "S3FifoCache",
     "S3FifoDCache",
+    "FastS3FifoCache",
     "S3FifoRingCache",
     "S3SieveCache",
     "CheckedPolicy",
@@ -59,6 +61,9 @@ __all__ = [
     "RetryPolicy",
     "Request",
     "simulate",
+    "simulate_compiled",
+    "CompiledTrace",
+    "compile_trace",
     "zipf_trace",
     "__version__",
 ]

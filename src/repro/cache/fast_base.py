@@ -1,0 +1,320 @@
+"""Shared machinery for the array-backed ``*-fast`` policies.
+
+The reference policies allocate a :class:`~repro.cache.base.CacheEntry`
+per insertion and store them in dict/linked-list containers — faithful
+to the paper's pseudocode, but dominated by Python object overhead when
+simulating long traces.  The fast policies keep the *same algorithms*
+over preallocated parallel arrays:
+
+* every key ever seen is interned to a dense integer *slot* (slots are
+  never recycled; re-insertions reuse the key's slot),
+* per-object metadata (size, insertion time, frequency, queue links)
+  lives in ``array('q')`` / ``bytearray`` slabs indexed by slot,
+* residency is a per-slot location byte, so the hot hit path of a
+  compiled-trace run is pure array indexing — no hashing, no object
+  allocation, no method dispatch.
+
+Fast policies fully support the streaming :meth:`EvictionPolicy.request`
+contract (they are registered policies like any other); the batch entry
+point :meth:`FastPolicyBase.run_compiled` additionally consumes a
+:class:`~repro.traces.compiled.CompiledTrace` id buffer directly.  Both
+paths share the same insertion/eviction machinery — only the trivial
+hit path is duplicated (inlined) in the batch loop — so they cannot
+drift apart algorithmically; differential tests cover both.
+
+Equality contract: a fast policy must make bit-identical decisions to
+its reference twin — same hit/miss result per request, same eviction
+sequence (key, size, freq, insert/evict times), same final stats
+checksum.  The reference implementations here are all hash-independent
+(dict insertion order, never hash order, determines eviction), which is
+what makes slot-based mirrors exact.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Hashable, List, Optional
+
+from repro.cache.base import DemotionEvent, EvictionEvent, EvictionPolicy
+
+if False:  # typing-only; the runtime import is lazy (see _compiled_cls)
+    from repro.traces.compiled import CompiledTrace
+
+#: Single-element template used to build -1-filled ``array('q')`` runs.
+NEG1 = array("q", [-1])
+
+_COMPILED_CLS = None
+
+
+def _compiled_cls():
+    # Imported lazily: repro.traces pulls in the sweep runner, which
+    # imports the registry, which imports this module.
+    global _COMPILED_CLS
+    if _COMPILED_CLS is None:
+        from repro.traces.compiled import CompiledTrace
+
+        _COMPILED_CLS = CompiledTrace
+    return _COMPILED_CLS
+
+
+class IntRing:
+    """Growable power-of-two ring buffer of ints.
+
+    FIFO discipline: :meth:`push` appends at the tail (newest),
+    :meth:`pop` removes from the head (oldest).  ``pop`` assumes the
+    ring is non-empty — callers check ``len`` first, exactly like the
+    reference policies check their OrderedDicts.
+    """
+
+    __slots__ = ("_buf", "_mask", "_head", "_size")
+
+    def __init__(self, capacity: int = 16) -> None:
+        cap = 16
+        while cap < capacity:
+            cap <<= 1
+        self._buf = array("q", bytes(8 * cap))
+        self._mask = cap - 1
+        self._head = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, value: int) -> None:
+        size = self._size
+        if size > self._mask:
+            self._grow()
+        self._buf[(self._head + size) & self._mask] = value
+        self._size = size + 1
+
+    def pop(self) -> int:
+        head = self._head
+        value = self._buf[head]
+        self._head = (head + 1) & self._mask
+        self._size -= 1
+        return value
+
+    def _grow(self) -> None:
+        buf = self._buf
+        mask = self._mask
+        head = self._head
+        new = array("q", bytes(16 * (mask + 1)))
+        for i in range(self._size):
+            new[i] = buf[(head + i) & mask]
+        self._buf = new
+        self._mask = len(new) - 1
+        self._head = 0
+
+    def __iter__(self):
+        """Yield values oldest to newest (introspection / debugging)."""
+        buf = self._buf
+        mask = self._mask
+        head = self._head
+        for i in range(self._size):
+            yield buf[(head + i) & mask]
+
+    def clear(self) -> None:
+        self._head = 0
+        self._size = 0
+
+
+class FastPolicyBase(EvictionPolicy):
+    """Base class for slab-allocated policies.
+
+    Owns the key-interning table and the metadata slabs common to every
+    fast policy (location byte, size, insertion time), the compiled-
+    trace id mapping, and slot-based event emission.  Subclasses add
+    their queue structures via :meth:`_grow_extra` and implement
+    :meth:`_batch`.
+
+    Slab growth is strictly *in place* (``extend``/``frombytes``), so
+    local bindings to the slabs taken at the top of a batch loop stay
+    valid across growth.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._ids: dict = {}
+        self._key_of: List[Hashable] = []
+        self._count = 0
+        self._slab_cap = 256
+        #: 0 = not resident; nonzero = resident (policies with several
+        #: regions use distinct codes, e.g. S3-FIFO's 1=S, 2=M).
+        self._loc = bytearray(self._slab_cap)
+        self._size_of = array("q", bytes(8 * self._slab_cap))
+        self._insert_time = array("q", bytes(8 * self._slab_cap))
+        self._tmap_src: Optional["CompiledTrace"] = None
+        self._tmap: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Key interning
+    # ------------------------------------------------------------------
+    def _intern(self, key: Hashable) -> int:
+        slot = self._ids.get(key)
+        if slot is None:
+            slot = len(self._key_of)
+            self._ids[key] = slot
+            self._key_of.append(key)
+            if slot >= self._slab_cap:
+                self._grow_slabs()
+        return slot
+
+    def _grow_slabs(self) -> None:
+        add = self._slab_cap
+        self._slab_cap += add
+        self._loc.extend(bytes(add))
+        self._size_of.frombytes(bytes(8 * add))
+        self._insert_time.frombytes(bytes(8 * add))
+        self._grow_extra(add)
+
+    def _grow_extra(self, add: int) -> None:
+        """Extend subclass slabs by ``add`` slots, in place."""
+
+    # ------------------------------------------------------------------
+    # Compiled-trace batch protocol
+    # ------------------------------------------------------------------
+    def can_run_compiled(self, trace) -> bool:
+        """Whether :meth:`run_compiled` accepts ``trace``."""
+        return isinstance(trace, _compiled_cls())
+
+    def _tmap_for(self, trace: "CompiledTrace") -> list:
+        """Trace-id -> slot mapping, built lazily and cached per trace.
+
+        A list of slot ints (``None`` = id not interned yet), so hot
+        reads return existing references rather than allocating.  The
+        single-entry cache makes repeated slices of the same trace
+        (warmup split, windowed runs) free; alternating between
+        different traces rebuilds the map each switch.
+        """
+        if self._tmap_src is trace:
+            return self._tmap  # type: ignore[return-value]
+        tmap = [None] * trace.num_objects
+        self._tmap_src = trace
+        self._tmap = tmap
+        return tmap
+
+    def run_compiled(self, trace, start: int = 0, stop: Optional[int] = None):
+        """Process requests ``[start, stop)`` of a compiled trace.
+
+        Returns ``(requests, misses, bytes_requested, bytes_missed)``
+        for the processed span.  Statistics, clock, and eviction events
+        are updated exactly as if each request had gone through
+        :meth:`EvictionPolicy.request`.
+        """
+        if not isinstance(trace, _compiled_cls()):
+            raise TypeError(
+                f"run_compiled needs a CompiledTrace, got {type(trace).__name__}"
+            )
+        n = len(trace)
+        if stop is None:
+            stop = n
+        if not 0 <= start <= stop <= n:
+            raise IndexError(
+                f"invalid span [{start}, {stop}) for trace of {n} requests"
+            )
+        return self._batch(trace, start, stop, self._tmap_for(trace))
+
+    def _batch(self, trace: "CompiledTrace", start: int, stop: int, tmap: list):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Slot-based event emission / bulk accounting
+    # ------------------------------------------------------------------
+    def _notify_evict_slot(self, slot: int, freq: int) -> None:
+        self.stats.evictions += 1
+        if self._evict_listeners:
+            event = EvictionEvent(
+                key=self._key_of[slot],
+                size=self._size_of[slot],
+                freq=freq,
+                insert_time=self._insert_time[slot],
+                evict_time=self.clock,
+            )
+            for listener in self._evict_listeners:
+                listener(event)
+
+    def _notify_demote_slot(self, slot: int, promoted: bool) -> None:
+        if self._demote_listeners:
+            event = DemotionEvent(
+                key=self._key_of[slot],
+                size=self._size_of[slot],
+                insert_time=self._insert_time[slot],
+                demote_time=self.clock,
+                promoted=promoted,
+            )
+            for listener in self._demote_listeners:
+                listener(event)
+
+    def _bulk_record(
+        self,
+        requests: int,
+        misses: int,
+        bytes_requested: int,
+        bytes_missed: int,
+    ) -> None:
+        st = self.stats
+        st.requests += requests
+        st.hits += requests - misses
+        st.misses += misses
+        st.bytes_requested += bytes_requested
+        st.bytes_missed += bytes_missed
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        slot = self._ids.get(key)
+        return slot is not None and self._loc[slot] != 0
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class SlabListMixin:
+    """Intrusive doubly-linked list over slot arrays.
+
+    Mirrors :class:`repro.structures.dlist.DList` exactly: the head is
+    the most recently inserted end, the tail the eviction end.
+    ``_prv[slot]`` points toward the head (newer neighbour),
+    ``_nxt[slot]`` toward the tail; ``-1`` plays the sentinel.  The
+    head/tail pair lives in a two-element array (``_ends[0]`` = head,
+    ``_ends[1]`` = tail) so that batch loops can bind it locally while
+    sharing mutations with the eviction methods.
+    """
+
+    def _init_list(self) -> None:
+        sc = self._slab_cap
+        self._prv = NEG1 * sc
+        self._nxt = NEG1 * sc
+        self._ends = array("q", [-1, -1])
+
+    def _grow_list(self, add: int) -> None:
+        self._prv.extend(NEG1 * add)
+        self._nxt.extend(NEG1 * add)
+
+    def _push_head(self, slot: int) -> None:
+        ends = self._ends
+        head = ends[0]
+        self._prv[slot] = -1
+        self._nxt[slot] = head
+        if head != -1:
+            self._prv[head] = slot
+        else:
+            ends[1] = slot
+        ends[0] = slot
+
+    def _unlink(self, slot: int) -> None:
+        ends = self._ends
+        p = self._prv[slot]
+        n = self._nxt[slot]
+        if p != -1:
+            self._nxt[p] = n
+        else:
+            ends[0] = n
+        if n != -1:
+            self._prv[n] = p
+        else:
+            ends[1] = p
+
+    def _move_to_head(self, slot: int) -> None:
+        if self._ends[0] != slot:
+            self._unlink(slot)
+            self._push_head(slot)

@@ -1,0 +1,127 @@
+"""Array-backed FIFO: the slot mirror of :class:`repro.cache.fifo.FifoCache`."""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.cache.fast_base import FastPolicyBase, IntRing
+from repro.sim.request import Request
+
+
+class FastFifoCache(FastPolicyBase):
+    """Plain FIFO over a ring buffer of slots.
+
+    Bit-identical to ``fifo``: hits touch only the frequency slab,
+    misses evict from the ring head until the object fits and push the
+    new slot at the tail.
+    """
+
+    name = "fifo-fast"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq = array("q", bytes(8 * self._slab_cap))
+        self._ring = IntRing()
+
+    def _grow_extra(self, add: int) -> None:
+        self._freq.frombytes(bytes(8 * add))
+
+    # ------------------------------------------------------------------
+    # Streaming path
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        slot = self._ids.get(req.key)
+        if slot is not None and self._loc[slot]:
+            self._freq[slot] += 1
+            return True
+        if slot is None:
+            slot = self._intern(req.key)
+        self._insert_slot(slot, req.size)
+        return False
+
+    # ------------------------------------------------------------------
+    # Shared insertion / eviction machinery
+    # ------------------------------------------------------------------
+    def _insert_slot(self, slot: int, size: int) -> None:
+        while self.used + size > self.capacity:
+            self._evict_one()
+        self._size_of[slot] = size
+        self._insert_time[slot] = self.clock
+        self._freq[slot] = 0
+        self._loc[slot] = 1
+        self._ring.push(slot)
+        self.used += size
+        self._count += 1
+
+    def _evict_one(self) -> None:
+        slot = self._ring.pop()
+        self._loc[slot] = 0
+        self.used -= self._size_of[slot]
+        self._count -= 1
+        self._notify_evict_slot(slot, self._freq[slot])
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def _batch(self, trace, start, stop, tmap):
+        keys = trace.key_ids()
+        sizes = trace.sizes
+        table = trace.key_table
+        loc = self._loc
+        freq = self._freq
+        # clock at absolute request index i is clock0 + i + 1
+        clock0 = self.clock - start
+        misses = 0
+        if sizes is None:
+            for i in range(start, stop):
+                slot = tmap[keys[i]]
+                if slot is not None:
+                    if loc[slot]:
+                        freq[slot] += 1
+                        continue
+                else:
+                    kid = keys[i]
+                    slot = self._intern(table[kid])
+                    tmap[kid] = slot
+                    if loc[slot]:
+                        freq[slot] += 1
+                        continue
+                misses += 1
+                self.clock = clock0 + i + 1
+                self._insert_slot(slot, 1)
+            requests = stop - start
+            self.clock = clock0 + stop
+            self._bulk_record(requests, misses, requests, misses)
+            return (requests, misses, requests, misses)
+        cap = self.capacity
+        bytes_requested = 0
+        bytes_missed = 0
+        for i in range(start, stop):
+            kid = keys[i]
+            size = sizes[i]
+            bytes_requested += size
+            if size > cap:
+                # Oversized is a miss even when the key is resident, with
+                # no metadata update (matches base.request's early return).
+                misses += 1
+                bytes_missed += size
+                continue
+            slot = tmap[kid]
+            if slot is not None:
+                if loc[slot]:
+                    freq[slot] += 1
+                    continue
+            else:
+                slot = self._intern(table[kid])
+                tmap[kid] = slot
+                if loc[slot]:
+                    freq[slot] += 1
+                    continue
+            misses += 1
+            bytes_missed += size
+            self.clock = clock0 + i + 1
+            self._insert_slot(slot, size)
+        requests = stop - start
+        self.clock = clock0 + stop
+        self._bulk_record(requests, misses, bytes_requested, bytes_missed)
+        return (requests, misses, bytes_requested, bytes_missed)

@@ -1,0 +1,122 @@
+"""Array-backed SIEVE: the slot mirror of :class:`repro.cache.sieve.SieveCache`."""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.cache.fast_base import FastPolicyBase, SlabListMixin
+from repro.sim.request import Request
+
+
+class FastSieveCache(SlabListMixin, FastPolicyBase):
+    """SIEVE over a slab-allocated queue with a visited bitmap.
+
+    Bit-identical to ``sieve``: hits only set the visited bit (lazy
+    promotion), eviction scans the hand from its position toward the
+    queue head, clearing visited bits, wrapping to the tail, and
+    removes the first unvisited slot in place.
+    """
+
+    name = "sieve-fast"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq = array("q", bytes(8 * self._slab_cap))
+        self._visited = bytearray(self._slab_cap)
+        self._hand = -1
+        self._init_list()
+
+    def _grow_extra(self, add: int) -> None:
+        self._freq.frombytes(bytes(8 * add))
+        self._visited.extend(bytes(add))
+        self._grow_list(add)
+
+    # ------------------------------------------------------------------
+    # Streaming path
+    # ------------------------------------------------------------------
+    def _access(self, req: Request) -> bool:
+        slot = self._ids.get(req.key)
+        if slot is not None and self._loc[slot]:
+            self._freq[slot] += 1
+            self._visited[slot] = 1
+            return True
+        if slot is None:
+            slot = self._intern(req.key)
+        self._insert_slot(slot, req.size)
+        return False
+
+    # ------------------------------------------------------------------
+    # Shared insertion / eviction machinery
+    # ------------------------------------------------------------------
+    def _insert_slot(self, slot: int, size: int) -> None:
+        while self.used + size > self.capacity:
+            self._evict_one()
+        self._size_of[slot] = size
+        self._insert_time[slot] = self.clock
+        self._freq[slot] = 0
+        self._visited[slot] = 0
+        self._loc[slot] = 1
+        self._push_head(slot)
+        self.used += size
+        self._count += 1
+
+    def _evict_one(self) -> None:
+        visited = self._visited
+        prv = self._prv
+        ends = self._ends
+        slot = self._hand
+        if slot == -1:
+            slot = ends[1]
+        while visited[slot]:
+            visited[slot] = 0
+            p = prv[slot]  # toward the head, wrapping to the tail
+            slot = p if p != -1 else ends[1]
+        self._hand = prv[slot]  # -1 when the victim was the head
+        self._unlink(slot)
+        self._loc[slot] = 0
+        self.used -= self._size_of[slot]
+        self._count -= 1
+        self._notify_evict_slot(slot, self._freq[slot])
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def _batch(self, trace, start, stop, tmap):
+        keys = trace.key_ids()
+        sizes = trace.sizes
+        table = trace.key_table
+        loc = self._loc
+        freq = self._freq
+        visited = self._visited
+        cap = self.capacity
+        clock0 = self.clock - start
+        misses = 0
+        bytes_requested = 0
+        bytes_missed = 0
+        unit = sizes is None
+        for i in range(start, stop):
+            kid = keys[i]
+            size = 1 if unit else sizes[i]
+            bytes_requested += size
+            if size > cap:
+                # Oversized is a miss even when the key is resident, with
+                # no metadata update (matches base.request's early return).
+                misses += 1
+                bytes_missed += size
+                continue
+            slot = tmap[kid]
+            if slot is None:
+                slot = self._intern(table[kid])
+                tmap[kid] = slot
+            if loc[slot]:
+                freq[slot] += 1
+                visited[slot] = 1
+                continue
+            misses += 1
+            bytes_missed += size
+            self.clock = clock0 + i + 1
+            self._insert_slot(slot, size)
+        requests = stop - start
+        self.clock = clock0 + stop
+        self._bulk_record(requests, misses, bytes_requested, bytes_missed)
+        return (requests, misses, bytes_requested, bytes_missed)

@@ -20,6 +20,9 @@ from repro.cache.car import CarCache
 from repro.cache.clock import ClockCache
 from repro.cache.clockpro import ClockProCache
 from repro.cache.eelru import EelruCache
+from repro.cache.fast_fifo import FastFifoCache
+from repro.cache.fast_lru import FastLruCache
+from repro.cache.fast_sieve import FastSieveCache
 from repro.cache.fifo import FifoCache
 from repro.cache.fifomerge import FifoMergeCache
 from repro.cache.gdsf import GdsfCache
@@ -84,6 +87,9 @@ for _cls in (
     HyperbolicCache,
     MqCache,
     GdsfCache,
+    FastFifoCache,
+    FastLruCache,
+    FastSieveCache,
 ):
     register(_cls)
 
@@ -92,6 +98,7 @@ def _register_core() -> None:
     # Imported lazily to avoid a circular import (core depends on cache).
     from repro.core.s3fifo import S3FifoCache
     from repro.core.s3fifo_d import S3FifoDCache
+    from repro.core.s3fifo_fast import FastS3FifoCache
     from repro.core.s3fifo_ring import S3FifoRingCache
     from repro.core.s3sieve import S3SieveCache
     from repro.core.variants import S3QueueVariantCache
@@ -99,6 +106,7 @@ def _register_core() -> None:
     for cls in (
         S3FifoCache,
         S3FifoDCache,
+        FastS3FifoCache,
         S3FifoRingCache,
         S3SieveCache,
         S3QueueVariantCache,

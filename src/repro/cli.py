@@ -276,6 +276,42 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Reference-vs-fast throughput benchmark; writes BENCH_perf.json."""
+    from repro.perf.bench import (
+        DEFAULT_PAIRS,
+        format_report,
+        run_perf_bench,
+        write_report,
+    )
+
+    if args.pairs:
+        pairs = []
+        for spec in args.pairs.split(","):
+            ref_name, _, fast_name = spec.partition(":")
+            if not ref_name or not fast_name:
+                print(
+                    f"bad pair {spec!r}; expected reference:fast",
+                    file=sys.stderr,
+                )
+                return 2
+            pairs.append((ref_name.strip(), fast_name.strip()))
+    else:
+        pairs = list(DEFAULT_PAIRS)
+    report = run_perf_bench(
+        pairs=pairs,
+        num_objects=args.objects,
+        num_requests=args.requests,
+        alpha=args.alpha,
+        cache_ratio=args.cache_ratio,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_walkthrough(args: argparse.Namespace) -> int:
     """Print the Fig. 5 style state trace of S3-FIFO on a request list."""
     from repro.core.walkthrough import (
@@ -362,6 +398,24 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--alpha", type=float, default=1.0)
     res.add_argument("--seed", type=int, default=0)
 
+    perf = sub.add_parser(
+        "perf",
+        help="reference-vs-fast throughput benchmark (BENCH_perf.json)",
+    )
+    perf.add_argument("--objects", type=int, default=100_000)
+    perf.add_argument("--requests", type=int, default=1_000_000)
+    perf.add_argument("--alpha", type=float, default=1.0)
+    perf.add_argument("--cache-ratio", type=float, default=0.1)
+    perf.add_argument("--seed", type=int, default=42)
+    perf.add_argument(
+        "--pairs", default=None,
+        help="comma-separated reference:fast pairs (default: all built-in)",
+    )
+    perf.add_argument(
+        "--out", default="benchmarks/results/BENCH_perf.json",
+        help="output JSON path",
+    )
+
     walk = sub.add_parser(
         "walkthrough", help="Fig. 5 style step-by-step S3-FIFO state trace"
     )
@@ -384,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "mrc": _cmd_mrc,
         "resilience": _cmd_resilience,
+        "perf": _cmd_perf,
         "walkthrough": _cmd_walkthrough,
     }
     try:

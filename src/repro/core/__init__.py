@@ -2,6 +2,7 @@
 
 from repro.core.s3fifo import S3FifoCache
 from repro.core.s3fifo_d import S3FifoDCache
+from repro.core.s3fifo_fast import FastS3FifoCache
 from repro.core.s3fifo_ring import S3FifoRingCache
 from repro.core.s3sieve import S3SieveCache
 from repro.core.variants import QueueType, S3QueueVariantCache
@@ -10,6 +11,7 @@ from repro.core.demotion import DemotionStats, DemotionTracker
 __all__ = [
     "S3FifoCache",
     "S3FifoDCache",
+    "FastS3FifoCache",
     "S3FifoRingCache",
     "S3SieveCache",
     "QueueType",

@@ -1,0 +1,656 @@
+"""Array-backed S3-FIFO: the slot mirror of :class:`repro.core.s3fifo.S3FifoCache`.
+
+Same Algorithm 1 — small FIFO **S**, main FIFO **M** with
+FIFO-Reinsertion, ghost queue **G** — but over slot-indexed slabs:
+
+* each object's metadata is one *state byte*: the 2-bit frequency
+  counter of Section 4.2 packed with a 2-bit queue tag
+  (``state = region << 2 | freq``), so the hot hit path is a single
+  bytearray read and write,
+* S and M are compacting list queues of slot indices (append at the
+  tail, advance a head cursor to pop, slice off the dead prefix once
+  it dominates) — in CPython a list read returns an existing
+  reference where an ``array`` read allocates, which makes this the
+  faster "ring",
+* the ghost queue is a flat array of (slot, stamp) pairs with a
+  per-slot stamp table; membership is one array load, eviction skips
+  stale entries lazily — no dict, no deque.
+
+The decision sequence is bit-identical to the reference: every
+hit/miss outcome, every eviction (key, size, freq, timestamps), every
+demotion event, and the final stats checksum match ``s3fifo`` request
+for request.  Differential tests in ``tests/test_fast_policies.py``
+enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.cache.fast_base import NEG1, FastPolicyBase
+
+# State byte layout: 0 = absent, else (region << 2) | freq with
+# freq in [0, 3].  Region codes:
+_S_BASE = 4  # in the small queue S
+_M_BASE = 8  # in the main queue M
+
+#: Compact a queue's storage once the dead prefix passes this length
+#: and outweighs the live tail.
+_COMPACT_MIN = 1024
+
+
+class FastS3FifoCache(FastPolicyBase):
+    """S3-FIFO over slot queues and packed 2-bit counters.
+
+    Accepts the same parameters as :class:`S3FifoCache`; since the
+    frequency field is physically two bits, ``freq_cap`` must be at
+    most 3 (the reference default).  Use ``s3fifo`` for experimental
+    larger counters.
+    """
+
+    name = "s3fifo-fast"
+
+    def __init__(
+        self,
+        capacity: int,
+        small_ratio: float = 0.1,
+        ghost_entries: Optional[int] = None,
+        freq_cap: int = 3,
+        move_to_main_threshold: int = 2,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < small_ratio < 1.0:
+            raise ValueError(f"small_ratio must be in (0, 1), got {small_ratio}")
+        if not 1 <= freq_cap <= 3:
+            raise ValueError(
+                "s3fifo-fast packs frequencies in 2 bits; freq_cap must be "
+                f"in [1, 3], got {freq_cap} (use s3fifo for larger caps)"
+            )
+        if move_to_main_threshold < 0:
+            raise ValueError(
+                "move_to_main_threshold must be >= 0, "
+                f"got {move_to_main_threshold}"
+            )
+        if ghost_entries is not None and ghost_entries < 0:
+            raise ValueError(f"capacity must be >= 0, got {ghost_entries}")
+        self._s_cap = max(1, int(capacity * small_ratio))
+        self._m_cap = max(1, capacity - self._s_cap)
+        self._freq_cap = freq_cap
+        self._threshold = move_to_main_threshold
+        self._ghost_dynamic = ghost_entries is None
+        self._g_cap = self._m_cap if ghost_entries is None else ghost_entries
+        # S and M: compacting list queues (see module docstring).
+        self._s_q: list = []
+        self._s_head = 0
+        self._s_len = 0
+        self._m_q: list = []
+        self._m_head = 0
+        self._m_len = 0
+        self._s_used = 0
+        self._m_used = 0
+        # Ghost: _g_stamp_of[slot] is the stamp of the slot's live ghost
+        # entry, -1 when absent.  The queue arrays hold (slot, stamp)
+        # in insertion order from _g_head on; an entry is live iff its
+        # stamp still matches, so removals are O(1) invalidations and
+        # stale entries are skipped when they reach the front.
+        self._g_stamp_of = NEG1 * self._slab_cap
+        self._g_qslot: list = []
+        self._g_qstamp: list = []
+        self._g_head = 0
+        self._g_live = 0
+        self._g_counter = 0
+
+    def _grow_extra(self, add: int) -> None:
+        self._g_stamp_of.extend(NEG1 * add)
+
+    # ------------------------------------------------------------------
+    # Introspection (parity with S3FifoCache)
+    # ------------------------------------------------------------------
+    @property
+    def small_capacity(self) -> int:
+        return self._s_cap
+
+    @property
+    def main_capacity(self) -> int:
+        return self._m_cap
+
+    @property
+    def small_used(self) -> int:
+        return self._s_used
+
+    @property
+    def main_used(self) -> int:
+        return self._m_used
+
+    @property
+    def ghost_len(self) -> int:
+        """Number of live ghost entries."""
+        return self._g_live
+
+    @property
+    def ghost_capacity(self) -> int:
+        return self._g_cap
+
+    def in_small(self, key: Hashable) -> bool:
+        slot = self._ids.get(key)
+        return slot is not None and self._loc[slot] >> 2 == 1
+
+    def in_main(self, key: Hashable) -> bool:
+        slot = self._ids.get(key)
+        return slot is not None and self._loc[slot] >> 2 == 2
+
+    def in_ghost(self, key: Hashable) -> bool:
+        slot = self._ids.get(key)
+        return slot is not None and self._g_stamp_of[slot] != -1
+
+    def freq_of(self, key: Hashable) -> int:
+        """Current 2-bit counter value of a resident key (tests aid)."""
+        slot = self._ids.get(key)
+        if slot is None or not self._loc[slot]:
+            raise KeyError(key)
+        return self._loc[slot] & 3
+
+    # ------------------------------------------------------------------
+    # Ghost queue primitives
+    # ------------------------------------------------------------------
+    def _ghost_add(self, slot: int) -> None:
+        cap = self._g_cap
+        if cap == 0:
+            return
+        counter = self._g_counter + 1
+        self._g_counter = counter
+        stamp_of = self._g_stamp_of
+        stamp_of[slot] = counter
+        self._g_qslot.append(slot)
+        self._g_qstamp.append(counter)
+        live = self._g_live + 1
+        if live > cap:
+            # Drop the oldest live entry; S3-FIFO never re-adds a key
+            # already in the ghost, so one drop always suffices.
+            qslot = self._g_qslot
+            qstamp = self._g_qstamp
+            head = self._g_head
+            while True:
+                old = qslot[head]
+                stamp = qstamp[head]
+                head += 1
+                if stamp_of[old] == stamp:
+                    stamp_of[old] = -1
+                    live -= 1
+                    break
+            self._g_head = head
+            if head > _COMPACT_MIN and head * 2 > len(qslot):
+                del qslot[:head]
+                del qstamp[:head]
+                self._g_head = 0
+        self._g_live = live
+
+    def _ghost_pop(self) -> None:
+        qslot = self._g_qslot
+        qstamp = self._g_qstamp
+        stamp_of = self._g_stamp_of
+        head = self._g_head
+        while True:
+            slot = qslot[head]
+            stamp = qstamp[head]
+            head += 1
+            if stamp_of[slot] == stamp:
+                stamp_of[slot] = -1
+                self._g_live -= 1
+                break
+        self._g_head = head
+        if head > _COMPACT_MIN and head * 2 > len(qslot):
+            del qslot[:head]
+            del qstamp[:head]
+            self._g_head = 0
+
+    def _ghost_remove(self, slot: int) -> bool:
+        if self._g_stamp_of[slot] == -1:
+            return False
+        self._g_stamp_of[slot] = -1
+        self._g_live -= 1
+        return True
+
+    def _ghost_set_capacity(self, capacity: int) -> None:
+        self._g_cap = capacity
+        while self._g_live > capacity:
+            self._ghost_pop()
+
+    # ------------------------------------------------------------------
+    # Streaming path
+    # ------------------------------------------------------------------
+    def _access(self, req) -> bool:
+        slot = self._ids.get(req.key)
+        if slot is not None:
+            state = self._loc[slot]
+            if state:
+                if state & 3 < self._freq_cap:
+                    self._loc[slot] = state + 1
+                return True
+        else:
+            slot = self._intern(req.key)
+        self._insert_slot(slot, req.size)
+        return False
+
+    # ------------------------------------------------------------------
+    # Shared insertion / eviction machinery (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _insert_slot(self, slot: int, size: int) -> None:
+        while self.used + size > self.capacity:
+            if self._s_used >= self._s_cap or not self._m_len:
+                self._evict_s()
+            else:
+                self._evict_m()
+        self._size_of[slot] = size
+        self._insert_time[slot] = self.clock
+        if self._g_stamp_of[slot] != -1:  # ghost hit: straight to M
+            self._g_stamp_of[slot] = -1
+            self._g_live -= 1
+            self._m_q.append(slot)
+            self._m_len += 1
+            self._loc[slot] = _M_BASE  # in M, freq 0
+            self._m_used += size
+        else:
+            self._s_q.append(slot)
+            self._s_len += 1
+            self._loc[slot] = _S_BASE  # in S, freq 0
+            self._s_used += size
+        self.used += size
+        self._count += 1
+
+    def _evict_s(self) -> None:
+        s_q = self._s_q
+        loc = self._loc
+        size_of = self._size_of
+        while self._s_len:
+            head = self._s_head
+            slot = s_q[head]
+            head += 1
+            if head > _COMPACT_MIN and head * 2 > len(s_q):
+                del s_q[:head]
+                head = 0
+            self._s_head = head
+            self._s_len -= 1
+            size = size_of[slot]
+            self._s_used -= size
+            freq = loc[slot] & 3
+            if freq >= self._threshold:
+                loc[slot] = _M_BASE  # access bits cleared on the move
+                self._m_q.append(slot)
+                self._m_len += 1
+                self._m_used += size
+                if self._demote_listeners:
+                    self._notify_demote_slot(slot, promoted=True)
+                if self._m_used > self._m_cap:
+                    self._evict_m()
+            else:
+                self.used -= size
+                self._count -= 1
+                loc[slot] = 0
+                if self._ghost_dynamic and (
+                    self.used != self._count or self._g_cap != self._m_cap
+                ):
+                    # Paper sizing: as many ghost entries as M can hold
+                    # objects (byte capacity over running mean size).
+                    # When used == count the mean is 1.0 and the target
+                    # is m_cap, so the recompute is skipped once the
+                    # capacity is already pinned there (the unit-size
+                    # steady state).
+                    count = self._count
+                    mean_size = self.used / count if count else 1.0
+                    self._ghost_set_capacity(
+                        max(1, int(self._m_cap / max(1.0, mean_size)))
+                    )
+                self._ghost_add(slot)
+                if self._demote_listeners:
+                    self._notify_demote_slot(slot, promoted=False)
+                self._notify_evict_slot(slot, freq)
+                return
+        # S drained entirely into M; fall back to evicting from M.
+        if self._m_len:
+            self._evict_m()
+
+    def _evict_m(self) -> None:
+        m_q = self._m_q
+        loc = self._loc
+        push = m_q.append
+        head = self._m_head
+        while self._m_len:
+            slot = m_q[head]
+            head += 1
+            state = loc[slot]
+            if state & 3:
+                loc[slot] = state - 1
+                push(slot)  # FIFO-Reinsertion
+            else:
+                if head > _COMPACT_MIN and head * 2 > len(m_q):
+                    del m_q[:head]
+                    head = 0
+                self._m_head = head
+                self._m_len -= 1
+                size = self._size_of[slot]
+                self._m_used -= size
+                self.used -= size
+                self._count -= 1
+                loc[slot] = 0
+                self._notify_evict_slot(slot, 0)
+                return
+        self._m_head = head
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def _batch(self, trace, start, stop, tmap):
+        if (
+            trace.sizes is None
+            and not self._evict_listeners
+            and not self._demote_listeners
+        ):
+            # Unit-size requests and nobody observing individual
+            # evictions: the whole of Algorithm 1 reduces to local
+            # integer arithmetic, so run it with zero method dispatch.
+            return self._batch_unit_plain(trace, start, stop, tmap)
+        keys = trace.key_ids()
+        sizes = trace.sizes
+        table = trace.key_table
+        loc = self._loc
+        fcap = self._freq_cap
+        clock0 = self.clock - start
+        misses = 0
+        if sizes is None:
+            for i in range(start, stop):
+                slot = tmap[keys[i]]
+                if slot is not None:
+                    state = loc[slot]
+                    if state:
+                        if state & 3 < fcap:
+                            loc[slot] = state + 1
+                        continue
+                else:
+                    kid = keys[i]
+                    slot = self._intern(table[kid])
+                    tmap[kid] = slot
+                    state = loc[slot]
+                    if state:
+                        if state & 3 < fcap:
+                            loc[slot] = state + 1
+                        continue
+                misses += 1
+                self.clock = clock0 + i + 1
+                self._insert_slot(slot, 1)
+            requests = stop - start
+            self.clock = clock0 + stop
+            self._bulk_record(requests, misses, requests, misses)
+            return (requests, misses, requests, misses)
+        cap = self.capacity
+        bytes_requested = 0
+        bytes_missed = 0
+        for i in range(start, stop):
+            kid = keys[i]
+            size = sizes[i]
+            bytes_requested += size
+            if size > cap:
+                # Oversized is a miss even when the key is resident, with
+                # no metadata update (matches base.request's early return).
+                misses += 1
+                bytes_missed += size
+                continue
+            slot = tmap[kid]
+            if slot is not None:
+                state = loc[slot]
+                if state:
+                    if state & 3 < fcap:
+                        loc[slot] = state + 1
+                    continue
+            else:
+                slot = self._intern(table[kid])
+                tmap[kid] = slot
+                state = loc[slot]
+                if state:
+                    if state & 3 < fcap:
+                        loc[slot] = state + 1
+                    continue
+            misses += 1
+            bytes_missed += size
+            self.clock = clock0 + i + 1
+            self._insert_slot(slot, size)
+        requests = stop - start
+        self.clock = clock0 + stop
+        self._bulk_record(requests, misses, bytes_requested, bytes_missed)
+        return (requests, misses, bytes_requested, bytes_missed)
+
+    def _batch_unit_plain(self, trace, start, stop, tmap):
+        """The generic batch loop with Algorithm 1 expanded in place.
+
+        Used when nobody listens for per-eviction events and requests
+        are unit-size, which is the measured configuration of the perf
+        harness: every queue cursor, byte counter, and ghost stamp is a
+        local integer, so the miss path runs without a single method
+        call or attribute load.  Decision-for-decision identical to
+        ``_insert_slot``/``_evict_s``/``_evict_m`` — the differential
+        tests drive both this and the generic path against the
+        reference policy.
+        """
+        keys = trace.key_ids()
+        table = trace.key_table
+        intern = self._intern
+        loc = self._loc
+        size_of = self._size_of
+        insert_time = self._insert_time
+        fcap = self._freq_cap
+        threshold = self._threshold
+        cap_total = self.capacity
+        s_cap = self._s_cap
+        m_cap = self._m_cap
+        ghost_dynamic = self._ghost_dynamic
+        s_q = self._s_q
+        m_q = self._m_q
+        g_qslot = self._g_qslot
+        g_qstamp = self._g_qstamp
+        g_stamp_of = self._g_stamp_of
+        used = self.used
+        count = self._count
+        s_head = self._s_head
+        s_len = self._s_len
+        s_used = self._s_used
+        m_head = self._m_head
+        m_len = self._m_len
+        m_used = self._m_used
+        g_head = self._g_head
+        g_live = self._g_live
+        g_counter = self._g_counter
+        g_cap = self._g_cap
+        clock0 = self.clock - start
+        misses = 0
+        evictions = 0
+        for i in range(start, stop):
+            slot = tmap[keys[i]]
+            if slot is not None:
+                state = loc[slot]
+                if state:
+                    if state & 3 < fcap:
+                        loc[slot] = state + 1
+                    continue
+            else:
+                kid = keys[i]
+                slot = intern(table[kid])
+                tmap[kid] = slot
+                state = loc[slot]  # may be resident from an earlier run
+                if state:
+                    if state & 3 < fcap:
+                        loc[slot] = state + 1
+                    continue
+            misses += 1
+            if used >= cap_total:  # make room (one pass frees >= 1)
+                if s_used >= s_cap or not m_len:
+                    # ---- _evict_s, expanded ----
+                    evicted = False
+                    while s_len:
+                        vs = s_q[s_head]
+                        s_head += 1
+                        if s_head > _COMPACT_MIN and s_head * 2 > len(s_q):
+                            del s_q[:s_head]
+                            s_head = 0
+                        s_len -= 1
+                        sz = size_of[vs]
+                        s_used -= sz
+                        fr = loc[vs] & 3
+                        if fr >= threshold:
+                            loc[vs] = 8  # to M, access bits cleared
+                            m_q.append(vs)
+                            m_len += 1
+                            m_used += sz
+                            if m_used > m_cap:
+                                # ---- nested _evict_m, expanded ----
+                                while True:
+                                    vm = m_q[m_head]
+                                    m_head += 1
+                                    st = loc[vm]
+                                    if st & 3:
+                                        loc[vm] = st - 1
+                                        m_q.append(vm)
+                                    else:
+                                        if (
+                                            m_head > _COMPACT_MIN
+                                            and m_head * 2 > len(m_q)
+                                        ):
+                                            del m_q[:m_head]
+                                            m_head = 0
+                                        m_len -= 1
+                                        msz = size_of[vm]
+                                        m_used -= msz
+                                        used -= msz
+                                        count -= 1
+                                        loc[vm] = 0
+                                        evictions += 1
+                                        break
+                        else:
+                            used -= sz
+                            count -= 1
+                            loc[vs] = 0
+                            if ghost_dynamic and (
+                                used != count or g_cap != m_cap
+                            ):
+                                mean = used / count if count else 1.0
+                                g_cap = max(
+                                    1,
+                                    int(m_cap / (mean if mean > 1.0 else 1.0)),
+                                )
+                                while g_live > g_cap:
+                                    og = g_qslot[g_head]
+                                    ost = g_qstamp[g_head]
+                                    g_head += 1
+                                    if g_stamp_of[og] == ost:
+                                        g_stamp_of[og] = -1
+                                        g_live -= 1
+                                if (
+                                    g_head > _COMPACT_MIN
+                                    and g_head * 2 > len(g_qslot)
+                                ):
+                                    del g_qslot[:g_head]
+                                    del g_qstamp[:g_head]
+                                    g_head = 0
+                            if g_cap:  # ---- _ghost_add, expanded ----
+                                g_counter += 1
+                                g_stamp_of[vs] = g_counter
+                                g_qslot.append(vs)
+                                g_qstamp.append(g_counter)
+                                g_live += 1
+                                if g_live > g_cap:
+                                    while True:
+                                        og = g_qslot[g_head]
+                                        ost = g_qstamp[g_head]
+                                        g_head += 1
+                                        if g_stamp_of[og] == ost:
+                                            g_stamp_of[og] = -1
+                                            g_live -= 1
+                                            break
+                                    if (
+                                        g_head > _COMPACT_MIN
+                                        and g_head * 2 > len(g_qslot)
+                                    ):
+                                        del g_qslot[:g_head]
+                                        del g_qstamp[:g_head]
+                                        g_head = 0
+                            evictions += 1
+                            evicted = True
+                            break
+                    if not evicted and m_len:
+                        # S drained into M: evict from M instead.
+                        while True:
+                            vm = m_q[m_head]
+                            m_head += 1
+                            st = loc[vm]
+                            if st & 3:
+                                loc[vm] = st - 1
+                                m_q.append(vm)
+                            else:
+                                if (
+                                    m_head > _COMPACT_MIN
+                                    and m_head * 2 > len(m_q)
+                                ):
+                                    del m_q[:m_head]
+                                    m_head = 0
+                                m_len -= 1
+                                msz = size_of[vm]
+                                m_used -= msz
+                                used -= msz
+                                count -= 1
+                                loc[vm] = 0
+                                evictions += 1
+                                break
+                else:
+                    # ---- _evict_m, expanded ----
+                    while True:
+                        vm = m_q[m_head]
+                        m_head += 1
+                        st = loc[vm]
+                        if st & 3:
+                            loc[vm] = st - 1
+                            m_q.append(vm)
+                        else:
+                            if m_head > _COMPACT_MIN and m_head * 2 > len(m_q):
+                                del m_q[:m_head]
+                                m_head = 0
+                            m_len -= 1
+                            msz = size_of[vm]
+                            m_used -= msz
+                            used -= msz
+                            count -= 1
+                            loc[vm] = 0
+                            evictions += 1
+                            break
+            # ---- _insert_slot tail, expanded ----
+            size_of[slot] = 1
+            insert_time[slot] = clock0 + i + 1
+            if g_stamp_of[slot] != -1:  # ghost hit: straight to M
+                g_stamp_of[slot] = -1
+                g_live -= 1
+                m_q.append(slot)
+                m_len += 1
+                loc[slot] = 8
+                m_used += 1
+            else:
+                s_q.append(slot)
+                s_len += 1
+                loc[slot] = 4
+                s_used += 1
+            used += 1
+            count += 1
+        self.used = used
+        self._count = count
+        self._s_head = s_head
+        self._s_len = s_len
+        self._s_used = s_used
+        self._m_head = m_head
+        self._m_len = m_len
+        self._m_used = m_used
+        self._g_head = g_head
+        self._g_live = g_live
+        self._g_counter = g_counter
+        self._g_cap = g_cap
+        self.clock = clock0 + stop
+        self.stats.evictions += evictions
+        requests = stop - start
+        self._bulk_record(requests, misses, requests, misses)
+        return (requests, misses, requests, misses)

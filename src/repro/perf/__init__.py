@@ -1,0 +1,16 @@
+"""Performance benchmark harness (reference vs. fast policies).
+
+The paper's Section 7 argument is that FIFO-based eviction is cheaper
+per request than LRU-based designs; this package keeps the repo honest
+about its own constant factors.  :func:`run_perf_bench` measures
+requests/second and peak memory for each reference policy against its
+``*-fast`` twin and emits a machine-readable report
+(``BENCH_perf.json``) so perf changes are visible across commits.
+
+Run it via ``s3fifo-repro perf`` or ``make perf``; see
+``docs/PERFORMANCE.md`` for how to read the output.
+"""
+
+from repro.perf.bench import DEFAULT_PAIRS, run_perf_bench, write_report
+
+__all__ = ["DEFAULT_PAIRS", "run_perf_bench", "write_report"]

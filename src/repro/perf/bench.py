@@ -1,0 +1,169 @@
+"""Measure reference vs. fast policy throughput on synthetic traces.
+
+One benchmark run builds a seeded Zipf trace, then times every
+(reference, fast) policy pair on it:
+
+* the **reference** policy streams the raw request list through
+  :func:`repro.sim.simulator.simulate` — the cost every experiment in
+  this repo paid before the fast path existed;
+* the **fast** policy consumes the compiled trace
+  (:func:`repro.traces.compiled.compile_trace`), which routes through
+  the batched ``run_compiled`` loop.
+
+Trace compilation is timed separately and reported once in the config
+block: it is paid once per trace, not per policy/size combination, so
+folding it into a single policy's wall time would misattribute it.
+
+``peak_rss`` is the process high-water RSS (KiB, from ``getrusage``)
+sampled after each measurement.  It is monotone over the process
+lifetime — read later entries as "still fits in this much", not as
+per-policy footprints.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: (reference, fast) registry-name pairs benchmarked by default.
+DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("fifo", "fifo-fast"),
+    ("lru", "lru-fast"),
+    ("sieve", "sieve-fast"),
+    ("s3fifo", "s3fifo-fast"),
+)
+
+#: Bumped when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _peak_rss_kb() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _measure(policy_name: str, impl: str, reference: str, trace,
+             capacity: int, trace_label: str, seed: int) -> Dict:
+    from repro.cache.registry import create_policy
+    from repro.sim.simulator import simulate
+
+    policy = create_policy(policy_name, capacity=capacity)
+    start = time.perf_counter()
+    result = simulate(policy, trace)
+    wall = time.perf_counter() - start
+    return {
+        "policy": policy_name,
+        "impl": impl,
+        "reference": reference,
+        "trace": trace_label,
+        "seed": seed,
+        "requests": result.requests,
+        "capacity": capacity,
+        "wall_time_s": round(wall, 6),
+        "requests_per_sec": round(result.requests / wall) if wall else 0,
+        "peak_rss": _peak_rss_kb(),
+        "miss_ratio": round(result.miss_ratio, 6),
+    }
+
+
+def run_perf_bench(
+    pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
+    num_objects: int = 100_000,
+    num_requests: int = 1_000_000,
+    alpha: float = 1.0,
+    cache_ratio: float = 0.1,
+    seed: int = 42,
+) -> Dict:
+    """Run the reference-vs-fast benchmark; returns the report dict.
+
+    The default workload is the acceptance configuration: a 1M-request
+    Zipf(1.0) trace over 100k objects at 10% cache size.  Every fast
+    measurement's miss count is asserted equal to its reference's —
+    a fast policy that got fast by being wrong fails the benchmark.
+    """
+    from repro.traces.compiled import compile_trace
+    from repro.traces.synthetic import zipf_trace
+
+    items = list(
+        zipf_trace(
+            num_objects=num_objects,
+            num_requests=num_requests,
+            alpha=alpha,
+            seed=seed,
+        )
+    )
+    capacity = max(1, int(num_objects * cache_ratio))
+    trace_label = f"zipf-{alpha:g}"
+    start = time.perf_counter()
+    compiled = compile_trace(items, name=trace_label)
+    compiled.key_ids()
+    compile_time = time.perf_counter() - start
+
+    results: List[Dict] = []
+    speedups: Dict[str, float] = {}
+    for ref_name, fast_name in pairs:
+        ref_entry = _measure(
+            ref_name, "reference", ref_name, items,
+            capacity, trace_label, seed,
+        )
+        fast_entry = _measure(
+            fast_name, "fast", ref_name, compiled,
+            capacity, trace_label, seed,
+        )
+        if fast_entry["miss_ratio"] != ref_entry["miss_ratio"]:
+            raise AssertionError(
+                f"{fast_name} diverged from {ref_name}: miss ratio "
+                f"{fast_entry['miss_ratio']} != {ref_entry['miss_ratio']}"
+            )
+        if fast_entry["wall_time_s"]:
+            speedups[fast_name] = round(
+                ref_entry["wall_time_s"] / fast_entry["wall_time_s"], 2
+            )
+        results.extend((ref_entry, fast_entry))
+    return {
+        "schema": SCHEMA_VERSION,
+        "trace": trace_label,
+        "seed": seed,
+        "config": {
+            "num_objects": num_objects,
+            "num_requests": num_requests,
+            "alpha": alpha,
+            "cache_ratio": cache_ratio,
+            "capacity": capacity,
+            "compile_time_s": round(compile_time, 6),
+        },
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def write_report(report: Dict, out_path) -> Path:
+    """Write a benchmark report as JSON, creating parent directories."""
+    path = Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        f"trace {report['trace']} seed {report['seed']}: "
+        f"{report['config']['num_requests']:,} requests, "
+        f"{report['config']['num_objects']:,} objects, "
+        f"capacity {report['config']['capacity']:,} "
+        f"(compile {report['config']['compile_time_s']:.2f}s)",
+        f"{'policy':<14} {'impl':<10} {'req/s':>12} "
+        f"{'wall s':>8} {'miss':>7} {'rss MiB':>8}",
+    ]
+    for row in report["results"]:
+        lines.append(
+            f"{row['policy']:<14} {row['impl']:<10} "
+            f"{row['requests_per_sec']:>12,} {row['wall_time_s']:>8.3f} "
+            f"{row['miss_ratio']:>7.4f} {row['peak_rss'] / 1024:>8.0f}"
+        )
+    for name, ratio in report["speedups"].items():
+        lines.append(f"speedup {name}: {ratio:.2f}x")
+    return "\n".join(lines)

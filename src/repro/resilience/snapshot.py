@@ -30,7 +30,7 @@ from repro.sim.request import Request
 from repro.structures.dlist import DListNode
 from repro.structures.ghost import GhostFifo
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2  # v2: ghost state carries the stale-slot counts
 
 
 class SnapshotError(ValueError):
@@ -48,6 +48,7 @@ def _ghost_state(ghost: GhostFifo) -> dict:
     return {
         "queue": list(ghost._queue),
         "present": [[key, count] for key, count in ghost._present.items()],
+        "stale": [[key, count] for key, count in ghost._stale.items()],
     }
 
 
@@ -124,6 +125,9 @@ def restore_policy(snapshot: dict) -> EvictionPolicy:
         )
         policy._ghost._present.update(
             (_key(key), count) for key, count in snapshot["ghost"]["present"]
+        )
+        policy._ghost._stale.update(
+            (_key(key), count) for key, count in snapshot["ghost"]["stale"]
         )
         for field, used_attr in (("small", "_s_used"), ("main", "_m_used")):
             queue = getattr(policy, f"_{field}")

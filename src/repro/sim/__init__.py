@@ -11,12 +11,15 @@ imports :mod:`repro.sim.request` while the simulator imports the
 policy base class, and laziness breaks that cycle.
 """
 
-from repro.sim.request import Request
+from repro.sim.request import Request, as_request
 
 __all__ = [
     "Request",
+    "as_request",
     "SimulationResult",
     "simulate",
+    "simulate_compiled",
+    "windowed_miss_ratios",
     "miss_ratio_reduction",
     "percentile_summary",
     "SweepJob",
@@ -24,11 +27,14 @@ __all__ = [
     "SweepReport",
     "FailureSummary",
     "run_sweep",
+    "shutdown_pool",
 ]
 
 _LAZY = {
     "SimulationResult": "repro.sim.simulator",
     "simulate": "repro.sim.simulator",
+    "simulate_compiled": "repro.sim.simulator",
+    "windowed_miss_ratios": "repro.sim.simulator",
     "miss_ratio_reduction": "repro.sim.metrics",
     "percentile_summary": "repro.sim.metrics",
     "SweepJob": "repro.sim.runner",
@@ -36,6 +42,7 @@ _LAZY = {
     "SweepReport": "repro.sim.runner",
     "FailureSummary": "repro.sim.runner",
     "run_sweep": "repro.sim.runner",
+    "shutdown_pool": "repro.sim.runner",
 }
 
 

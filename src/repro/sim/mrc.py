@@ -21,6 +21,7 @@ from repro.cache.registry import create_policy
 from repro.sim.simulator import simulate
 from repro.structures.fenwick import FenwickTree
 from repro.structures.ghost import fingerprint
+from repro.traces.compiled import CompiledTrace, compile_trace
 
 
 class MissRatioCurve:
@@ -71,8 +72,23 @@ def reuse_distances(trace: Sequence[Hashable]) -> List[Optional[int]]:
     if n == 0:
         return []
     tree = FenwickTree(n)
-    last_seen: Dict[Hashable, int] = {}
     out: List[Optional[int]] = [None] * n
+    if isinstance(trace, CompiledTrace):
+        # Dense-id fast path: the last-seen table becomes a flat list
+        # indexed by trace id — no hashing anywhere in the pass.
+        ids = trace.key_ids()
+        last_at = [0] * trace.num_objects  # 0 = never (times are 1-based)
+        for i in range(n):
+            kid = ids[i]
+            time = i + 1
+            prev = last_at[kid]
+            if prev:
+                out[i] = tree.range_sum(prev + 1, time - 1) + 1
+                tree.add(prev, -1)
+            last_at[kid] = time
+            tree.add(time, 1)
+        return out
+    last_seen: Dict[Hashable, int] = {}
     for i, key in enumerate(trace):
         time = i + 1
         prev = last_seen.get(key)
@@ -178,7 +194,10 @@ def sampled_mrc(
     for i in range(ensembles):
         sample = spatial_sample(trace, rate, seed=seed + i)
         if sample:
-            samples.append(sample)
+            # Compile once per ensemble member: every requested size
+            # re-simulates the same sample, and compiled traces give
+            # fast policies their batch path for free.
+            samples.append(compile_trace(sample, name=f"sample-{seed + i}"))
     if not samples:
         raise ValueError(
             f"sampling rate {rate} produced an empty trace; raise the rate"

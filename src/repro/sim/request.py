@@ -58,3 +58,19 @@ class Request:
 
     def __hash__(self) -> int:
         return hash((self.key, self.size, self.time, self.next_access))
+
+
+def as_request(item) -> Request:
+    """Normalize one trace item to a :class:`Request`.
+
+    The single accepted-forms dispatch for every trace consumer:
+    ``Request`` objects pass through, ``(key, size)`` tuples and bare
+    keys are wrapped.  Having exactly one copy of this logic keeps
+    :func:`repro.sim.simulate`, windowed simulation, and the trace
+    compiler from drifting apart in what they accept.
+    """
+    if isinstance(item, Request):
+        return item
+    if isinstance(item, tuple):
+        return Request(item[0], size=item[1])
+    return Request(item)

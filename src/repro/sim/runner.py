@@ -10,9 +10,12 @@ an error result instead of aborting the sweep).
 
 from __future__ import annotations
 
+import atexit
 import logging
 import multiprocessing
 import pickle
+import resource
+import time
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -23,6 +26,17 @@ from repro.sim.simulator import simulate
 TraceFactory = Callable[..., Sequence]
 
 logger = logging.getLogger(__name__)
+
+#: Per-worker compiled traces kept alive between jobs (see
+#: :func:`_materialize_trace`).  Sweeps fan the same trace out over
+#: many (policy, size) pairs; workers that keep the compiled form
+#: regenerate and re-compile it zero times instead of once per job.
+_TRACE_CACHE_MAX = 8
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in KiB (`ru_maxrss` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 class SweepJob:
@@ -73,6 +87,8 @@ class SweepResult:
         "miss_ratio",
         "byte_miss_ratio",
         "requests",
+        "wall_time",
+        "peak_rss_kb",
         "tags",
         "error",
     )
@@ -85,6 +101,8 @@ class SweepResult:
         miss_ratio: float = 0.0,
         byte_miss_ratio: float = 0.0,
         requests: int = 0,
+        wall_time: float = 0.0,
+        peak_rss_kb: int = 0,
         tags: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
     ) -> None:
@@ -94,6 +112,14 @@ class SweepResult:
         self.miss_ratio = miss_ratio
         self.byte_miss_ratio = byte_miss_ratio
         self.requests = requests
+        #: Seconds spent in trace materialization + simulation for this
+        #: job (queue waits excluded).
+        self.wall_time = wall_time
+        #: High-water RSS of the executing process when the job ended,
+        #: in KiB.  A process-lifetime maximum, so within one worker it
+        #: is monotone across jobs — read it as "the sweep fit in this
+        #: much memory", not as a per-job footprint.
+        self.peak_rss_kb = peak_rss_kb
         self.tags = dict(tags or {})
         self.error = error
 
@@ -189,10 +215,49 @@ class SweepTimeout(Exception):
     """A sweep job exceeded its per-attempt timeout."""
 
 
+_trace_cache: Dict[Any, Any] = {}
+
+
+def _materialize_trace(job: SweepJob):
+    """The job's trace, compiled and cached in this process.
+
+    The cache key is ``(trace_name, sorted trace_kwargs)``; jobs whose
+    kwargs are unhashable (lists, dicts) fall back to regenerating the
+    trace, as does anything :func:`compile_trace` cannot consume.  The
+    cache is process-local: each pool worker warms its own, which is
+    exactly the sharing the fork-based pool gives us for free.
+    """
+    try:
+        key = (job.trace_name, tuple(sorted(job.trace_kwargs.items())))
+        cached = _trace_cache.get(key)
+    except TypeError:
+        key = None
+        cached = None
+    if cached is not None:
+        return cached
+    trace = job.trace_factory(**job.trace_kwargs)
+    try:
+        from repro.traces.compiled import CompiledTrace, compile_trace
+
+        if not isinstance(trace, CompiledTrace):
+            trace = compile_trace(trace, name=job.trace_name)
+        trace.key_ids()  # materialize the hot list view up front
+    except Exception:  # noqa: BLE001 - exotic traces simulate uncompiled
+        # compile_trace may have part-consumed an iterator trace;
+        # regenerate a fresh one and run it uncompiled, uncached.
+        return job.trace_factory(**job.trace_kwargs)
+    if key is not None:
+        if len(_trace_cache) >= _TRACE_CACHE_MAX:
+            _trace_cache.pop(next(iter(_trace_cache)))
+        _trace_cache[key] = trace
+    return trace
+
+
 def execute_job(job: SweepJob) -> SweepResult:
     """Run one job; never raises — failures land in ``result.error``."""
+    start = time.perf_counter()
     try:
-        trace = job.trace_factory(**job.trace_kwargs)
+        trace = _materialize_trace(job)
         policy = create_policy(
             job.policy, capacity=job.cache_size, **job.policy_kwargs
         )
@@ -204,6 +269,8 @@ def execute_job(job: SweepJob) -> SweepResult:
             miss_ratio=result.miss_ratio,
             byte_miss_ratio=result.byte_miss_ratio,
             requests=result.requests,
+            wall_time=time.perf_counter() - start,
+            peak_rss_kb=_peak_rss_kb(),
             tags=job.tags,
         )
     except Exception:  # noqa: BLE001 - fault tolerance is the point
@@ -211,9 +278,17 @@ def execute_job(job: SweepJob) -> SweepResult:
             trace_name=job.trace_name,
             policy=job.policy,
             cache_size=job.cache_size,
+            wall_time=time.perf_counter() - start,
+            peak_rss_kb=_peak_rss_kb(),
             tags=job.tags,
             error=traceback.format_exc(),
         )
+
+
+def _execute_indexed(item):
+    """Pool worker shim: ``(idx, job) -> (idx, result)``."""
+    idx, job = item
+    return idx, execute_job(job)
 
 
 def _timeout_result(
@@ -231,6 +306,55 @@ def _timeout_result(
     )
 
 
+_pool: Optional[multiprocessing.pool.Pool] = None
+_pool_size = 0
+
+
+def _get_pool(processes: int) -> multiprocessing.pool.Pool:
+    """The shared worker pool, (re)created on first use or resize.
+
+    Keeping the pool alive across :func:`run_sweep` calls preserves the
+    workers' trace caches, so iterative workflows (MRC sweeps, repeated
+    experiments over the same traces) skip both the fork cost and the
+    per-worker trace regeneration after the first sweep.
+    """
+    global _pool, _pool_size
+    if _pool is not None and _pool_size != processes:
+        shutdown_pool()
+    if _pool is None:
+        _pool = multiprocessing.Pool(processes=processes)
+        _pool_size = processes
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Terminate the shared pool (and its warm caches), if any.
+
+    Called automatically at interpreter exit; call it explicitly to
+    reclaim worker memory between sweeps or after changing trace
+    factories in place.
+    """
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _sweep_chunksize(num_jobs: int, processes: int) -> int:
+    """IPC batching for :meth:`imap_unordered`.
+
+    Aim for ~4 chunks per worker so stragglers still rebalance, floor 1
+    so tiny sweeps parallelize, cap 64 so one chunk never serializes a
+    large sweep's tail.
+    """
+    return max(1, min(64, num_jobs // (processes * 4) or 1))
+
+
 def _pool_round(pool, pending, results, timeout, attempt):
     """Submit one round of jobs; returns the (index, job) pairs that
     failed or timed out and are eligible for another attempt."""
@@ -243,8 +367,8 @@ def _pool_round(pool, pending, results, timeout, attempt):
         try:
             result = handle.get(timeout)
         except multiprocessing.TimeoutError:
-            # The worker may still be burning CPU; the pool context
-            # manager terminates stragglers when the sweep finishes.
+            # The worker may still be burning CPU; run_sweep discards
+            # the shared pool after a sweep that saw timeouts.
             result = _timeout_result(job, timeout, attempt)
         result.tags["attempts"] = attempt
         results[idx] = result
@@ -264,6 +388,13 @@ def run_sweep(
     ``processes=None`` uses one worker per CPU (capped at the job
     count); ``processes<=1`` runs sequentially in-process, which is
     also the fallback when the platform cannot fork.
+
+    Parallel sweeps run on a persistent worker pool that survives
+    across calls (see :func:`shutdown_pool`), so repeated sweeps reuse
+    both the forked workers and their per-worker compiled-trace
+    caches.  The common case — no timeout, single attempt — dispatches
+    via ``imap_unordered`` with a tuned chunksize so small jobs don't
+    pay one IPC round-trip each.
 
     With ``retry`` set, failed (or timed-out) jobs are re-executed up
     to ``retry.max_attempts`` times; backoff delays are not slept —
@@ -288,16 +419,42 @@ def run_sweep(
     pending = list(enumerate(job_list))
     if processes > 1 and len(job_list) > 1:
         try:
-            with multiprocessing.Pool(processes=processes) as pool:
+            pool = _get_pool(processes)
+            if timeout is None and max_attempts == 1:
+                chunksize = _sweep_chunksize(len(job_list), processes)
+                logger.debug(
+                    "sweep dispatch: %d jobs on %d workers, "
+                    "chunksize=%d (~%d chunks)",
+                    len(job_list),
+                    processes,
+                    chunksize,
+                    -(-len(job_list) // chunksize),
+                )
+                for idx, result in pool.imap_unordered(
+                    _execute_indexed, pending, chunksize=chunksize
+                ):
+                    result.tags["attempts"] = 1
+                    results[idx] = result
+                pending = []
+            else:
                 for attempt in range(1, max_attempts + 1):
                     if not pending:
                         break
                     pending = _pool_round(
                         pool, pending, results, timeout, attempt
                     )
+                if any(not r.ok and "SweepTimeout" in (r.error or "")
+                       for r in results.values()):
+                    # Timed-out workers may still be burning CPU on the
+                    # stuck jobs; discard the pool rather than queue the
+                    # next sweep behind stragglers.
+                    shutdown_pool()
         except (OSError, pickle.PicklingError, AttributeError):
             # No fork available, or a non-module-level trace factory was
-            # passed: degrade gracefully to sequential execution.
+            # passed: degrade gracefully to sequential execution.  The
+            # pool may hold poisoned queues after a pickling error, so
+            # rebuild it next time.
+            shutdown_pool()
             results.clear()
             pending = list(enumerate(job_list))
     for attempt in range(1, max_attempts + 1):

@@ -1,15 +1,38 @@
-"""Streaming trace simulation of a single policy."""
+"""Streaming and compiled trace simulation of a single policy.
+
+Two execution engines share one result type:
+
+* :func:`simulate` — the streaming engine: accepts any iterable of
+  requests (bare keys, ``(key, size)`` tuples, or
+  :class:`~repro.sim.request.Request` objects) and drives the policy
+  one request at a time.
+* :func:`simulate_compiled` — the fast-path engine: runs over a
+  :class:`~repro.traces.compiled.CompiledTrace` with zero per-request
+  allocation.  Array-backed ``*-fast`` policies execute their own
+  batched loop over the id buffers; every other policy is driven
+  through a single reused Request object.
+
+:func:`simulate` transparently routes compiled traces to the fast
+engine, so callers only ever need one entry point.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Union
 
 from repro.cache.base import EvictionPolicy
-from repro.sim.request import Request
+from repro.sim.request import Request, as_request
 
 
 class SimulationResult:
-    """Outcome of one (policy, trace, cache size) simulation."""
+    """Outcome of one (policy, trace, cache size) simulation.
+
+    Eviction accounting is split at the warmup boundary:
+    ``evictions`` counts only steady-state (post-warmup) evictions of
+    *this run*, ``warmup_evictions`` counts evictions during the
+    warmup prefix, and :attr:`total_evictions` is their sum.  Evictions
+    a pre-used policy performed before the run are never included.
+    """
 
     __slots__ = (
         "policy_name",
@@ -20,6 +43,7 @@ class SimulationResult:
         "bytes_missed",
         "evictions",
         "warmup_requests",
+        "warmup_evictions",
     )
 
     def __init__(
@@ -32,6 +56,7 @@ class SimulationResult:
         bytes_missed: int,
         evictions: int,
         warmup_requests: int = 0,
+        warmup_evictions: int = 0,
     ) -> None:
         self.policy_name = policy_name
         self.capacity = capacity
@@ -41,10 +66,16 @@ class SimulationResult:
         self.bytes_missed = bytes_missed
         self.evictions = evictions
         self.warmup_requests = warmup_requests
+        self.warmup_evictions = warmup_evictions
 
     @property
     def hits(self) -> int:
         return self.requests - self.misses
+
+    @property
+    def total_evictions(self) -> int:
+        """All evictions of this run, warmup included."""
+        return self.evictions + self.warmup_evictions
 
     @property
     def miss_ratio(self) -> float:
@@ -63,6 +94,21 @@ class SimulationResult:
         )
 
 
+def _resolve_warmup(
+    trace,
+    warmup: float,
+    warmup_requests: Optional[int],
+) -> int:
+    """Turn a fractional or absolute warmup spec into a request count."""
+    if warmup and warmup_requests is None:
+        if not hasattr(trace, "__len__"):
+            raise ValueError("fractional warmup requires a sized trace")
+        if not 0.0 <= warmup < 1.0:
+            raise ValueError(f"warmup must be in [0, 1), got {warmup}")
+        warmup_requests = int(len(trace) * warmup)
+    return warmup_requests or 0
+
+
 def simulate(
     policy: EvictionPolicy,
     trace: Iterable[Union[Request, tuple, str, int]],
@@ -71,37 +117,43 @@ def simulate(
 ) -> SimulationResult:
     """Run ``policy`` over ``trace`` and return the measured miss ratios.
 
-    ``trace`` may yield :class:`Request` objects, bare keys, or
-    ``(key, size)`` tuples.  With ``warmup`` (fraction of the trace) or
-    ``warmup_requests`` set, hits/misses during the warmup prefix are
-    excluded from the reported counts, the standard methodology for
-    steady-state miss ratios.  Fractional warmup requires a sized
-    trace (list/tuple).
-    """
+    ``trace`` may yield :class:`Request` objects, bare keys,
+    ``(key, size)`` tuples, or be a
+    :class:`~repro.traces.compiled.CompiledTrace` (which is routed to
+    the allocation-free :func:`simulate_compiled` engine).  With
+    ``warmup`` (fraction of the trace) or ``warmup_requests`` set, the
+    warmup prefix is excluded from the reported hit/miss/byte counts,
+    the standard methodology for steady-state miss ratios; fractional
+    warmup requires a sized trace (list/tuple/compiled).
 
-    if warmup and warmup_requests is None:
-        if not hasattr(trace, "__len__"):
-            raise ValueError("fractional warmup requires a sized trace")
-        if not 0.0 <= warmup < 1.0:
-            raise ValueError(f"warmup must be in [0, 1), got {warmup}")
-        warmup_requests = int(len(trace) * warmup)  # type: ignore[arg-type]
-    warmup_requests = warmup_requests or 0
+    Eviction semantics: ``result.evictions`` counts steady-state
+    (post-warmup) evictions only; warmup evictions are reported
+    separately as ``result.warmup_evictions`` (see
+    :class:`SimulationResult`).
+    """
+    from repro.traces.compiled import CompiledTrace
+
+    if isinstance(trace, CompiledTrace):
+        return simulate_compiled(
+            policy, trace, warmup=warmup, warmup_requests=warmup_requests
+        )
+
+    warmup_requests = _resolve_warmup(trace, warmup, warmup_requests)
 
     requests = 0
     misses = 0
     bytes_requested = 0
     bytes_missed = 0
     seen = 0
+    evictions_before = policy.stats.evictions
+    evictions_at_warmup = evictions_before
     for item in trace:
-        if isinstance(item, Request):
-            req = item
-        elif isinstance(item, tuple):
-            req = Request(item[0], size=item[1])
-        else:
-            req = Request(item)
+        req = as_request(item)
         hit = policy.request(req)
         seen += 1
         if seen <= warmup_requests:
+            if seen == warmup_requests:
+                evictions_at_warmup = policy.stats.evictions
             continue
         requests += 1
         bytes_requested += req.size
@@ -115,8 +167,89 @@ def simulate(
         misses=misses,
         bytes_requested=bytes_requested,
         bytes_missed=bytes_missed,
-        evictions=policy.stats.evictions,
+        evictions=policy.stats.evictions - evictions_at_warmup,
         warmup_requests=warmup_requests,
+        warmup_evictions=evictions_at_warmup - evictions_before,
+    )
+
+
+def _has_fast_path(policy: EvictionPolicy, trace) -> bool:
+    run = getattr(policy, "run_compiled", None)
+    if run is None:
+        return False
+    can = getattr(policy, "can_run_compiled", None)
+    return bool(can(trace)) if can is not None else True
+
+
+def simulate_compiled(
+    policy: EvictionPolicy,
+    trace,
+    warmup: float = 0.0,
+    warmup_requests: Optional[int] = None,
+) -> SimulationResult:
+    """Run ``policy`` over a compiled trace with no per-request allocation.
+
+    Policies exposing the fast-path batch protocol
+    (``run_compiled(trace, start, stop)`` — the ``*-fast`` registry
+    entries) execute an inlined loop directly over the trace's integer
+    id buffers.  Every other policy is driven through a single reused
+    :class:`Request` object, which already removes the per-request
+    allocation and dispatch cost of the streaming engine.
+
+    Warmup and eviction-accounting semantics match :func:`simulate`.
+    """
+    warmup_requests = _resolve_warmup(trace, warmup, warmup_requests)
+    n = len(trace)
+    warmup_requests = min(warmup_requests, n)
+    evictions_before = policy.stats.evictions
+
+    if _has_fast_path(policy, trace):
+        if warmup_requests:
+            policy.run_compiled(trace, 0, warmup_requests)
+        evictions_at_warmup = policy.stats.evictions
+        requests, misses, bytes_requested, bytes_missed = policy.run_compiled(
+            trace, warmup_requests, n
+        )
+        return SimulationResult(
+            policy_name=policy.name,
+            capacity=policy.capacity,
+            requests=requests,
+            misses=misses,
+            bytes_requested=bytes_requested,
+            bytes_missed=bytes_missed,
+            evictions=policy.stats.evictions - evictions_at_warmup,
+            warmup_requests=warmup_requests,
+            warmup_evictions=evictions_at_warmup - evictions_before,
+        )
+
+    requests = 0
+    misses = 0
+    bytes_requested = 0
+    bytes_missed = 0
+    seen = 0
+    evictions_at_warmup = evictions_before
+    for req in trace.iter_requests(reuse=True):
+        hit = policy.request(req)
+        seen += 1
+        if seen <= warmup_requests:
+            if seen == warmup_requests:
+                evictions_at_warmup = policy.stats.evictions
+            continue
+        requests += 1
+        bytes_requested += req.size
+        if not hit:
+            misses += 1
+            bytes_missed += req.size
+    return SimulationResult(
+        policy_name=policy.name,
+        capacity=policy.capacity,
+        requests=requests,
+        misses=misses,
+        bytes_requested=bytes_requested,
+        bytes_missed=bytes_missed,
+        evictions=policy.stats.evictions - evictions_at_warmup,
+        warmup_requests=warmup_requests,
+        warmup_evictions=evictions_at_warmup - evictions_before,
     )
 
 
@@ -129,20 +262,47 @@ def windowed_miss_ratios(
 
     Useful for watching warmup converge and for spotting phase changes
     (scans show up as miss-ratio spikes).  The trailing partial window
-    is included when non-empty.
+    is included when non-empty.  Compiled traces use the fast-path
+    engine: each window is one batched ``run_compiled`` call for fast
+    policies, or a reused-Request sweep otherwise.
     """
     if window <= 0:
         raise ValueError(f"window must be positive, got {window}")
+    from repro.traces.compiled import CompiledTrace
+
+    if isinstance(trace, CompiledTrace):
+        return _windowed_compiled(policy, trace, window)
     ratios: List[float] = []
     misses = 0
     count = 0
     for item in trace:
-        if isinstance(item, Request):
-            req = item
-        elif isinstance(item, tuple):
-            req = Request(item[0], size=item[1])
-        else:
-            req = Request(item)
+        req = as_request(item)
+        if not policy.request(req):
+            misses += 1
+        count += 1
+        if count == window:
+            ratios.append(misses / count)
+            misses = 0
+            count = 0
+    if count:
+        ratios.append(misses / count)
+    return ratios
+
+
+def _windowed_compiled(
+    policy: EvictionPolicy, trace, window: int
+) -> List[float]:
+    n = len(trace)
+    ratios: List[float] = []
+    if _has_fast_path(policy, trace):
+        for start in range(0, n, window):
+            stop = min(start + window, n)
+            requests, misses, _, _ = policy.run_compiled(trace, start, stop)
+            ratios.append(misses / requests if requests else 0.0)
+        return ratios
+    misses = 0
+    count = 0
+    for req in trace.iter_requests(reuse=True):
         if not policy.request(req):
             misses += 1
         count += 1

@@ -28,7 +28,7 @@ class GhostFifo:
     dropped.  Membership is O(1).
     """
 
-    __slots__ = ("_capacity", "_queue", "_present")
+    __slots__ = ("_capacity", "_queue", "_present", "_stale")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -39,6 +39,12 @@ class GhostFifo:
         # a key enqueues it again rather than relocating (FIFO semantics);
         # stale duplicates are skipped when they reach the front.
         self._present: Dict[Hashable, int] = {}
+        # Maps key -> number of slots invalidated by remove().  Removal
+        # stales every *existing* slot of the key, and those slots are
+        # always older than any slot enqueued afterwards, so skipping
+        # exactly this many occurrences from the front never touches a
+        # live one.
+        self._stale: Dict[Hashable, int] = {}
 
     @property
     def capacity(self) -> int:
@@ -78,17 +84,25 @@ class GhostFifo:
         Returns whether the key was present.  Its queue slots become
         stale and are skipped during future evictions.
         """
-        if key not in self._present:
+        count = self._present.pop(key, None)
+        if count is None:
             return False
-        del self._present[key]
+        self._stale[key] = self._stale.get(key, 0) + count
         return True
 
     def _evict_oldest(self) -> None:
         while self._queue:
             key = self._queue.popleft()
+            stale = self._stale.get(key)
+            if stale:
+                if stale == 1:
+                    del self._stale[key]
+                else:
+                    self._stale[key] = stale - 1
+                continue  # stale slot of a removed key
             count = self._present.get(key)
             if count is None:
-                continue  # stale slot of a removed key
+                continue
             if count > 1:
                 self._present[key] = count - 1
                 continue  # a newer occurrence exists
@@ -98,6 +112,7 @@ class GhostFifo:
     def clear(self) -> None:
         self._queue.clear()
         self._present.clear()
+        self._stale.clear()
 
 
 def fingerprint(key: Hashable, bits: int = 32) -> int:

@@ -1,5 +1,6 @@
 """Workload generation, dataset stand-ins, trace analysis, and trace I/O."""
 
+from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.analysis import (
     annotate_next_access,
     frequency_at_eviction,
@@ -47,6 +48,8 @@ from repro.traces.synthetic import (
 )
 
 __all__ = [
+    "CompiledTrace",
+    "compile_trace",
     "annotate_next_access",
     "frequency_at_eviction",
     "one_hit_wonder_curve",

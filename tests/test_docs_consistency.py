@@ -21,7 +21,8 @@ def read(name: str) -> str:
 class TestReferencedFilesExist:
     @pytest.mark.parametrize(
         "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-                "docs/ALGORITHMS.md", "docs/REPRODUCING.md"]
+                "docs/ALGORITHMS.md", "docs/REPRODUCING.md",
+                "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
     )
     def test_doc_exists(self, doc):
         assert (REPO / doc).is_file(), doc
@@ -80,13 +81,16 @@ class TestStructuralClaims:
         assert used <= registered, used - registered
 
     def test_policy_count_claim(self):
-        """README claims 27 baselines + the s3 family = 31 registered."""
+        """README: 35 online policies = 27 baselines + s3 family + fast."""
         from repro.cache.registry import policy_names
 
         names = policy_names(include_offline=True)
+        fast = {n for n in names if n.endswith("-fast")}
         s3_family = {n for n in names if n.startswith("s3")}
-        baselines = set(names) - s3_family
+        baselines = set(names) - s3_family - fast
         assert len(baselines) == 27, sorted(baselines)
+        assert fast == {"fifo-fast", "lru-fast", "sieve-fast", "s3fifo-fast"}
+        assert len(policy_names()) == 35  # the README quickstart claim
 
     def test_examples_count_claim(self):
         scripts = list((REPO / "examples").glob("*.py"))

@@ -39,6 +39,7 @@ GOLDEN = {
     "clockpro": 0.345040,
     "eelru": 0.420560,
     "fifo": 0.477000,
+    "fifo-fast": 0.477000,
     "fifomerge": 0.476400,
     "gdsf": 0.360440,
     "hyperbolic": 0.391840,
@@ -48,16 +49,19 @@ GOLDEN = {
     "lirs": 0.358840,
     "lrfu": 0.333040,
     "lru": 0.420560,
+    "lru-fast": 0.420560,
     "lruk": 0.353160,
     "mq": 0.320560,
     "random": 0.476560,
     "s3fifo": 0.344640,
-    "s3fifo-d": 0.344360,
+    "s3fifo-d": 0.344480,
+    "s3fifo-fast": 0.344640,
     "s3fifo-ring": 0.343360,
-    "s3sieve": 0.334800,
+    "s3sieve": 0.334360,
     "s3variant": 0.344640,
     "sfifo": 0.422440,
     "sieve": 0.329400,
+    "sieve-fast": 0.329400,
     "slru": 0.349080,
     "tinylfu": 0.362160,
     "tinylfu-0.1": 0.370080,
@@ -100,3 +104,9 @@ def test_golden_orderings():
     assert GOLDEN["s3fifo"] < GOLDEN["fifo"]
     assert GOLDEN["s3sieve"] <= GOLDEN["s3fifo"]
     assert GOLDEN["fifo"] == max(GOLDEN.values())
+
+
+def test_fast_twins_match_references():
+    """The ``*-fast`` rewrites are decision-identical, not just close."""
+    for ref in ("fifo", "lru", "sieve", "s3fifo"):
+        assert GOLDEN[f"{ref}-fast"] == GOLDEN[ref]

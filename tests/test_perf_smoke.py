@@ -1,0 +1,77 @@
+"""Tier-1 smoke test for the perf harness: tiny workload, full schema.
+
+The real benchmark (1M requests, ``benchmarks/perf/``) is marked
+``perf`` and excluded from tier-1; this test runs the same code path
+at toy scale so schema or wiring regressions surface in the fast
+suite.
+"""
+
+import json
+
+from repro.perf.bench import run_perf_bench, write_report
+
+REQUIRED_RESULT_KEYS = {
+    "policy",
+    "impl",
+    "reference",
+    "trace",
+    "seed",
+    "requests",
+    "capacity",
+    "wall_time_s",
+    "requests_per_sec",
+    "peak_rss",
+    "miss_ratio",
+}
+
+
+def test_bench_report_schema(tmp_path):
+    report = run_perf_bench(
+        pairs=(("s3fifo", "s3fifo-fast"),),
+        num_objects=500,
+        num_requests=5_000,
+        alpha=1.0,
+        cache_ratio=0.1,
+        seed=7,
+    )
+    path = write_report(report, tmp_path / "BENCH_perf.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["schema"] == 1
+    assert loaded["trace"] == "zipf-1"
+    assert loaded["seed"] == 7
+    assert loaded["config"]["capacity"] == 50
+    assert len(loaded["results"]) == 2
+    for row in loaded["results"]:
+        assert REQUIRED_RESULT_KEYS <= set(row)
+        assert row["requests"] == 5_000
+        assert row["requests_per_sec"] > 0
+        assert row["peak_rss"] > 0
+        assert 0.0 < row["miss_ratio"] < 1.0
+    ref, fast = loaded["results"]
+    assert (ref["impl"], fast["impl"]) == ("reference", "fast")
+    assert ref["miss_ratio"] == fast["miss_ratio"]
+    assert set(loaded["speedups"]) == {"s3fifo-fast"}
+
+
+def test_bench_rejects_divergent_pair():
+    # Pairing two genuinely different policies must trip the built-in
+    # miss-ratio cross-check rather than report a bogus speedup.
+    import pytest
+
+    with pytest.raises(AssertionError):
+        run_perf_bench(
+            pairs=(("lru", "s3fifo-fast"),),
+            num_objects=500,
+            num_requests=5_000,
+            cache_ratio=0.02,
+            seed=3,
+        )
+
+
+def test_default_pairs_all_registered():
+    from repro.cache.registry import create_policy
+    from repro.perf.bench import DEFAULT_PAIRS
+
+    for ref_name, fast_name in DEFAULT_PAIRS:
+        assert create_policy(ref_name, capacity=10).name == ref_name
+        assert create_policy(fast_name, capacity=10).name == fast_name
