@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf examples experiments all
+.PHONY: install test resilience bench perf loadgen examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,10 @@ bench:
 
 perf:
 	pytest benchmarks/perf/ -m perf --no-header -rN
+
+loadgen:
+	pytest tests/ -m service --no-header -rN
+	s3fifo-repro loadgen --out benchmarks/results/BENCH_service.json
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; python $$script; done

@@ -25,6 +25,9 @@ Package layout:
   (Section 5.3).
 * :mod:`repro.resilience` — fault injection, retry/backoff, the policy
   sanitizer, and warm-restart snapshots.
+* :mod:`repro.service` — the live cache service layer: thread-safe
+  TTL-aware get/set/delete over any policy, hash-sharding, and a
+  concurrent load generator.
 """
 
 from repro.cache import EvictionPolicy, create_policy, policy_names
@@ -40,6 +43,12 @@ from repro.resilience import (
     FaultPlan,
     InvariantViolation,
     RetryPolicy,
+)
+from repro.service import (
+    CacheService,
+    RemovalUnsupportedError,
+    ShardedCacheService,
+    stable_key_hash,
 )
 from repro.sim import Request, simulate, simulate_compiled
 from repro.traces import CompiledTrace, compile_trace, zipf_trace
@@ -59,6 +68,10 @@ __all__ = [
     "FaultPlan",
     "InvariantViolation",
     "RetryPolicy",
+    "CacheService",
+    "ShardedCacheService",
+    "RemovalUnsupportedError",
+    "stable_key_hash",
     "Request",
     "simulate",
     "simulate_compiled",

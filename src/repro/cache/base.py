@@ -196,6 +196,11 @@ class EvictionPolicy(ABC):
     #: Registry / display name ("s3fifo", "lru", ...).
     name: ClassVar[str] = "abstract"
 
+    #: Whether :meth:`remove` is implemented.  Live deletion is not part
+    #: of the paper's trace-replay contract, so only the policies the
+    #: service layer (:mod:`repro.service`) builds on opt in.
+    supports_removal: ClassVar[bool] = False
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -227,6 +232,21 @@ class EvictionPolicy(ABC):
     def access(self, key: Hashable, size: int = 1) -> bool:
         """Convenience wrapper building a :class:`Request` for ``key``."""
         return self.request(Request(key, size=size))
+
+    def remove(self, key: Hashable) -> bool:
+        """Remove ``key`` from the cache if resident; True when removed.
+
+        Deletion is *not* an eviction: no :class:`EvictionEvent` fires
+        and ``stats.evictions`` does not move, because eviction-stream
+        analyses (Fig. 4, Fig. 10) must only see policy decisions, not
+        external deletes.  Policies that support live deletion set
+        ``supports_removal = True`` and override this; the default
+        raises so callers can fail loudly rather than corrupt state.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} does not support remove(); "
+            "see EvictionPolicy.supports_removal"
+        )
 
     def add_eviction_listener(self, listener: EvictionListener) -> None:
         """Register a callback invoked for every eviction."""

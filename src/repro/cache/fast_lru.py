@@ -19,6 +19,7 @@ class FastLruCache(SlabListMixin, FastPolicyBase):
     """
 
     name = "lru-fast"
+    supports_removal = True
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
@@ -56,6 +57,16 @@ class FastLruCache(SlabListMixin, FastPolicyBase):
         self._push_head(slot)
         self.used += size
         self._count += 1
+
+    def remove(self, key) -> bool:
+        slot = self._ids.get(key)
+        if slot is None or not self._loc[slot]:
+            return False
+        self._unlink(slot)
+        self._loc[slot] = 0
+        self.used -= self._size_of[slot]
+        self._count -= 1
+        return True
 
     def _evict_one(self) -> None:
         slot = self._ends[1]

@@ -17,6 +17,7 @@ class FifoCache(EvictionPolicy):
     """
 
     name = "fifo"
+    supports_removal = True
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
@@ -42,6 +43,13 @@ class FifoCache(EvictionPolicy):
         _, entry = self._entries.popitem(last=False)
         self.used -= entry.size
         self._notify_evict(entry)
+
+    def remove(self, key: Hashable) -> bool:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.used -= entry.size
+        return True
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries

@@ -19,6 +19,7 @@ class LruCache(EvictionPolicy):
     """
 
     name = "lru"
+    supports_removal = True
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
@@ -50,6 +51,14 @@ class LruCache(EvictionPolicy):
         del self._nodes[entry.key]
         self.used -= entry.size
         self._notify_evict(entry)
+
+    def remove(self, key: Hashable) -> bool:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            return False
+        self._list.unlink(node)
+        self.used -= node.data.size
+        return True
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._nodes

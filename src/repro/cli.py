@@ -38,8 +38,17 @@ EXPERIMENTS = {
 def _cmd_list_policies(_args: argparse.Namespace) -> int:
     from repro.cache.registry import policy_names
 
-    for name in policy_names(include_offline=True):
+    names = policy_names(include_offline=True)
+    # Group each array-backed twin under its reference policy instead of
+    # interleaving alphabetically ("fifo-fast" belongs next to "fifo").
+    twins = {name: f"{name}-fast" for name in names if f"{name}-fast" in names}
+    grouped_fast = set(twins.values())
+    for name in names:
+        if name in grouped_fast:
+            continue
         print(name)
+        if name in twins:
+            print(f"  {twins[name]}  (fast twin, bit-identical)")
     return 0
 
 
@@ -329,6 +338,101 @@ def _cmd_walkthrough(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Live service demo: replay a Zipf stream read-through and compare
+    the service's miss ratio against the offline simulator's."""
+    from repro.cache.registry import create_policy
+    from repro.service.loadgen import build_service
+    from repro.sim.simulator import simulate
+    from repro.traces.synthetic import zipf_trace
+
+    trace = zipf_trace(
+        num_objects=args.objects,
+        num_requests=args.requests,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    capacity = max(args.shards, int(args.objects * args.cache_ratio))
+    service = build_service(
+        capacity, args.policy, args.shards, checked=args.checked
+    )
+    ttl = args.ttl
+    for key in trace:
+        if service.get(key) is None:
+            if ttl is not None:
+                service.set(key, key, ttl=ttl)
+            else:
+                service.set(key, key)
+    stats = service.stats()
+    live_miss = 1.0 - stats["hit_ratio"]
+    print(f"policy:          {args.policy} x {args.shards} shard(s)")
+    print(f"capacity:        {capacity}")
+    print(f"requests:        {stats['gets']} gets, {stats['sets']} sets")
+    print(f"live miss ratio: {live_miss:.4f}")
+    print(f"objects held:    {stats['objects']}")
+    print(f"evictions:       {stats['evictions']}")
+    if ttl is not None:
+        print(f"expired:         {stats['expired']} (ttl={ttl:g}s)")
+    if args.shards > 1:
+        from repro.concurrency.sharding import imbalance_factor
+
+        ops = service.ops_per_shard()
+        print(f"shard ops:       {ops}")
+        print(f"imbalance:       {imbalance_factor(ops):.3f} (max/mean)")
+    if ttl is None:
+        offline = simulate(
+            create_policy(args.policy, capacity=capacity), trace
+        )
+        print(f"offline miss:    {offline.miss_ratio:.4f} "
+              f"(delta {live_miss - offline.miss_ratio:+.4f})")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Concurrent load generator; writes BENCH_service.json."""
+    from repro.concurrency.calibrate import calibration_summary
+    from repro.perf.bench import write_report
+    from repro.service.loadgen import format_report, run_loadgen
+
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",")]
+        thread_counts = [int(t) for t in args.threads.split(",")]
+    except ValueError:
+        print("--shards/--threads take comma-separated integers",
+              file=sys.stderr)
+        return 2
+    report = run_loadgen(
+        shard_counts=shard_counts,
+        thread_counts=thread_counts,
+        num_objects=args.objects,
+        num_requests=args.requests,
+        alpha=args.alpha,
+        cache_ratio=args.cache_ratio,
+        seed=args.seed,
+        policy=args.policy,
+        mode=args.mode,
+        open_rate=args.rate,
+        checked=args.checked,
+    )
+    try:
+        report["calibration"] = calibration_summary(
+            report, shards=min(shard_counts)
+        )
+    except ValueError:
+        pass  # needs both a 1-thread and a multi-thread row
+    print(format_report(report))
+    calibration = report.get("calibration")
+    if calibration:
+        print(
+            f"calibrated {calibration['profile']}: "
+            f"{calibration['serial_fraction']:.0%} serial, "
+            f"hit {calibration['hit_ns']}ns / miss {calibration['miss_ns']}ns"
+        )
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="s3fifo-repro",
@@ -416,6 +520,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="live cache service demo (read-through Zipf replay, "
+        "offline-parity check)",
+    )
+    serve.add_argument("--policy", default="s3fifo")
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--objects", type=int, default=10_000)
+    serve.add_argument("--requests", type=int, default=100_000)
+    serve.add_argument("--alpha", type=float, default=1.0)
+    serve.add_argument("--cache-ratio", type=float, default=0.1)
+    serve.add_argument("--ttl", type=float, default=None,
+                       help="expire demo entries after this many seconds")
+    serve.add_argument("--checked", action="store_true",
+                       help="run the invariant sanitizer on every access")
+    serve.add_argument("--seed", type=int, default=42)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="concurrent service load generator (BENCH_service.json)",
+    )
+    lg.add_argument("--policy", default="s3fifo")
+    lg.add_argument("--shards", default="1,4",
+                    help="comma-separated shard counts")
+    lg.add_argument("--threads", default="1,4",
+                    help="comma-separated thread counts")
+    lg.add_argument("--objects", type=int, default=10_000)
+    lg.add_argument("--requests", type=int, default=100_000)
+    lg.add_argument("--alpha", type=float, default=1.0)
+    lg.add_argument("--cache-ratio", type=float, default=0.1)
+    lg.add_argument("--mode", choices=("closed", "open"), default="closed")
+    lg.add_argument("--rate", type=float, default=50_000.0,
+                    help="per-thread target ops/sec (open mode)")
+    lg.add_argument("--checked", action="store_true",
+                    help="run the invariant sanitizer on every access")
+    lg.add_argument("--seed", type=int, default=42)
+    lg.add_argument(
+        "--out", default="benchmarks/results/BENCH_service.json",
+        help="output JSON path",
+    )
+
     walk = sub.add_parser(
         "walkthrough", help="Fig. 5 style step-by-step S3-FIFO state trace"
     )
@@ -439,6 +584,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mrc": _cmd_mrc,
         "resilience": _cmd_resilience,
         "perf": _cmd_perf,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "walkthrough": _cmd_walkthrough,
     }
     try:

@@ -6,9 +6,17 @@ package models each policy's critical-section profile (what work runs
 under a lock vs. in parallel) and derives throughput-vs-threads curves
 two ways: a closed-form saturation model and a discrete-event
 simulation of threads contending for the lock.  A real-thread harness
-is included to document the GIL limitation empirically.
+is included to document the GIL limitation empirically, and
+:mod:`repro.concurrency.calibrate` fits the model's cost profile to
+per-op costs measured by the live service's load generator.
 """
 
+from repro.concurrency.calibrate import (
+    calibrate_profile,
+    calibration_summary,
+    parallel_fraction,
+    profile_from_loadgen,
+)
 from repro.concurrency.costs import CostProfile, PROFILES, profile_for
 from repro.concurrency.model import (
     ScalingPoint,
@@ -37,4 +45,8 @@ __all__ = [
     "simulate_throughput",
     "throughput_curve",
     "gil_bound_throughput",
+    "calibrate_profile",
+    "calibration_summary",
+    "parallel_fraction",
+    "profile_from_loadgen",
 ]

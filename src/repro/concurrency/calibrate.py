@@ -1,0 +1,141 @@
+"""Calibrate the analytic throughput model from measured load.
+
+:mod:`repro.concurrency.costs` ships cost profiles transcribed from the
+paper's C prototypes.  This module derives a profile from *this*
+implementation instead, using a :mod:`repro.service.loadgen` report:
+the measured mean hit/miss latencies give the total per-op cost, and
+the scaling from one thread to N threads gives the parallel/critical
+split via the Amdahl inversion
+
+    speedup = 1 / ((1 - p) + p / n)   =>   p = (1 - 1/speedup) / (1 - 1/n)
+
+where ``p`` is the parallel fraction of per-op work.  The resulting
+:class:`~repro.concurrency.costs.CostProfile` plugs straight into
+:func:`~repro.concurrency.model.analytic_throughput`.
+
+Honesty note: under CPython's GIL the measured speedup of a pure
+in-memory workload hovers near 1, so calibrated profiles report a
+serial fraction close to 100% — the calibration faithfully measures
+the runtime it runs on, which is exactly the point of having a
+measured path next to the paper-derived one (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.concurrency.costs import CostProfile
+
+
+def parallel_fraction(
+    single_ops_per_sec: float,
+    multi_ops_per_sec: float,
+    threads: int,
+) -> float:
+    """Amdahl parallel fraction implied by a 1-thread vs N-thread pair.
+
+    Clamped to [0, 1]: sub-linear-below-1 speedups (contention overhead
+    exceeding any parallel gain) read as fully serial, super-linear
+    ones as fully parallel.
+    """
+    if threads < 2:
+        raise ValueError(f"threads must be >= 2 to infer scaling, got {threads}")
+    if single_ops_per_sec <= 0 or multi_ops_per_sec <= 0:
+        raise ValueError("throughputs must be positive")
+    speedup = multi_ops_per_sec / single_ops_per_sec
+    if speedup <= 1.0:
+        return 0.0
+    if speedup >= threads:
+        return 1.0
+    return (1.0 - 1.0 / speedup) / (1.0 - 1.0 / threads)
+
+
+def calibrate_profile(
+    name: str,
+    hit_ns: float,
+    miss_ns: float,
+    single_ops_per_sec: float,
+    multi_ops_per_sec: float,
+    threads: int,
+    handoff_ns: float = 0.0,
+) -> CostProfile:
+    """A :class:`CostProfile` from measured costs and measured scaling.
+
+    The one parallel fraction observed for the whole workload is
+    applied to both the hit and the miss path — the loadgen cannot
+    separate their scaling, only their costs.
+    """
+    p = parallel_fraction(single_ops_per_sec, multi_ops_per_sec, threads)
+    return CostProfile(
+        name,
+        hit_parallel=hit_ns * p,
+        hit_critical=hit_ns * (1.0 - p),
+        miss_parallel=miss_ns * p,
+        miss_critical=miss_ns * (1.0 - p),
+        handoff_ns=handoff_ns,
+    )
+
+
+def profile_from_loadgen(
+    report: Dict[str, Any],
+    shards: int = 1,
+    name: Optional[str] = None,
+) -> CostProfile:
+    """Calibrate from a ``run_loadgen`` report at one shard count.
+
+    Uses the 1-thread scenario for per-op costs and the highest thread
+    count present for the scaling pair.  Raises ``ValueError`` when the
+    report lacks the needed rows.
+    """
+    rows = [r for r in report["scenarios"] if r["shards"] == shards]
+    single = next((r for r in rows if r["threads"] == 1), None)
+    multi = max(
+        (r for r in rows if r["threads"] > 1),
+        key=lambda r: r["threads"],
+        default=None,
+    )
+    if single is None or multi is None:
+        raise ValueError(
+            f"report needs a 1-thread and a multi-thread scenario at "
+            f"shards={shards} to calibrate"
+        )
+    if name is None:
+        name = f"{report['config']['policy']}-measured"
+    return calibrate_profile(
+        name,
+        hit_ns=float(single["hit_ns_mean"]),
+        miss_ns=float(single["miss_ns_mean"]),
+        single_ops_per_sec=float(single["ops_per_sec"]),
+        multi_ops_per_sec=float(multi["ops_per_sec"]),
+        threads=multi["threads"],
+    )
+
+
+def calibration_summary(report: Dict[str, Any], shards: int = 1) -> Dict[str, Any]:
+    """Measured-vs-model digest for the CLI and BENCH_service.json."""
+    from repro.concurrency.model import analytic_throughput
+
+    profile = profile_from_loadgen(report, shards=shards)
+    rows = [r for r in report["scenarios"] if r["shards"] == shards]
+    single = next(r for r in rows if r["threads"] == 1)
+    multi = max((r for r in rows if r["threads"] > 1), key=lambda r: r["threads"])
+    miss_ratio = 1.0 - single["hit_ratio"]
+    p = parallel_fraction(
+        single["ops_per_sec"], multi["ops_per_sec"], multi["threads"]
+    )
+    return {
+        "profile": profile.name,
+        "parallel_fraction": round(p, 4),
+        "serial_fraction": round(1.0 - p, 4),
+        "hit_ns": single["hit_ns_mean"],
+        "miss_ns": single["miss_ns_mean"],
+        "measured_mqps_1t": round(single["ops_per_sec"] / 1e6, 4),
+        "measured_mqps_nt": round(multi["ops_per_sec"] / 1e6, 4),
+        "threads": multi["threads"],
+        "model_mqps_1t": round(
+            analytic_throughput(profile, 1, miss_ratio), 4
+        ),
+        "model_mqps_nt": round(
+            analytic_throughput(profile, multi["threads"], miss_ratio), 4
+        ),
+    }

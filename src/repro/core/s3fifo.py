@@ -56,6 +56,7 @@ class S3FifoCache(EvictionPolicy):
     """
 
     name = "s3fifo"
+    supports_removal = True
 
     def __init__(
         self,
@@ -195,6 +196,24 @@ class S3FifoCache(EvictionPolicy):
                 self._on_evict_from_m(entry)
                 self._notify_evict(entry)
                 return
+
+    def remove(self, key: Hashable) -> bool:
+        """Live deletion for the service layer (not part of Algorithm 1).
+
+        The key leaves whichever queue holds it; it is *not* recorded in
+        the ghost queue (deletion carries no eviction signal) and no
+        eviction event fires.
+        """
+        entry = self._small.pop(key, None)
+        if entry is not None:
+            self._s_used -= entry.size
+        else:
+            entry = self._main.pop(key, None)
+            if entry is None:
+                return False
+            self._m_used -= entry.size
+        self.used -= entry.size
+        return True
 
     # ------------------------------------------------------------------
     # Hooks for the adaptive variant (S3-FIFO-D)

@@ -49,6 +49,7 @@ class FastS3FifoCache(FastPolicyBase):
     """
 
     name = "s3fifo-fast"
+    supports_removal = True
 
     def __init__(
         self,
@@ -149,6 +150,36 @@ class FastS3FifoCache(FastPolicyBase):
         if slot is None or not self._loc[slot]:
             raise KeyError(key)
         return self._loc[slot] & 3
+
+    def remove(self, key: Hashable) -> bool:
+        """Live deletion for the service layer (not part of Algorithm 1).
+
+        The slot is spliced out of its queue's live region eagerly —
+        O(queue length), which is fine for the service's delete/expiry
+        rate — so the batch loops' invariant (every queued slot from the
+        head cursor on is live) is preserved.  Like the reference
+        policy, deletion leaves no ghost entry and fires no eviction
+        event.
+        """
+        slot = self._ids.get(key)
+        if slot is None:
+            return False
+        state = self._loc[slot]
+        if not state:
+            return False
+        size = self._size_of[slot]
+        if state >> 2 == 1:  # resident in S
+            del self._s_q[self._s_q.index(slot, self._s_head)]
+            self._s_len -= 1
+            self._s_used -= size
+        else:  # resident in M
+            del self._m_q[self._m_q.index(slot, self._m_head)]
+            self._m_len -= 1
+            self._m_used -= size
+        self._loc[slot] = 0
+        self.used -= size
+        self._count -= 1
+        return True
 
     # ------------------------------------------------------------------
     # Ghost queue primitives

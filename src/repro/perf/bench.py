@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import resource
+import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,7 +42,13 @@ SCHEMA_VERSION = 1
 
 
 def _peak_rss_kb() -> int:
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS/BSD.
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin" or sys.platform.startswith(
+        ("freebsd", "netbsd", "openbsd")
+    ):
+        return rss // 1024
+    return rss
 
 
 def _measure(policy_name: str, impl: str, reference: str, trace,

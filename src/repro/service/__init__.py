@@ -1,0 +1,39 @@
+"""The live cache service layer: policies made operable.
+
+``repro.service`` turns the simulator's eviction policies into an
+in-process cache you can actually run: :class:`CacheService` adds
+values, TTLs, deletion, and a lock; :class:`ShardedCacheService`
+hash-partitions keys across independently-locked shards; and
+:mod:`repro.service.loadgen` measures the result under concurrent
+load.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.core import (
+    CacheService,
+    RemovalUnsupportedError,
+    ServiceCounters,
+)
+from repro.service.loadgen import (
+    format_report,
+    latency_summary_us,
+    run_loadgen,
+    run_scenario,
+)
+from repro.service.sharded import (
+    ShardedCacheService,
+    partition_capacity,
+    stable_key_hash,
+)
+
+__all__ = [
+    "CacheService",
+    "RemovalUnsupportedError",
+    "ServiceCounters",
+    "ShardedCacheService",
+    "partition_capacity",
+    "stable_key_hash",
+    "run_loadgen",
+    "run_scenario",
+    "latency_summary_us",
+    "format_report",
+]

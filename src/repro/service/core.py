@@ -1,0 +1,409 @@
+"""A live, thread-safe, TTL-aware cache service over any registered policy.
+
+Everything else in this repository *simulates* caches — it replays a
+trace through an eviction policy and reports miss ratios.
+:class:`CacheService` is the first layer that *is* a cache: it stores
+values, answers ``get``/``set``/``delete`` under a lock, expires
+entries, and keeps service-level statistics, while delegating every
+admission/eviction decision to a registered
+:class:`~repro.cache.base.EvictionPolicy` (S3-FIFO and its ``-fast``
+twin first-class).
+
+Design notes
+------------
+
+* **Policy mapping.**  ``get`` on a live entry issues one policy
+  request (a hit — bumps S3-FIFO's frequency bits); ``get`` on an
+  absent or expired key touches the policy *not at all* (there is no
+  value to admit); ``set`` issues one policy request (a hit refreshes
+  an overwrite, a miss admits and may evict).  A single-shard service
+  replaying a read-through workload therefore drives the policy with
+  exactly the same request sequence as the offline simulator — the
+  parity tests pin this equivalence.
+* **TTL.**  ``expires_at = clock() + ttl``; an entry is expired once
+  ``clock() >= expires_at`` (*at* the deadline counts as expired).
+  Expired entries never count as hits and never feed frequency bits:
+  they are purged from the policy before it sees the access.  Expiry is
+  lazy on access plus an incremental sweeper
+  (:meth:`CacheService.sweep`) that callers or the service itself
+  (every ``sweep_interval`` operations) run in small bounded batches.
+  ``ttl=0`` means "expires immediately": the set is acknowledged but
+  nothing is admitted.
+* **Deletion.**  Real deletion needs policy support
+  (:attr:`~repro.cache.base.EvictionPolicy.supports_removal`); the
+  service refuses TTLs and deletes on policies without it rather than
+  corrupt their queues with tombstones.
+* **Locking.**  One re-entrant lock per service instance guards the
+  value map and the policy (policies are single-threaded by design —
+  the paper's lock-free claims are about its C implementations).
+  :class:`~repro.service.sharded.ShardedCacheService` multiplies this
+  into per-shard locks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.cache.registry import create_policy
+from repro.sim.request import Request
+
+_UNSET = object()
+
+
+class RemovalUnsupportedError(TypeError):
+    """The backing policy cannot delete entries (no ``remove()``)."""
+
+    def __init__(self, policy_name: str, operation: str) -> None:
+        super().__init__(
+            f"policy {policy_name!r} does not support remove(), which "
+            f"{operation} requires; use a policy with supports_removal=True "
+            "(s3fifo, s3fifo-fast, lru, lru-fast, fifo)"
+        )
+
+
+class ServiceCounters:
+    """Operation-level counters for one :class:`CacheService`.
+
+    Distinct from the policy's :class:`~repro.cache.base.CacheStats`:
+    these count *service operations* (a ``get`` that misses never
+    reaches the policy), the policy's stats count *policy requests*.
+    """
+
+    __slots__ = (
+        "gets",
+        "hits",
+        "misses",
+        "sets",
+        "deletes",
+        "expired",
+        "evictions",
+        "rejected",
+        "sweeps",
+        "sweep_checks",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of gets served from cache (expired gets are misses)."""
+        return self.hits / self.gets if self.gets else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceCounters(gets={self.gets}, hit_ratio={self.hit_ratio:.4f},"
+            f" sets={self.sets}, expired={self.expired})"
+        )
+
+
+class _Entry:
+    """A stored value plus its expiry deadline and charged size."""
+
+    __slots__ = ("value", "expires_at", "size")
+
+    def __init__(self, value: Any, expires_at: Optional[float], size: int) -> None:
+        self.value = value
+        self.expires_at = expires_at
+        self.size = size
+
+
+class CacheService:
+    """An in-process cache service: ``get``/``set``/``delete``/``stats``.
+
+    Parameters
+    ----------
+    capacity:
+        Policy capacity (objects for unit-size values, bytes when sets
+        pass explicit sizes).
+    policy:
+        Registry name of the backing eviction policy.
+    default_ttl:
+        TTL in seconds applied to sets that don't pass one explicitly;
+        ``None`` (default) stores entries without expiry.
+    clock:
+        Monotonic time source; injectable so TTL tests are exact.
+    checked:
+        Wrap the policy in the
+        :class:`~repro.resilience.sanitizer.CheckedPolicy` invariant
+        sanitizer — every access cross-checked, as in the concurrent
+        hammer tests.
+    sweep_interval / sweep_batch:
+        Run one incremental expiry sweep of ``sweep_batch`` entries
+        every ``sweep_interval`` operations (only while TTL'd entries
+        exist).  ``sweep_interval=0`` disables the automatic sweeps;
+        :meth:`sweep` remains available.
+    policy_kwargs:
+        Extra keyword arguments for the policy constructor.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "s3fifo",
+        *,
+        default_ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        checked: bool = False,
+        sweep_interval: int = 256,
+        sweep_batch: int = 64,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if default_ttl is not None and default_ttl < 0:
+            raise ValueError(f"default_ttl must be >= 0, got {default_ttl}")
+        if sweep_interval < 0:
+            raise ValueError(f"sweep_interval must be >= 0, got {sweep_interval}")
+        if sweep_batch < 1:
+            raise ValueError(f"sweep_batch must be >= 1, got {sweep_batch}")
+        backing = create_policy(policy, capacity=capacity, **(policy_kwargs or {}))
+        if checked:
+            from repro.resilience.sanitizer import CheckedPolicy
+
+            self._policy = CheckedPolicy(backing)
+        else:
+            self._policy = backing
+        self.policy_name = backing.name
+        self.capacity = capacity
+        self.checked = checked
+        self.supports_removal = bool(getattr(backing, "supports_removal", False))
+        if default_ttl is not None and not self.supports_removal:
+            raise RemovalUnsupportedError(self.policy_name, "default_ttl")
+        self.default_ttl = default_ttl
+        self.counters = ServiceCounters()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._values: Dict[Hashable, _Entry] = {}
+        self._ttl_entries = 0
+        self._sweep_interval = sweep_interval
+        self._sweep_batch = sweep_batch
+        self._sweep_queue: List[Hashable] = []
+        self._ops_since_sweep = 0
+        backing.add_eviction_listener(self._on_evict)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The live value for ``key``, or ``default``.
+
+        A hit refreshes the policy's metadata for the key (for S3-FIFO:
+        bumps the 2-bit counter).  Misses — absent *or expired* — do not
+        touch the policy.
+        """
+        with self._lock:
+            self.counters.gets += 1
+            entry = self._values.get(key)
+            if entry is not None and self._expired(entry):
+                self._purge(key, entry)
+                self.counters.expired += 1
+                entry = None
+            if entry is None:
+                self.counters.misses += 1
+                self._tick()
+                return default
+            hit = self._policy.request(Request(key, size=entry.size))
+            assert hit, f"resident key {key!r} missed in the policy"
+            self.counters.hits += 1
+            self._tick()
+            return entry.value
+
+    def set(
+        self,
+        key: Hashable,
+        value: Any,
+        ttl: Any = _UNSET,
+        size: int = 1,
+    ) -> bool:
+        """Store ``value`` under ``key``; True when the value is resident.
+
+        ``ttl`` seconds override the service's ``default_ttl``
+        (``None`` = never expires, ``0`` = expires immediately — the
+        set is a no-op beyond purging any live predecessor).  ``size``
+        charges the entry against the policy capacity; an entry larger
+        than the whole cache is rejected.  Re-setting a live key
+        refreshes its value, size, and deadline.
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if ttl is _UNSET:
+            ttl = self.default_ttl
+        if ttl is not None:
+            if ttl < 0:
+                raise ValueError(f"ttl must be >= 0, got {ttl}")
+            if not self.supports_removal:
+                raise RemovalUnsupportedError(self.policy_name, "ttl")
+        with self._lock:
+            self.counters.sets += 1
+            entry = self._values.get(key)
+            if entry is not None and self._expired(entry):
+                # The predecessor died before this set: purge it first so
+                # the policy sees a fresh admission (frequency bits must
+                # not survive expiry).
+                self._purge(key, entry)
+                self.counters.expired += 1
+                entry = None
+            if ttl == 0:
+                if entry is not None:
+                    self._purge(key, entry)
+                self._tick()
+                return False
+            if size > self.capacity:
+                if entry is not None:
+                    self._purge(key, entry)
+                self.counters.rejected += 1
+                self._tick()
+                return False
+            if entry is not None and entry.size != size:
+                # Policies cannot resize a resident entry in place.
+                self._purge(key, entry)
+                entry = None
+            self._policy.request(Request(key, size=size))
+            expires_at = None if ttl is None else self._clock() + ttl
+            if key not in self._values:
+                # The policy admitted the key (or it was already purged
+                # above); either way this set (re)creates the entry.
+                self._values[key] = new = _Entry(value, expires_at, size)
+                if expires_at is not None:
+                    self._ttl_entries += 1
+            else:
+                new = self._values[key]
+                had_ttl = new.expires_at is not None
+                new.value = value
+                new.expires_at = expires_at
+                if had_ttl != (expires_at is not None):
+                    self._ttl_entries += 1 if expires_at is not None else -1
+            self._tick()
+            return True
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove ``key``; True when a live entry was removed."""
+        if not self.supports_removal:
+            raise RemovalUnsupportedError(self.policy_name, "delete()")
+        with self._lock:
+            self.counters.deletes += 1
+            entry = self._values.get(key)
+            if entry is None:
+                return False
+            was_live = not self._expired(entry)
+            self._purge(key, entry)
+            if not was_live:
+                self.counters.expired += 1
+            self._tick()
+            return was_live
+
+    def sweep(self, max_checks: Optional[int] = None) -> int:
+        """Expire up to ``max_checks`` entries; returns how many died.
+
+        One incremental step of the background sweeper: a bounded batch
+        of keys is checked against the clock, so no single call stalls
+        the service scanning a huge cache.  Call repeatedly (or leave it
+        to the automatic per-operation trigger) to drain all expired
+        entries.
+        """
+        if max_checks is None:
+            max_checks = self._sweep_batch
+        with self._lock:
+            self.counters.sweeps += 1
+            if not self._ttl_entries:
+                return 0
+            if not self._sweep_queue:
+                self._sweep_queue = list(self._values.keys())
+            expired = 0
+            for _ in range(min(max_checks, len(self._sweep_queue))):
+                key = self._sweep_queue.pop()
+                self.counters.sweep_checks += 1
+                entry = self._values.get(key)
+                if entry is not None and self._expired(entry):
+                    self._purge(key, entry)
+                    self.counters.expired += 1
+                    expired += 1
+            return expired
+
+    def stats(self) -> Dict[str, Any]:
+        """A consistent snapshot of service and policy statistics."""
+        with self._lock:
+            counters = self.counters.as_dict()
+            policy = self._policy
+            return {
+                "policy": self.policy_name,
+                "capacity": self.capacity,
+                "objects": len(self._values),
+                "used": policy.used,
+                "hit_ratio": self.counters.hit_ratio,
+                "ttl_entries": self._ttl_entries,
+                "policy_requests": policy.stats.requests,
+                "policy_miss_ratio": policy.stats.miss_ratio,
+                **counters,
+            }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def policy(self):
+        """The backing policy (the sanitizer wrapper when ``checked``)."""
+        return self._policy
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Live membership; non-mutating (an expired entry reads absent)."""
+        with self._lock:
+            entry = self._values.get(key)
+            return entry is not None and not self._expired(entry)
+
+    def __len__(self) -> int:
+        """Resident entries, expired-but-unswept included."""
+        with self._lock:
+            return len(self._values)
+
+    def check(self) -> None:
+        """Run the sanitizer's full invariant suite (checked mode only)."""
+        with self._lock:
+            if self.checked:
+                self._policy.check()
+            used = sum(e.size for e in self._values.values())
+            if used != self._policy.used:
+                raise AssertionError(
+                    f"service value map holds {used} bytes but policy "
+                    f"reports used={self._policy.used}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheService({self.policy_name}, capacity={self.capacity}, "
+            f"objects={len(self._values)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _expired(self, entry: _Entry) -> bool:
+        return entry.expires_at is not None and self._clock() >= entry.expires_at
+
+    def _purge(self, key: Hashable, entry: _Entry) -> None:
+        """Drop an entry from the value map and the policy (no event)."""
+        del self._values[key]
+        if entry.expires_at is not None:
+            self._ttl_entries -= 1
+        self._policy.remove(key)
+
+    def _on_evict(self, event) -> None:
+        """Policy evicted a key: the stored value goes with it."""
+        entry = self._values.pop(event.key, None)
+        if entry is not None and entry.expires_at is not None:
+            self._ttl_entries -= 1
+        self.counters.evictions += 1
+
+    def _tick(self) -> None:
+        """Operation bookkeeping: trigger an incremental sweep on cadence."""
+        if not self._sweep_interval or not self._ttl_entries:
+            return
+        self._ops_since_sweep += 1
+        if self._ops_since_sweep >= self._sweep_interval:
+            self._ops_since_sweep = 0
+            self.sweep(self._sweep_batch)

@@ -1,0 +1,331 @@
+"""Concurrent load generator for the live cache service.
+
+Replays a synthetic Zipf stream against a :class:`CacheService` or
+:class:`ShardedCacheService` from multiple threads and reports what the
+offline simulator cannot: ops/sec, per-operation latency percentiles
+(p50/p90/p99/p99.9), per-shard load balance, and the hit ratio the
+service actually served.  Where :mod:`repro.concurrency.model` predicts
+throughput from assumed per-op costs, this module *measures* them — and
+:mod:`repro.concurrency.calibrate` closes the loop by fitting the
+analytic model's cost profile to a load-generator report.
+
+Two driving disciplines:
+
+* **closed loop** — every thread issues its next operation as soon as
+  the previous one returns.  Measures saturated throughput; latency
+  excludes queueing you would see at a fixed arrival rate.
+* **open loop** — operations are issued on a fixed schedule and latency
+  is measured from the *scheduled* start, so a slow operation penalises
+  every operation queued behind it (this avoids the coordinated-
+  omission trap of timing only from actual start).
+
+The workload is read-through: ``get(key)``, and on a miss ``set(key,
+value)``.  With one shard and one thread this drives the policy with
+exactly the offline simulator's request sequence, which the parity
+tests exploit.  All threads draw slices of one shared trace, so the
+workload is identical across thread counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from array import array
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.concurrency.sharding import imbalance_factor
+from repro.service.core import CacheService
+from repro.service.sharded import ShardedCacheService
+
+#: Bumped when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Report ``kind`` discriminator (BENCH_service.json vs other reports).
+REPORT_KIND = "service-loadgen"
+
+
+class _WorkerStats:
+    """Per-thread measurement state (merged after the run)."""
+
+    __slots__ = ("latencies_ns", "hits", "misses", "hit_ns", "miss_ns")
+
+    def __init__(self) -> None:
+        self.latencies_ns = array("q")
+        self.hits = 0
+        self.misses = 0
+        self.hit_ns = 0
+        self.miss_ns = 0
+
+
+def _run_closed(service, keys: Sequence[int], value: Any,
+                stats: _WorkerStats, barrier: threading.Barrier) -> None:
+    get = service.get
+    set_ = service.set
+    record = stats.latencies_ns.append
+    clock = time.perf_counter_ns
+    barrier.wait()
+    for key in keys:
+        t0 = clock()
+        if get(key) is None:
+            set_(key, value)
+            t1 = clock()
+            stats.misses += 1
+            stats.miss_ns += t1 - t0
+        else:
+            t1 = clock()
+            stats.hits += 1
+            stats.hit_ns += t1 - t0
+        record(t1 - t0)
+
+
+def _run_open(service, keys: Sequence[int], value: Any,
+              stats: _WorkerStats, barrier: threading.Barrier,
+              interval_ns: int) -> None:
+    get = service.get
+    set_ = service.set
+    record = stats.latencies_ns.append
+    clock = time.perf_counter_ns
+    barrier.wait()
+    start = clock()
+    for i, key in enumerate(keys):
+        scheduled = start + i * interval_ns
+        wait = scheduled - clock()
+        if wait > 0:
+            time.sleep(wait / 1e9)
+        # Latency from the *scheduled* arrival: queueing delay behind a
+        # slow predecessor is charged to every operation it delays.
+        if get(key) is None:
+            set_(key, value)
+            done = clock()
+            stats.misses += 1
+            stats.miss_ns += done - scheduled
+        else:
+            done = clock()
+            stats.hits += 1
+            stats.hit_ns += done - scheduled
+        record(done - scheduled)
+
+
+def _percentile(sorted_ns: Sequence[int], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_ns:
+        return 0.0
+    rank = min(len(sorted_ns) - 1, max(0, round(q * (len(sorted_ns) - 1))))
+    return float(sorted_ns[rank])
+
+
+def latency_summary_us(latencies_ns: Sequence[int]) -> Dict[str, float]:
+    """p50/p90/p99/p99.9/mean/max of a latency sample, in microseconds."""
+    data = sorted(latencies_ns)
+    if not data:
+        return {k: 0.0 for k in ("p50", "p90", "p99", "p999", "mean", "max")}
+    return {
+        "p50": round(_percentile(data, 0.50) / 1e3, 3),
+        "p90": round(_percentile(data, 0.90) / 1e3, 3),
+        "p99": round(_percentile(data, 0.99) / 1e3, 3),
+        "p999": round(_percentile(data, 0.999) / 1e3, 3),
+        "mean": round(sum(data) / len(data) / 1e3, 3),
+        "max": round(data[-1] / 1e3, 3),
+    }
+
+
+def build_service(
+    capacity: int,
+    policy: str,
+    num_shards: int,
+    **kwargs: Any,
+):
+    """One shard -> plain :class:`CacheService`, else sharded."""
+    if num_shards == 1:
+        return CacheService(capacity, policy, **kwargs)
+    return ShardedCacheService(capacity, policy, num_shards=num_shards, **kwargs)
+
+
+def run_scenario(
+    trace: Sequence[int],
+    capacity: int,
+    policy: str = "s3fifo",
+    num_shards: int = 1,
+    num_threads: int = 1,
+    mode: str = "closed",
+    open_rate: float = 50_000.0,
+    value: Any = "v",
+    checked: bool = False,
+) -> Dict[str, Any]:
+    """Drive one (shards, threads) configuration; returns the report row.
+
+    ``trace`` is split into ``num_threads`` contiguous slices so the
+    aggregate workload is the same for every thread count.  ``open_rate``
+    is the per-thread target in ops/sec (open mode only).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    service = build_service(capacity, policy, num_shards, checked=checked)
+    per_thread = len(trace) // num_threads
+    slices = [
+        trace[i * per_thread:(i + 1) * per_thread] for i in range(num_threads)
+    ]
+    stats = [_WorkerStats() for _ in range(num_threads)]
+    barrier = threading.Barrier(num_threads + 1)
+    if mode == "closed":
+        workers = [
+            threading.Thread(
+                target=_run_closed, args=(service, s, value, st, barrier),
+                name=f"loadgen-{i}", daemon=True,
+            )
+            for i, (s, st) in enumerate(zip(slices, stats))
+        ]
+    else:
+        if open_rate <= 0:
+            raise ValueError(f"open_rate must be positive, got {open_rate}")
+        interval_ns = max(1, int(1e9 / open_rate))
+        workers = [
+            threading.Thread(
+                target=_run_open,
+                args=(service, s, value, st, barrier, interval_ns),
+                name=f"loadgen-{i}", daemon=True,
+            )
+            for i, (s, st) in enumerate(zip(slices, stats))
+        ]
+    for w in workers:
+        w.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - t0
+
+    merged = array("q")
+    hits = misses = hit_ns = miss_ns = 0
+    for st in stats:
+        merged.extend(st.latencies_ns)
+        hits += st.hits
+        misses += st.misses
+        hit_ns += st.hit_ns
+        miss_ns += st.miss_ns
+    ops = len(merged)
+    if num_shards > 1:
+        shard_ops = service.ops_per_shard()
+        imbalance = round(imbalance_factor(shard_ops), 4)
+    else:
+        shard_ops = [service.counters.gets + service.counters.sets]
+        imbalance = 1.0
+    service_stats = service.stats()
+    return {
+        "shards": num_shards,
+        "threads": num_threads,
+        "mode": mode,
+        "policy": policy,
+        "ops": ops,
+        "wall_time_s": round(wall, 6),
+        "ops_per_sec": round(ops / wall) if wall else 0,
+        "hit_ratio": round(hits / ops, 6) if ops else 0.0,
+        "hits": hits,
+        "misses": misses,
+        "latency_us": latency_summary_us(merged),
+        "hit_ns_mean": round(hit_ns / hits) if hits else 0,
+        "miss_ns_mean": round(miss_ns / misses) if misses else 0,
+        "shard_ops": shard_ops,
+        "imbalance": imbalance,
+        "evictions": service_stats["evictions"],
+        "objects": service_stats["objects"],
+    }
+
+
+def run_loadgen(
+    shard_counts: Sequence[int] = (1, 4),
+    thread_counts: Sequence[int] = (1, 4),
+    num_objects: int = 10_000,
+    num_requests: int = 100_000,
+    alpha: float = 1.0,
+    cache_ratio: float = 0.1,
+    seed: int = 42,
+    policy: str = "s3fifo",
+    mode: str = "closed",
+    open_rate: float = 50_000.0,
+    checked: bool = False,
+) -> Dict[str, Any]:
+    """The full scenario matrix (shards x threads); returns the report.
+
+    The default workload mirrors the perf benchmark's shape (Zipf(1.0),
+    10% cache) at load-generator scale.  Every scenario replays the
+    *same* seeded trace, so hit ratios are comparable across rows and
+    the single-shard rows are directly comparable to the offline
+    simulator on the same trace.
+    """
+    from repro.traces.synthetic import zipf_trace
+
+    trace = zipf_trace(
+        num_objects=num_objects,
+        num_requests=num_requests,
+        alpha=alpha,
+        seed=seed,
+    )
+    capacity = max(1, int(num_objects * cache_ratio))
+    scenarios: List[Dict[str, Any]] = []
+    for shards in shard_counts:
+        for threads in thread_counts:
+            scenarios.append(
+                run_scenario(
+                    trace,
+                    capacity=capacity,
+                    policy=policy,
+                    num_shards=shards,
+                    num_threads=threads,
+                    mode=mode,
+                    open_rate=open_rate,
+                    checked=checked,
+                )
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "config": {
+            "num_objects": num_objects,
+            "num_requests": num_requests,
+            "alpha": alpha,
+            "cache_ratio": cache_ratio,
+            "capacity": capacity,
+            "seed": seed,
+            "policy": policy,
+            "mode": mode,
+            "open_rate": open_rate if mode == "open" else None,
+            "checked": checked,
+        },
+        "scenarios": scenarios,
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable table for the CLI."""
+    cfg = report["config"]
+    lines = [
+        f"loadgen {cfg['policy']} zipf-{cfg['alpha']:g} "
+        f"({cfg['mode']} loop): {cfg['num_requests']:,} requests, "
+        f"{cfg['num_objects']:,} objects, capacity {cfg['capacity']:,}",
+        f"{'shards':>6} {'threads':>7} {'ops/s':>10} {'hit':>7} "
+        f"{'p50us':>8} {'p99us':>8} {'p999us':>8} {'imbal':>6}",
+    ]
+    for row in report["scenarios"]:
+        lat = row["latency_us"]
+        lines.append(
+            f"{row['shards']:>6} {row['threads']:>7} "
+            f"{row['ops_per_sec']:>10,} {row['hit_ratio']:>7.4f} "
+            f"{lat['p50']:>8.1f} {lat['p99']:>8.1f} {lat['p999']:>8.1f} "
+            f"{row['imbalance']:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def find_scenario(
+    report: Dict[str, Any],
+    shards: int,
+    threads: int,
+) -> Optional[Dict[str, Any]]:
+    """The first scenario row matching (shards, threads), if any."""
+    for row in report["scenarios"]:
+        if row["shards"] == shards and row["threads"] == threads:
+            return row
+    return None

@@ -1,0 +1,171 @@
+"""Hash-partitioned cache service: N independently-locked shards.
+
+The paper's Section 7 discussion (modeled analytically in
+:mod:`repro.concurrency.sharding`) is about exactly this architecture:
+partition the key space across independent caches, one lock each, and
+accept that Zipfian popularity concentrates load on the hottest shard.
+:class:`ShardedCacheService` makes that architecture *runnable*: keys
+route to shards by a stable hash, each shard is a full
+:class:`~repro.service.core.CacheService` (its own policy instance,
+value map, TTL bookkeeping, and lock), and the shards together
+partition the configured capacity.
+
+The shard hash must be stable across process restarts — a cache whose
+key→shard mapping moves on restart silently loses its working set — so
+it is built on BLAKE2b over a canonical key encoding, never on
+Python's per-process-salted ``hash()``.  The routing tests pin literal
+digest values to guard this.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.service.core import CacheService
+
+_UNSET = object()
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """A 64-bit key hash, identical in every process and on every host.
+
+    Keys of distinct types never collide by encoding (each type gets a
+    tag byte); unrecognized types fall back to their ``repr``, which is
+    stable for the literal types traces actually use.
+    """
+    if isinstance(key, str):
+        data = b"s" + key.encode("utf-8")
+    elif isinstance(key, bool):  # before int: bool is an int subclass
+        data = b"o" + (b"1" if key else b"0")
+    elif isinstance(key, int):
+        data = b"i" + str(key).encode("ascii")
+    elif isinstance(key, bytes):
+        data = b"b" + key
+    else:
+        data = b"r" + repr(key).encode("utf-8")
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+
+
+def partition_capacity(capacity: int, num_shards: int) -> List[int]:
+    """Split ``capacity`` into ``num_shards`` near-equal positive parts.
+
+    The remainder goes to the lowest-numbered shards, so the parts sum
+    exactly to ``capacity`` and differ by at most one.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if capacity < num_shards:
+        raise ValueError(
+            f"capacity {capacity} cannot be split into {num_shards} shards "
+            "of at least one object each"
+        )
+    base, extra = divmod(capacity, num_shards)
+    return [base + (1 if i < extra else 0) for i in range(num_shards)]
+
+
+class ShardedCacheService:
+    """N independent :class:`CacheService` shards behind one API.
+
+    Exposes the same ``get``/``set``/``delete``/``sweep``/``stats``
+    surface as a single shard; every operation routes to
+    ``shard_for(key)`` and runs under that shard's lock only, so
+    operations on different shards never contend.  Constructor
+    keywords are forwarded to every shard.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "s3fifo",
+        num_shards: int = 4,
+        **shard_kwargs: Any,
+    ) -> None:
+        capacities = partition_capacity(capacity, num_shards)
+        self.capacity = capacity
+        self.num_shards = num_shards
+        self._shards = [
+            CacheService(cap, policy, **shard_kwargs) for cap in capacities
+        ]
+        self.policy_name = self._shards[0].policy_name
+        self.supports_removal = self._shards[0].supports_removal
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: Hashable) -> int:
+        """The shard index ``key`` routes to (stable across restarts)."""
+        return stable_key_hash(key) % self.num_shards
+
+    def shard(self, index: int) -> CacheService:
+        """The shard at ``index`` (introspection and tests)."""
+        return self._shards[index]
+
+    @property
+    def shards(self) -> List[CacheService]:
+        return list(self._shards)
+
+    # ------------------------------------------------------------------
+    # The service surface
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        return self._shards[self.shard_for(key)].get(key, default)
+
+    def set(
+        self,
+        key: Hashable,
+        value: Any,
+        ttl: Any = _UNSET,
+        size: int = 1,
+    ) -> bool:
+        shard = self._shards[self.shard_for(key)]
+        if ttl is _UNSET:
+            return shard.set(key, value, size=size)
+        return shard.set(key, value, ttl=ttl, size=size)
+
+    def delete(self, key: Hashable) -> bool:
+        return self._shards[self.shard_for(key)].delete(key)
+
+    def sweep(self, max_checks: Optional[int] = None) -> int:
+        return sum(shard.sweep(max_checks) for shard in self._shards)
+
+    def check(self) -> None:
+        for shard in self._shards:
+            shard.check()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._shards[self.shard_for(key)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def ops_per_shard(self) -> List[int]:
+        """Operations (gets+sets+deletes) each shard has served."""
+        counts = []
+        for shard in self._shards:
+            c = shard.counters
+            counts.append(c.gets + c.sets + c.deletes)
+        return counts
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate counters plus the per-shard breakdown."""
+        per_shard = [shard.stats() for shard in self._shards]
+        summed = (
+            "gets", "hits", "misses", "sets", "deletes", "expired",
+            "evictions", "rejected", "objects", "used", "ttl_entries",
+            "policy_requests",
+        )
+        aggregate: Dict[str, Any] = {name: 0 for name in summed}
+        for stats in per_shard:
+            for name in summed:
+                aggregate[name] += stats[name]
+        gets = aggregate["gets"]
+        aggregate["hit_ratio"] = aggregate["hits"] / gets if gets else 0.0
+        aggregate["policy"] = self.policy_name
+        aggregate["capacity"] = self.capacity
+        aggregate["num_shards"] = self.num_shards
+        aggregate["per_shard"] = per_shard
+        return aggregate

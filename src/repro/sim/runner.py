@@ -15,6 +15,7 @@ import logging
 import multiprocessing
 import pickle
 import resource
+import sys
 import time
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
@@ -35,8 +36,17 @@ _TRACE_CACHE_MAX = 8
 
 
 def _peak_rss_kb() -> int:
-    """Process high-water RSS in KiB (`ru_maxrss` is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    """Process high-water RSS in KiB.
+
+    ``ru_maxrss`` is KiB on Linux but *bytes* on macOS and the BSDs
+    (see getrusage(2) on each), so normalize by platform.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin" or sys.platform.startswith(
+        ("freebsd", "netbsd", "openbsd")
+    ):
+        return rss // 1024
+    return rss
 
 
 class SweepJob:

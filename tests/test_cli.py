@@ -33,6 +33,22 @@ class TestCommands:
         assert "s3fifo" in out
         assert "lru" in out
 
+    def test_list_policies_groups_fast_twins(self, capsys):
+        assert main(["list-policies"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        # A fast twin is indented directly under its reference policy,
+        # not interleaved alphabetically at the top level.
+        for ref in ("fifo", "lru", "sieve", "s3fifo"):
+            twin = next(l for l in lines if l.lstrip().startswith(f"{ref}-fast"))
+            assert twin.startswith("  ")
+            assert "fast twin" in twin
+            assert lines[lines.index(twin) - 1] == ref
+        # Every registered policy still appears exactly once.
+        from repro.cache.registry import policy_names
+
+        printed = {line.split()[0] for line in lines}
+        assert printed == set(policy_names(include_offline=True))
+
     def test_simulate_zipf(self, capsys):
         code = main(
             [
@@ -124,6 +140,62 @@ class TestCommands:
         code = main(["walkthrough", "--trace", "a,b,a", "--capacity", "4"])
         assert code == 0
         assert "a" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def test_serve_reports_offline_parity(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--objects", "500",
+                "--requests", "5000",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live miss ratio" in out
+        assert "offline miss" in out
+        assert "imbalance" in out
+
+    def test_serve_with_ttl(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--objects", "300",
+                "--requests", "3000",
+                "--ttl", "0.001",
+            ]
+        )
+        assert code == 0
+        assert "expired" in capsys.readouterr().out
+
+    def test_loadgen_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_service.json"
+        code = main(
+            [
+                "loadgen",
+                "--objects", "300",
+                "--requests", "2400",
+                "--shards", "1,2",
+                "--threads", "1,2",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ops/s" in out
+        assert "calibrated" in out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == 1
+        assert report["kind"] == "service-loadgen"
+        assert len(report["scenarios"]) == 4
+        assert "calibration" in report
+
+    def test_loadgen_rejects_bad_shards(self, capsys):
+        assert main(["loadgen", "--shards", "one"]) == 2
 
 
 class TestResilienceCommand:

@@ -22,7 +22,8 @@ class TestReferencedFilesExist:
     @pytest.mark.parametrize(
         "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                 "docs/ALGORITHMS.md", "docs/REPRODUCING.md",
-                "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
+                "docs/PERFORMANCE.md", "docs/RESILIENCE.md",
+                "docs/SERVICE.md"]
     )
     def test_doc_exists(self, doc):
         assert (REPO / doc).is_file(), doc

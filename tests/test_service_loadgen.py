@@ -1,0 +1,227 @@
+"""Load-generator report schema, concurrent hammering under the
+invariant sanitizer, and the Amdahl calibration path.
+
+Tier-1 keeps the runs tiny; the full-size sweeps carry the ``service``
+marker and run via ``make loadgen``.
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency.calibrate import (
+    calibrate_profile,
+    parallel_fraction,
+    profile_from_loadgen,
+)
+from repro.service import CacheService, ShardedCacheService
+from repro.service.loadgen import (
+    REPORT_KIND,
+    SCHEMA_VERSION,
+    find_scenario,
+    format_report,
+    latency_summary_us,
+    run_loadgen,
+    run_scenario,
+)
+
+#: Keys every BENCH_service.json consumer relies on; bump
+#: loadgen.SCHEMA_VERSION when changing them.
+SCENARIO_KEYS = {
+    "shards", "threads", "mode", "policy", "ops", "wall_time_s",
+    "ops_per_sec", "hit_ratio", "hits", "misses", "latency_us",
+    "hit_ns_mean", "miss_ns_mean", "shard_ops", "imbalance",
+    "evictions", "objects",
+}
+LATENCY_KEYS = {"p50", "p90", "p99", "p999", "mean", "max"}
+
+
+def tiny_report(**kwargs):
+    defaults = dict(
+        shard_counts=(1, 2),
+        thread_counts=(1, 2),
+        num_objects=300,
+        num_requests=2400,
+        seed=42,
+    )
+    defaults.update(kwargs)
+    return run_loadgen(**defaults)
+
+
+class TestReportSchema:
+    def test_schema_pinned(self):
+        report = tiny_report()
+        assert report["schema"] == SCHEMA_VERSION == 1
+        assert report["kind"] == REPORT_KIND == "service-loadgen"
+        assert set(report["config"]) >= {
+            "num_objects", "num_requests", "alpha", "cache_ratio",
+            "capacity", "seed", "policy", "mode",
+        }
+        assert len(report["scenarios"]) == 4
+        for row in report["scenarios"]:
+            assert set(row) == SCENARIO_KEYS
+            assert set(row["latency_us"]) == LATENCY_KEYS
+            assert row["ops"] == row["hits"] + row["misses"]
+            assert row["ops_per_sec"] > 0
+            assert len(row["shard_ops"]) == row["shards"]
+
+    def test_scenarios_cover_requested_matrix(self):
+        report = tiny_report()
+        for shards in (1, 2):
+            for threads in (1, 2):
+                row = find_scenario(report, shards, threads)
+                assert row is not None
+                assert row["threads"] == threads
+        assert find_scenario(report, 16, 1) is None
+
+    def test_same_trace_across_rows(self):
+        """Every scenario replays the same seeded workload, so hit
+        ratios agree across thread counts (same requests, same total
+        capacity) up to slice-boundary effects."""
+        report = tiny_report(shard_counts=(1,))
+        ratios = [r["hit_ratio"] for r in report["scenarios"]]
+        assert max(ratios) - min(ratios) < 0.05
+
+    def test_format_report_is_printable(self):
+        report = tiny_report()
+        text = format_report(report)
+        assert "shards" in text and "p99us" in text
+        assert len(text.splitlines()) == 2 + len(report["scenarios"])
+
+    def test_latency_summary(self):
+        summary = latency_summary_us([1000] * 99 + [100_000])
+        assert summary["p50"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p999"] == 100.0
+        assert latency_summary_us([])["p99"] == 0.0
+
+    def test_open_loop_mode(self):
+        report = tiny_report(
+            shard_counts=(1,), thread_counts=(1,),
+            num_requests=500, mode="open", open_rate=100_000,
+        )
+        row = report["scenarios"][0]
+        assert row["mode"] == "open"
+        assert row["ops"] == 500
+
+    def test_run_scenario_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, mode="nope")
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, num_threads=0)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, mode="open", open_rate=0)
+
+
+class TestConcurrentHammer:
+    def hammer(self, svc, num_threads=4, ops=1500):
+        """Mixed get/set/delete storm from many threads."""
+        errors = []
+        barrier = threading.Barrier(num_threads)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(ops):
+                    key = (tid * 31 + i * 7) % 400
+                    op = i % 5
+                    if op == 0:
+                        svc.set(key, i, ttl=0.05 if i % 2 else None)
+                    elif op == 4:
+                        svc.delete(key)
+                    else:
+                        svc.get(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,), daemon=True)
+            for t in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_hammer_single_shard_checked(self):
+        """The acceptance hammer: concurrent mixed ops with the
+        CheckedPolicy sanitizer verifying every access."""
+        svc = CacheService(64, "s3fifo", checked=True)
+        self.hammer(svc)
+        svc.check()
+        assert svc.policy.checks_run > 0
+
+    def test_hammer_sharded_checked(self):
+        svc = ShardedCacheService(64, "s3fifo", num_shards=4, checked=True)
+        self.hammer(svc)
+        svc.sweep(10_000)
+        svc.check()
+
+    @pytest.mark.service
+    def test_hammer_fast_policy_long(self):
+        svc = CacheService(256, "s3fifo-fast", checked=True)
+        self.hammer(svc, num_threads=8, ops=20_000)
+        svc.check()
+
+
+class TestCalibration:
+    def test_parallel_fraction_endpoints(self):
+        assert parallel_fraction(100, 100, 4) == 0.0  # no speedup
+        assert parallel_fraction(100, 50, 4) == 0.0  # slowdown
+        assert parallel_fraction(100, 400, 4) == 1.0  # linear
+        assert parallel_fraction(100, 1000, 4) == 1.0  # super-linear clamps
+
+    def test_parallel_fraction_amdahl_inversion(self):
+        # p=0.5 at n=4 gives speedup 1/(0.5 + 0.125) = 1.6
+        p = parallel_fraction(100, 160, 4)
+        assert p == pytest.approx(0.5)
+
+    def test_parallel_fraction_validation(self):
+        with pytest.raises(ValueError):
+            parallel_fraction(100, 200, 1)
+        with pytest.raises(ValueError):
+            parallel_fraction(0, 200, 4)
+
+    def test_calibrate_profile_splits_costs(self):
+        profile = calibrate_profile(
+            "x", hit_ns=100, miss_ns=400,
+            single_ops_per_sec=100, multi_ops_per_sec=160, threads=4,
+        )
+        assert profile.hit_parallel + profile.hit_critical == pytest.approx(100)
+        assert profile.miss_parallel + profile.miss_critical == pytest.approx(400)
+        assert profile.hit_parallel == pytest.approx(50)
+
+    def test_profile_from_loadgen_report(self):
+        report = tiny_report(shard_counts=(1,))
+        profile = profile_from_loadgen(report)
+        assert profile.name == "s3fifo-measured"
+        single = find_scenario(report, 1, 1)
+        total = profile.hit_parallel + profile.hit_critical
+        assert total == pytest.approx(single["hit_ns_mean"])
+
+    def test_profile_from_loadgen_needs_scaling_pair(self):
+        report = tiny_report(shard_counts=(1,), thread_counts=(1,))
+        with pytest.raises(ValueError):
+            profile_from_loadgen(report)
+
+
+@pytest.mark.service
+class TestFullScale:
+    """The acceptance-size sweep (make loadgen runs these)."""
+
+    def test_acceptance_matrix(self):
+        report = run_loadgen(
+            shard_counts=(1, 4),
+            thread_counts=(1, 4),
+            num_objects=10_000,
+            num_requests=100_000,
+            seed=42,
+        )
+        for shards in (1, 4):
+            row = find_scenario(report, shards, 1)
+            assert row["ops_per_sec"] > 0
+            assert row["latency_us"]["p50"] > 0
+            assert row["latency_us"]["p99"] >= row["latency_us"]["p50"]
+        four = find_scenario(report, 4, 1)
+        assert four["imbalance"] < 2.0

@@ -1,0 +1,156 @@
+"""Shard routing: hash stability, uniformity, capacity partitioning,
+and miss-ratio parity between the sharded service and the offline
+simulator (the acceptance criterion for the service layer).
+"""
+
+import pytest
+
+from repro.cache.registry import create_policy
+from repro.service import (
+    ShardedCacheService,
+    partition_capacity,
+    stable_key_hash,
+)
+from repro.sim.simulator import simulate
+from repro.traces.synthetic import zipf_trace
+
+#: Absolute miss-ratio tolerance for the 4-shard parity check, see
+#: docs/SERVICE.md ("Sharding and offline parity").  Splitting one
+#: Zipf(1.0) working set across 4 S3-FIFO shards perturbs the steady
+#: state by well under a point of miss ratio; measured deltas on the
+#: canonical trace are ~0.002.
+SHARDED_PARITY_TOLERANCE = 0.02
+
+
+class TestStableKeyHash:
+    def test_pinned_values(self):
+        """Literal digests: any change to the hash breaks every
+        persisted key->shard mapping, so it must fail loudly here."""
+        assert stable_key_hash("hello") == 15768710110751428397
+        assert stable_key_hash(12345) == 8769597870082714884
+        assert stable_key_hash(b"k") == 15248517266848299910
+
+    def test_types_do_not_collide(self):
+        values = [
+            stable_key_hash("1"),
+            stable_key_hash(1),
+            stable_key_hash(b"1"),
+            stable_key_hash(True),
+        ]
+        assert len(set(values)) == len(values)
+
+    def test_deterministic_across_calls(self):
+        assert stable_key_hash("x") == stable_key_hash("x")
+        assert stable_key_hash(("a", 1)) == stable_key_hash(("a", 1))
+
+    def test_chi_square_uniformity(self):
+        """1e5 sequential keys over 8 shards: chi-square with dof=7
+        must stay under 24.32 (p=0.001)."""
+        num_shards = 8
+        n = 100_000
+        counts = [0] * num_shards
+        for key in range(n):
+            counts[stable_key_hash(key) % num_shards] += 1
+        expected = n / num_shards
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 24.32, f"chi2={chi2:.2f}, counts={counts}"
+
+    def test_string_keys_chi_square(self):
+        num_shards = 8
+        n = 100_000
+        counts = [0] * num_shards
+        for i in range(n):
+            counts[stable_key_hash(f"object:{i}") % num_shards] += 1
+        expected = n / num_shards
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 24.32, f"chi2={chi2:.2f}, counts={counts}"
+
+
+class TestPartitionCapacity:
+    def test_exact_sum_and_near_equality(self):
+        parts = partition_capacity(103, 4)
+        assert sum(parts) == 103
+        assert parts == [26, 26, 26, 25]
+
+    def test_single_shard(self):
+        assert partition_capacity(7, 1) == [7]
+
+    def test_rejects_impossible_splits(self):
+        with pytest.raises(ValueError):
+            partition_capacity(3, 4)
+        with pytest.raises(ValueError):
+            partition_capacity(10, 0)
+
+
+class TestShardedService:
+    def test_routing_is_stable_and_exhaustive(self):
+        svc = ShardedCacheService(40, num_shards=4)
+        for key in range(200):
+            idx = svc.shard_for(key)
+            assert idx == stable_key_hash(key) % 4
+            assert idx == svc.shard_for(key)
+
+    def test_keys_land_on_their_shard(self):
+        svc = ShardedCacheService(40, num_shards=4)
+        for key in range(30):
+            svc.set(key, key)
+        for key in range(30):
+            home = svc.shard(svc.shard_for(key))
+            if svc.get(key) is not None:
+                assert key in home
+        assert len(svc) == sum(len(s) for s in svc.shards)
+
+    def test_capacity_partitioned_exactly(self):
+        svc = ShardedCacheService(103, num_shards=4)
+        assert [s.capacity for s in svc.shards] == [26, 26, 26, 25]
+        assert svc.capacity == 103
+
+    def test_aggregate_stats(self):
+        svc = ShardedCacheService(40, num_shards=4)
+        for key in range(20):
+            svc.get(key)
+            svc.set(key, key)
+        stats = svc.stats()
+        assert stats["gets"] == 20
+        assert stats["sets"] == 20
+        assert stats["num_shards"] == 4
+        assert len(stats["per_shard"]) == 4
+        assert stats["gets"] == sum(s["gets"] for s in stats["per_shard"])
+        assert sum(svc.ops_per_shard()) == 40
+
+    def test_delete_routes(self):
+        svc = ShardedCacheService(40, num_shards=4)
+        svc.set("a", 1)
+        assert svc.delete("a")
+        assert svc.get("a") is None
+        svc.check()
+
+    def test_sharded_parity_with_offline_simulator(self):
+        """Acceptance criterion: a 4-shard service over s3fifo on the
+        canonical Zipf(1.0) stream matches the offline simulator's
+        steady-state miss ratio within the documented tolerance."""
+        trace = zipf_trace(num_objects=2000, num_requests=50000, seed=42)
+        capacity = 200
+        svc = ShardedCacheService(capacity, "s3fifo", num_shards=4)
+        for key in trace:
+            if svc.get(key) is None:
+                svc.set(key, key)
+        offline = simulate(create_policy("s3fifo", capacity=capacity), trace)
+        live_miss = 1.0 - svc.stats()["hit_ratio"]
+        assert live_miss == pytest.approx(
+            offline.miss_ratio, abs=SHARDED_PARITY_TOLERANCE
+        )
+        svc.check()
+
+    def test_single_shard_matches_plain_service_exactly(self):
+        from repro.service import CacheService
+
+        trace = zipf_trace(num_objects=500, num_requests=8000, seed=3)
+        sharded = ShardedCacheService(50, num_shards=1)
+        plain = CacheService(50)
+        for key in trace:
+            if sharded.get(key) is None:
+                sharded.set(key, key)
+            if plain.get(key) is None:
+                plain.set(key, key)
+        assert sharded.stats()["hit_ratio"] == plain.counters.hit_ratio

@@ -1,0 +1,176 @@
+"""TTL edge cases: expiry timing, ttl=0, extension, and frequency-bit
+isolation (an expired entry must look like a brand-new key to S3-FIFO).
+"""
+
+import pytest
+
+from repro.service import CacheService
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_service(clock, **kwargs):
+    kwargs.setdefault("sweep_interval", 0)  # expiry timing tests drive
+    return CacheService(10, clock=clock, **kwargs)  # sweeps explicitly
+
+
+class TestExpiry:
+    def test_live_until_deadline_expired_at_deadline(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=10)
+        clock.advance(9.999)
+        assert svc.get("a") == 1
+        clock.advance(0.001)  # exactly at the deadline
+        assert svc.get("a") is None
+        assert svc.counters.expired == 1
+        assert "a" not in svc
+
+    def test_ttl_zero_expires_immediately(self, clock):
+        svc = make_service(clock)
+        assert not svc.set("a", 1, ttl=0)
+        assert svc.get("a") is None
+        assert len(svc) == 0
+        assert len(svc.policy) == 0
+        svc.check()
+
+    def test_ttl_zero_purges_live_predecessor(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1)
+        assert not svc.set("a", 2, ttl=0)
+        assert svc.get("a") is None
+        assert len(svc) == 0
+        svc.check()
+
+    def test_reset_extends_live_entry(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=10)
+        clock.advance(8)
+        svc.set("a", 2, ttl=10)  # re-set restarts the deadline
+        clock.advance(8)  # 16s after first set, 8s after second
+        assert svc.get("a") == 2
+        clock.advance(2)  # now at the second deadline
+        assert svc.get("a") is None
+
+    def test_reset_can_drop_ttl(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=10)
+        svc.set("a", 1, ttl=None)
+        clock.advance(100)
+        assert svc.get("a") == 1
+        assert svc.stats()["ttl_entries"] == 0
+
+    def test_default_ttl_applies_and_overrides(self, clock):
+        svc = make_service(clock, default_ttl=5)
+        svc.set("short", 1)  # inherits default_ttl=5
+        svc.set("long", 2, ttl=50)
+        svc.set("forever", 3, ttl=None)
+        clock.advance(5)
+        assert svc.get("short") is None
+        assert svc.get("long") == 2
+        clock.advance(45)
+        assert svc.get("long") is None
+        assert svc.get("forever") == 3
+
+    def test_expired_entry_is_not_a_hit(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=1)
+        clock.advance(2)
+        svc.get("a")
+        assert svc.counters.hits == 0
+        assert svc.counters.misses == 1
+        assert svc.counters.expired == 1
+
+    def test_contains_is_expiry_aware_and_non_mutating(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=1)
+        clock.advance(2)
+        assert "a" not in svc
+        assert svc.counters.gets == 0  # __contains__ is not a get
+
+
+class TestFrequencyIsolation:
+    def test_expired_entry_does_not_feed_s3fifo_freq_bits(self, clock):
+        """Hot-then-expired keys must re-enter S with freq 0: surviving
+        frequency bits would promote dead keys into the main queue."""
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=10)
+        for _ in range(5):  # make "a" hot: freq saturates at 3
+            assert svc.get("a") == 1
+        assert svc.policy._small["a"].freq == 3
+        clock.advance(10)
+        assert svc.get("a") is None  # expired: purged, not evicted
+        assert svc.set("a", 2, ttl=10)
+        entry = svc.policy._small["a"]
+        assert entry.freq == 0
+        assert "a" not in svc.policy.ghost
+
+    def test_expired_set_purges_before_admission(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1, ttl=1)
+        svc.get("a")  # freq bump while live
+        clock.advance(5)
+        svc.set("a", 2, ttl=1)  # predecessor already dead
+        assert svc.counters.expired == 1
+        assert svc.policy._small["a"].freq == 0
+        assert svc.get("a") == 2
+
+
+class TestSweeper:
+    def test_manual_sweep_collects_expired(self, clock):
+        svc = make_service(clock)
+        for key in range(8):
+            svc.set(key, key, ttl=1)
+        svc.set("keep", 1, ttl=100)
+        clock.advance(2)
+        assert len(svc) == 9  # lazy: nothing collected yet
+        collected = svc.sweep(max_checks=100)
+        assert collected == 8
+        assert len(svc) == 1
+        assert svc.counters.expired == 8
+        svc.check()
+
+    def test_sweep_is_incremental(self, clock):
+        svc = make_service(clock)
+        for key in range(10):
+            svc.set(key, key, ttl=1)
+        clock.advance(2)
+        first = svc.sweep(max_checks=4)
+        assert first == 4
+        assert len(svc) == 6
+        while svc.sweep(max_checks=4):
+            pass
+        assert len(svc) == 0
+
+    def test_auto_sweep_triggers_on_cadence(self, clock):
+        svc = CacheService(
+            10, clock=clock, sweep_interval=10, sweep_batch=64
+        )
+        for key in range(5):
+            svc.set(key, key, ttl=1)
+        clock.advance(5)
+        for _ in range(20):  # cadence passes -> sweeper fires
+            svc.get("absent")
+        assert svc.counters.sweeps >= 1
+        assert len(svc) == 0
+
+    def test_sweep_skips_when_no_ttl_entries(self, clock):
+        svc = make_service(clock)
+        svc.set("a", 1)
+        assert svc.sweep() == 0
+        assert svc.counters.sweep_checks == 0
