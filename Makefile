@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen examples experiments all
+.PHONY: install test resilience bench perf loadgen obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,10 @@ perf:
 loadgen:
 	pytest tests/ -m service --no-header -rN
 	s3fifo-repro loadgen --out benchmarks/results/BENCH_service.json
+
+obs:
+	pytest tests/test_obs_overhead.py -m perf --no-header -rN -s
+	s3fifo-repro export-metrics --shards 2 --ttl 60
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; python $$script; done

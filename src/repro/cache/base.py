@@ -256,6 +256,18 @@ class EvictionPolicy(ABC):
         """Register a callback for probationary-region exits (if any)."""
         self._demote_listeners.append(listener)
 
+    def instrumented(self, registry, labels=None):
+        """This policy wrapped in a metrics-publishing proxy.
+
+        Convenience for
+        :class:`~repro.obs.policy.InstrumentedPolicy`: queue depths,
+        ghost hits, demotion and eviction streams land in ``registry``
+        while the wrapper stays a drop-in replacement for the policy.
+        """
+        from repro.obs.policy import InstrumentedPolicy
+
+        return InstrumentedPolicy(self, registry, labels)
+
     @property
     def miss_ratio(self) -> float:
         return self.stats.miss_ratio

@@ -125,6 +125,20 @@ def create_policy(name: str, capacity: int, **kwargs) -> EvictionPolicy:
     return factory(capacity, **kwargs)
 
 
+def removal_capable_policies() -> List[str]:
+    """Sorted names of policies whose instances support ``remove()``.
+
+    The service layer requires removal support for TTLs and deletes;
+    this is the list its error messages point users at.
+    """
+    _register_core()
+    return sorted(
+        name
+        for name, factory in POLICIES.items()
+        if getattr(factory, "supports_removal", False)
+    )
+
+
 def policy_names(include_offline: bool = False) -> List[str]:
     """Sorted policy names; Belady is excluded unless requested since it
     needs an annotated trace."""

@@ -341,8 +341,11 @@ def _cmd_walkthrough(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Live service demo: replay a Zipf stream read-through and compare
     the service's miss ratio against the offline simulator's."""
+    import threading
+    import time
+
     from repro.cache.registry import create_policy
-    from repro.service.loadgen import build_service
+    from repro.service.loadgen import build_service, counters_snapshot
     from repro.sim.simulator import simulate
     from repro.traces.synthetic import zipf_trace
 
@@ -357,12 +360,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         capacity, args.policy, args.shards, checked=args.checked
     )
     ttl = args.ttl
-    for key in trace:
-        if service.get(key) is None:
-            if ttl is not None:
-                service.set(key, key, ttl=ttl)
-            else:
-                service.set(key, key)
+    stop_watch = threading.Event()
+    watcher = None
+    if args.watch is not None:
+        if args.watch <= 0:
+            print("--watch takes a positive number of seconds",
+                  file=sys.stderr)
+            return 2
+
+        def _watch() -> None:
+            start = time.perf_counter()
+            while not stop_watch.wait(args.watch):
+                snap = counters_snapshot(
+                    service, time.perf_counter() - start
+                )
+                try:
+                    print(
+                        f"[watch +{snap['t_s']:8.2f}s] "
+                        f"gets={snap['gets']:,} "
+                        f"hit={snap['hit_ratio']:.4f} "
+                        f"sets={snap['sets']:,}",
+                        flush=True,
+                    )
+                except BrokenPipeError:
+                    return  # reader went away; keep replaying quietly
+
+        watcher = threading.Thread(target=_watch, daemon=True)
+        watcher.start()
+    try:
+        for key in trace:
+            if service.get(key) is None:
+                if ttl is not None:
+                    service.set(key, key, ttl=ttl)
+                else:
+                    service.set(key, key)
+    finally:
+        if watcher is not None:
+            stop_watch.set()
+            watcher.join()
     stats = service.stats()
     live_miss = 1.0 - stats["hit_ratio"]
     print(f"policy:          {args.policy} x {args.shards} shard(s)")
@@ -413,6 +448,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         mode=args.mode,
         open_rate=args.rate,
         checked=args.checked,
+        ttl=args.ttl,
     )
     try:
         report["calibration"] = calibration_summary(
@@ -430,6 +466,61 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
     path = write_report(report, args.out)
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_export_metrics(args: argparse.Namespace) -> int:
+    """Replay a Zipf workload against a fully instrumented service and
+    export the resulting metrics registry (Prometheus text or JSON)."""
+    from repro.obs import (
+        EventTracer,
+        MetricsRegistry,
+        dump_on_error,
+        to_json,
+        to_prometheus,
+    )
+    from repro.service.loadgen import build_service
+    from repro.traces.synthetic import zipf_trace
+
+    trace = zipf_trace(
+        num_objects=args.objects,
+        num_requests=args.requests,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    capacity = max(args.shards, int(args.objects * args.cache_ratio))
+    registry = MetricsRegistry()
+    tracer = EventTracer(
+        capacity=256, sample_every=max(1, args.requests // 4096)
+    )
+    service = build_service(
+        capacity,
+        args.policy,
+        args.shards,
+        metrics=registry,
+        tracer=tracer,
+        instrument_policy=True,
+        default_ttl=args.ttl,
+    )
+
+    def _replay() -> None:
+        for key in trace:
+            if service.get(key) is None:
+                service.set(key, key)
+
+    # The tracer tail prints to stderr if the replay dies mid-stream.
+    dump_on_error(tracer, _replay)
+    service.sweep()
+    text = (
+        to_prometheus(registry) if args.format == "prom"
+        else to_json(registry)
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -535,6 +626,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="expire demo entries after this many seconds")
     serve.add_argument("--checked", action="store_true",
                        help="run the invariant sanitizer on every access")
+    serve.add_argument("--watch", type=float, default=None, metavar="SECS",
+                       help="print a one-line stats snapshot every SECS "
+                       "seconds while the replay runs")
     serve.add_argument("--seed", type=int, default=42)
 
     lg = sub.add_parser(
@@ -555,11 +649,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-thread target ops/sec (open mode)")
     lg.add_argument("--checked", action="store_true",
                     help="run the invariant sanitizer on every access")
+    lg.add_argument("--ttl", type=float, default=None,
+                    help="store entries with this default TTL in seconds "
+                    "(requires a removal-capable policy)")
     lg.add_argument("--seed", type=int, default=42)
     lg.add_argument(
         "--out", default="benchmarks/results/BENCH_service.json",
         help="output JSON path",
     )
+
+    export = sub.add_parser(
+        "export-metrics",
+        aliases=["stats"],
+        help="replay an instrumented Zipf workload and export the "
+        "metrics registry (Prometheus text or JSON)",
+    )
+    export.add_argument("--policy", default="s3fifo")
+    export.add_argument("--shards", type=int, default=1)
+    export.add_argument("--objects", type=int, default=10_000)
+    export.add_argument("--requests", type=int, default=100_000)
+    export.add_argument("--alpha", type=float, default=1.0)
+    export.add_argument("--cache-ratio", type=float, default=0.1)
+    export.add_argument("--ttl", type=float, default=None,
+                        help="store entries with this default TTL in "
+                        "seconds (requires a removal-capable policy)")
+    export.add_argument("--format", choices=("prom", "json"),
+                        default="prom")
+    export.add_argument("--out", default=None,
+                        help="write the export here instead of stdout")
+    export.add_argument("--seed", type=int, default=42)
 
     walk = sub.add_parser(
         "walkthrough", help="Fig. 5 style step-by-step S3-FIFO state trace"
@@ -574,6 +692,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.service.core import RemovalUnsupportedError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "list-policies": _cmd_list_policies,
@@ -586,6 +706,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": _cmd_perf,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "export-metrics": _cmd_export_metrics,
+        "stats": _cmd_export_metrics,
         "walkthrough": _cmd_walkthrough,
     }
     try:
@@ -597,6 +719,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except RemovalUnsupportedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,57 @@
+"""Observability subsystem: metrics, tracing, and export.
+
+Miss ratio alone is a misleading health signal (Section 6.1; Qiu et
+al.'s hit-ratio-vs-throughput follow-up): ``repro.obs`` gives every
+live component — the cache service, the policies behind it, the sweep
+runner, the load generator — one dependency-free way to report
+throughput, latency, occupancy, and queue dynamics together.
+
+* :class:`MetricsRegistry` / :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — the lock-cheap metric substrate;
+* :func:`to_prometheus` / :func:`to_json` — deterministic exporters;
+* :class:`EventTracer` — sampling ring buffer of recent decisions;
+* :class:`InstrumentedPolicy` — opt-in queue-depth / ghost / demotion
+  instrumentation for any eviction policy.
+
+See ``docs/OBSERVABILITY.md`` for the stable metric schema.
+"""
+
+from repro.obs.exporters import (
+    EXPORT_KIND,
+    EXPORT_SCHEMA_VERSION,
+    export_dict,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.policy import InstrumentedPolicy
+from repro.obs.tracer import (
+    EventTracer,
+    TraceEvent,
+    dump_on_error,
+    install_signal_dump,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "to_prometheus",
+    "to_json",
+    "export_dict",
+    "EXPORT_SCHEMA_VERSION",
+    "EXPORT_KIND",
+    "EventTracer",
+    "TraceEvent",
+    "dump_on_error",
+    "install_signal_dump",
+    "InstrumentedPolicy",
+]

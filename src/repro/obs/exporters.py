@@ -1,0 +1,125 @@
+"""Render a :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+Two formats, both dependency-free:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers per family, one
+  sample line per series, histograms as cumulative ``_bucket`` series
+  plus ``_sum`` / ``_count``.  Counters get the ``_total`` suffix at
+  export; registry names stay suffix-free.
+* :func:`to_json` — a versioned JSON document
+  (:data:`EXPORT_SCHEMA_VERSION`) with one object per series, suitable
+  for ``BENCH_*.json``-style archival and diffing.
+
+Both orderings are deterministic (families name-sorted, series
+label-sorted), so exports of an unchanged registry are byte-identical
+— the property the pinned-schema tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List
+
+from repro.obs.metrics import Histogram, Metric, MetricsRegistry
+
+#: Bumped when the JSON export layout changes incompatibly.
+EXPORT_SCHEMA_VERSION = 1
+
+#: ``kind`` discriminator of the JSON export document.
+EXPORT_KIND = "metrics-export"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{k}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for name, kind, help_text, series in registry.families():
+        exposed = f"{name}_total" if kind == "counter" else name
+        if help_text:
+            lines.append(f"# HELP {exposed} {help_text}")
+        lines.append(f"# TYPE {exposed} {kind}")
+        for metric in series:
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    labelled = _format_labels(
+                        metric.labels, f'le="{_format_bound(bound)}"'
+                    )
+                    lines.append(f"{exposed}_bucket{labelled} {cumulative}")
+                base = _format_labels(metric.labels)
+                lines.append(f"{exposed}_sum{base} {_format_value(metric.sum)}")
+                lines.append(f"{exposed}_count{base} {metric.count}")
+            else:
+                labelled = _format_labels(metric.labels)
+                value = _format_value(metric.collect_value())
+                lines.append(f"{exposed}{labelled} {value}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _series_dict(metric: Metric) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "name": metric.name,
+        "type": metric.kind,
+        "labels": dict(sorted(metric.labels.items())),
+    }
+    if isinstance(metric, Histogram):
+        entry["buckets"] = [
+            [_format_bound(bound), cumulative]
+            for bound, cumulative in metric.cumulative_buckets()
+        ]
+        entry["sum"] = metric.sum
+        entry["count"] = metric.count
+    else:
+        entry["value"] = metric.collect_value()
+    return entry
+
+
+def export_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The JSON export as a Python dict (see :func:`to_json`)."""
+    series: List[Dict[str, Any]] = []
+    for name, kind, help_text, metrics in registry.families():
+        for metric in metrics:
+            entry = _series_dict(metric)
+            if help_text:
+                entry["help"] = help_text
+            series.append(entry)
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "kind": EXPORT_KIND,
+        "namespace": registry.namespace,
+        "metrics": series,
+    }
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry as a versioned, deterministic JSON document."""
+    return json.dumps(export_dict(registry), indent=indent) + "\n"

@@ -1,0 +1,267 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The paper's evaluation (Section 6.1, Fig. 8) and the follow-up work on
+hit-ratio-vs-throughput trade-offs both stress that *miss ratio alone
+is a misleading health signal* — throughput, latency, and queue
+dynamics have to be observed together.  ``repro.obs`` is the substrate
+for doing that against the live service layer: one
+:class:`MetricsRegistry` is injected into any component that wants to
+be observed, and the exporters (:mod:`repro.obs.exporters`) snapshot
+it into JSON or Prometheus text format.
+
+Concurrency discipline ("lock-cheap")
+-------------------------------------
+
+Hot-path updates (``Counter.inc``, ``Histogram.observe``) take **no
+lock of their own**: components update metrics while already holding
+their operation lock (every :class:`~repro.service.core.CacheService`
+metric is touched under the service's per-shard lock), so adding a
+metrics lock would only double the locking.  The registry's own lock
+guards metric *creation* and :meth:`MetricsRegistry.collect`
+snapshots, which are rare.
+
+Collect-time values
+-------------------
+
+Counters and gauges can be backed by a callback
+(:meth:`Counter.set_function` / :meth:`Gauge.set_function`) that is
+evaluated at collect time instead of being written on the hot path.
+This is how the service exports its existing
+:class:`~repro.service.core.ServiceCounters` — zero additional work
+per operation, perfectly consistent values at export.  Histograms
+cannot be derived after the fact, so per-op latency observation is the
+one genuinely new hot-path cost, and it only exists when a registry is
+injected at all (the default is no registry, no overhead).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Default latency buckets, in microseconds.  Chosen to straddle the
+#: service's measured per-op costs (single-digit us hit path, tail into
+#: milliseconds under contention); the top bucket is +Inf implicitly.
+DEFAULT_LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000,
+)
+
+LabelDict = Dict[str, str]
+
+
+def _label_key(labels: Optional[LabelDict]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical, hashable identity of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common surface of one (name, labels) time series."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "labels", "_fn")
+
+    def __init__(self, name: str, help_text: str, labels: Optional[LabelDict]) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels: LabelDict = dict(labels or {})
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set_function(self, fn: Callable[[], float]) -> "Metric":
+        """Back this series with a collect-time callback (no hot-path cost)."""
+        self._fn = fn
+        return self
+
+    def collect_value(self) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, {self.labels})"
+
+
+class Counter(Metric):
+    """A monotonically increasing count (exported with ``_total``)."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help_text: str = "", labels: Optional[LabelDict] = None) -> None:
+        super().__init__(name, help_text, labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def collect_value(self) -> float:
+        return self._fn() if self._fn is not None else self.value
+
+
+class Gauge(Metric):
+    """A value that can go up and down (occupancy, queue depth, ...)."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help_text: str = "", labels: Optional[LabelDict] = None) -> None:
+        super().__init__(name, help_text, labels)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def collect_value(self) -> float:
+        return self._fn() if self._fn is not None else self.value
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with cumulative Prometheus exposition.
+
+    ``buckets`` are the finite upper bounds; ``+Inf`` is implicit.
+    ``observe`` is two array writes plus a bisect — cheap enough for
+    per-operation latency on the service hot path.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[LabelDict] = None,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_US,
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {bounds}")
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def collect_value(self) -> float:
+        return self.count
+
+
+class MetricsRegistry:
+    """Create-or-fetch factory and snapshot point for all metrics.
+
+    Metric identity is ``(name, labels)``: asking for the same pair
+    twice returns the same object (so the service and its exporter can
+    both hold a handle), while two label sets under one name form a
+    family that the Prometheus exporter renders under a single
+    ``# TYPE`` header.  A name is permanently bound to its first kind;
+    re-registering it as a different kind raises.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+        self._helps: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[LabelDict] = None) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[LabelDict] = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Optional[LabelDict] = None,
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_US) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labels: Optional[LabelDict], **kwargs) -> Any:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is not None:
+                if not isinstance(metric, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{metric.kind}, requested {cls.kind}"
+                    )
+                return metric
+            bound_kind = self._kinds.get(name)
+            if bound_kind is not None and bound_kind != cls.kind:
+                raise ValueError(
+                    f"metric family {name!r} is a {bound_kind}, "
+                    f"cannot add a {cls.kind} series to it"
+                )
+            metric = cls(name, help_text, labels, **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+            if help_text or name not in self._helps:
+                self._helps[name] = help_text
+            return metric
+
+    # ------------------------------------------------------------------
+    # Introspection / snapshot
+    # ------------------------------------------------------------------
+    def families(self) -> List[Tuple[str, str, str, List[Metric]]]:
+        """``(name, kind, help, series)`` tuples, name-sorted, stable.
+
+        Series within a family are ordered by their label identity so
+        two collects of an unchanged registry render identically.
+        """
+        with self._lock:
+            metrics = list(self._metrics.items())
+        grouped: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], Metric]]] = {}
+        for (name, lkey), metric in metrics:
+            grouped.setdefault(name, []).append((lkey, metric))
+        out = []
+        for name in sorted(grouped):
+            series = [m for _, m in sorted(grouped[name], key=lambda p: p[0])]
+            out.append((name, self._kinds[name], self._helps.get(name, ""), series))
+        return out
+
+    def get(self, name: str, labels: Optional[LabelDict] = None) -> Optional[Metric]:
+        """The registered series, or None (introspection and tests)."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(namespace={self.namespace!r}, series={len(self)})"

@@ -1,0 +1,197 @@
+"""Sampling request tracer: a ring buffer of recent decisions.
+
+Metrics aggregate; the tracer remembers *individuals*.  An
+:class:`EventTracer` keeps the last N sampled requests with their
+decision outcomes (hit / miss / expired / stored / rejected / ...), so
+when a service misbehaves you can dump the recent history instead of
+re-running the workload under a debugger.  Recording is O(1) into a
+``deque(maxlen=...)`` and is sampled (1-in-``sample_every``), so it is
+cheap enough to leave attached in loadgen runs.
+
+Dumping
+-------
+
+* :meth:`EventTracer.dump` renders the buffer as JSON lines (or
+  :meth:`EventTracer.events` for dicts).
+* :func:`install_signal_dump` wires a signal (default ``SIGUSR1``) to
+  dump a live tracer to a file or stderr — inspect a running
+  ``serve`` / ``loadgen`` without stopping it.
+* The CLI wraps replay loops with :func:`dump_on_error`, which prints
+  the tail of the trace when the replay raises — the "flight recorder"
+  read of the same buffer.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+#: Decision outcomes recorded by the service layer (stable vocabulary,
+#: see docs/OBSERVABILITY.md).
+OUTCOMES = (
+    "hit", "miss", "expired", "stored", "refreshed", "rejected",
+    "deleted", "absent", "error",
+)
+
+
+class TraceEvent:
+    """One sampled request and what the service decided about it."""
+
+    __slots__ = ("seq", "op", "key", "outcome", "latency_us", "shard")
+
+    def __init__(
+        self,
+        seq: int,
+        op: str,
+        key: Hashable,
+        outcome: str,
+        latency_us: Optional[float] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        self.seq = seq
+        self.op = op
+        self.key = key
+        self.outcome = outcome
+        self.latency_us = latency_us
+        self.shard = shard
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "op": self.op,
+            "key": repr(self.key),
+            "outcome": self.outcome,
+        }
+        if self.latency_us is not None:
+            out["latency_us"] = round(self.latency_us, 3)
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(#{self.seq} {self.op} {self.key!r} "
+            f"-> {self.outcome})"
+        )
+
+
+class EventTracer:
+    """Ring buffer of the most recent sampled :class:`TraceEvent`.
+
+    ``capacity`` bounds memory; ``sample_every`` thins the stream
+    (1 records everything, N records every Nth request).  ``record``
+    is called by the service under its own lock, so the sequence
+    counter and buffer need no lock of their own; attach one tracer
+    per shard or accept benign interleaving across shards.
+    """
+
+    def __init__(self, capacity: int = 1024, sample_every: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.seen = 0
+        self._buffer: "deque[TraceEvent]" = deque(maxlen=capacity)
+
+    def record(
+        self,
+        op: str,
+        key: Hashable,
+        outcome: str,
+        latency_us: Optional[float] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        seq = self.seen
+        self.seen = seq + 1
+        if seq % self.sample_every:
+            return
+        self._buffer.append(
+            TraceEvent(seq, op, key, outcome, latency_us, shard)
+        )
+
+    # ------------------------------------------------------------------
+    # Reading the buffer
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered events as dicts, oldest first."""
+        return [event.as_dict() for event in self._buffer]
+
+    def dump(self, stream=None) -> str:
+        """The buffer as JSON lines; also written to ``stream`` if given."""
+        text = "\n".join(json.dumps(e) for e in self.events())
+        if text:
+            text += "\n"
+        if stream is not None:
+            stream.write(text)
+            stream.flush()
+        return text
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventTracer(capacity={self.capacity}, "
+            f"sample_every={self.sample_every}, seen={self.seen})"
+        )
+
+
+def dump_on_error(tracer: Optional[EventTracer], fn: Callable[[], Any],
+                  stream=None):
+    """Run ``fn``; on any exception, dump the tracer tail first.
+
+    The flight-recorder pattern: the replay loop runs inside this
+    wrapper, and a crash prints the recent decision history to
+    ``stream`` (default stderr) before the traceback propagates.
+    """
+    try:
+        return fn()
+    except BaseException:
+        if tracer is not None and len(tracer):
+            out = stream if stream is not None else sys.stderr
+            out.write(
+                f"--- event tracer: last {len(tracer)} of "
+                f"{tracer.seen} requests ---\n"
+            )
+            tracer.dump(out)
+        raise
+
+
+def install_signal_dump(
+    tracer: EventTracer,
+    signum: Optional[int] = None,
+    path: Optional[str] = None,
+) -> Callable[[], None]:
+    """Dump ``tracer`` whenever ``signum`` (default SIGUSR1) arrives.
+
+    Returns a zero-argument function that restores the previous
+    handler.  On platforms without the signal (Windows), this is a
+    no-op returning a no-op restorer.
+    """
+    import signal as _signal
+
+    if signum is None:
+        signum = getattr(_signal, "SIGUSR1", None)
+        if signum is None:  # pragma: no cover - windows
+            return lambda: None
+
+    def _handler(_signo, _frame):
+        if path is not None:
+            with open(path, "a") as fh:
+                tracer.dump(fh)
+        else:
+            tracer.dump(sys.stderr)
+
+    previous = _signal.signal(signum, _handler)
+
+    def restore() -> None:
+        _signal.signal(signum, previous)
+
+    return restore

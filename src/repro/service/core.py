@@ -20,6 +20,13 @@ Design notes
   replaying a read-through workload therefore drives the policy with
   exactly the same request sequence as the offline simulator — the
   parity tests pin this equivalence.
+* **Residency.**  The value map only ever holds keys the policy is
+  tracking.  A policy may decline to keep a key the service just
+  offered it — admission filters (``blru``'s Bloom doorkeeper) reject
+  first-touch keys outright, and a pathological policy could pick the
+  in-flight key as its eviction victim — so ``set`` re-checks
+  residency after the policy request and reports such sets as
+  *rejected* instead of storing an orphaned value.
 * **TTL.**  ``expires_at = clock() + ttl``; an entry is expired once
   ``clock() >= expires_at`` (*at* the deadline counts as expired).
   Expired entries never count as hits and never feed frequency bits:
@@ -27,6 +34,10 @@ Design notes
   lazy on access plus an incremental sweeper
   (:meth:`CacheService.sweep`) that callers or the service itself
   (every ``sweep_interval`` operations) run in small bounded batches.
+  The sweeper tracks *only* keys that carry a TTL, in a FIFO queue fed
+  as deadlines are assigned: a freshly TTL'd key is visited within
+  ``ceil(queue_len / batch)`` sweeps no matter how many immortal
+  entries share the cache, and still-live keys recycle to the tail.
   ``ttl=0`` means "expires immediately": the set is acknowledged but
   nothing is admitted.
 * **Deletion.**  Real deletion needs policy support
@@ -38,15 +49,24 @@ Design notes
   the paper's lock-free claims are about its C implementations).
   :class:`~repro.service.sharded.ShardedCacheService` multiplies this
   into per-shard locks.
+* **Observability.**  Pass a
+  :class:`~repro.obs.metrics.MetricsRegistry` to export every counter
+  in :class:`ServiceCounters` plus occupancy gauges (all read at
+  collect time — zero hot-path cost) and per-op latency histograms
+  (the one per-operation write); pass an
+  :class:`~repro.obs.tracer.EventTracer` to sample individual
+  decisions.  Without either, operations run exactly the pre-existing
+  code path.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set
 
-from repro.cache.registry import create_policy
+from repro.cache.registry import create_policy, removal_capable_policies
 from repro.sim.request import Request
 
 _UNSET = object()
@@ -56,10 +76,10 @@ class RemovalUnsupportedError(TypeError):
     """The backing policy cannot delete entries (no ``remove()``)."""
 
     def __init__(self, policy_name: str, operation: str) -> None:
+        capable = ", ".join(removal_capable_policies())
         super().__init__(
             f"policy {policy_name!r} does not support remove(), which "
-            f"{operation} requires; use a policy with supports_removal=True "
-            "(s3fifo, s3fifo-fast, lru, lru-fast, fifo)"
+            f"{operation} requires; use a removal-capable policy: {capable}"
         )
 
 
@@ -103,6 +123,22 @@ class ServiceCounters:
         )
 
 
+#: Help strings for the exported ``repro_service_<counter>_total``
+#: family, one per :class:`ServiceCounters` slot (pinned by tests).
+_COUNTER_HELP: Dict[str, str] = {
+    "gets": "Service get operations.",
+    "hits": "Gets served from cache.",
+    "misses": "Gets that found no live value (absent or expired).",
+    "sets": "Service set operations.",
+    "deletes": "Service delete operations.",
+    "expired": "Entries that died of TTL (lazy or swept).",
+    "evictions": "Entries evicted by policy decision.",
+    "rejected": "Sets refused residency (oversized or policy-declined).",
+    "sweeps": "Incremental sweeper batches run.",
+    "sweep_checks": "Keys examined by the sweeper.",
+}
+
+
 class _Entry:
     """A stored value plus its expiry deadline and charged size."""
 
@@ -136,11 +172,27 @@ class CacheService:
         hammer tests.
     sweep_interval / sweep_batch:
         Run one incremental expiry sweep of ``sweep_batch`` entries
-        every ``sweep_interval`` operations (only while TTL'd entries
-        exist).  ``sweep_interval=0`` disables the automatic sweeps;
-        :meth:`sweep` remains available.
+        every ``sweep_interval`` operations (only while the sweeper has
+        TTL'd keys queued).  ``sweep_interval=0`` disables the
+        automatic sweeps; :meth:`sweep` remains available.
     policy_kwargs:
         Extra keyword arguments for the policy constructor.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to publish into;
+        ``None`` (default) disables metrics entirely.
+    tracer:
+        An :class:`~repro.obs.tracer.EventTracer` sampling individual
+        operations; ``None`` (default) disables tracing.
+    instrument_policy:
+        Also wrap the policy in
+        :class:`~repro.obs.policy.InstrumentedPolicy` (queue depths,
+        ghost hits, demotions).  Requires ``metrics``.
+    metrics_labels:
+        Extra labels stamped on every metric this service registers
+        (:class:`~repro.service.sharded.ShardedCacheService` passes
+        ``{"shard": i}``).
+    shard_id:
+        Recorded on trace events so multi-shard traces stay legible.
     """
 
     def __init__(
@@ -154,6 +206,11 @@ class CacheService:
         sweep_interval: int = 256,
         sweep_batch: int = 64,
         policy_kwargs: Optional[Dict[str, Any]] = None,
+        metrics=None,
+        tracer=None,
+        instrument_policy: bool = False,
+        metrics_labels: Optional[Dict[str, str]] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         if default_ttl is not None and default_ttl < 0:
             raise ValueError(f"default_ttl must be >= 0, got {default_ttl}")
@@ -161,6 +218,8 @@ class CacheService:
             raise ValueError(f"sweep_interval must be >= 0, got {sweep_interval}")
         if sweep_batch < 1:
             raise ValueError(f"sweep_batch must be >= 1, got {sweep_batch}")
+        if instrument_policy and metrics is None:
+            raise ValueError("instrument_policy=True requires a metrics registry")
         backing = create_policy(policy, capacity=capacity, **(policy_kwargs or {}))
         if checked:
             from repro.resilience.sanitizer import CheckedPolicy
@@ -182,8 +241,21 @@ class CacheService:
         self._ttl_entries = 0
         self._sweep_interval = sweep_interval
         self._sweep_batch = sweep_batch
-        self._sweep_queue: List[Hashable] = []
+        self._sweep_queue: Deque[Hashable] = deque()
+        self._sweep_enqueued: Set[Hashable] = set()
         self._ops_since_sweep = 0
+        self._tracer = tracer
+        self._shard_id = shard_id
+        self._lat: Optional[Dict[str, Any]] = None
+        if instrument_policy:
+            from repro.obs.policy import InstrumentedPolicy
+
+            self._policy = InstrumentedPolicy(
+                self._policy, metrics, metrics_labels
+            )
+        if metrics is not None:
+            self._wire_metrics(metrics, dict(metrics_labels or {}))
+        self._observed = metrics is not None or tracer is not None
         backing.add_eviction_listener(self._on_evict)
 
     # ------------------------------------------------------------------
@@ -196,21 +268,29 @@ class CacheService:
         bumps the 2-bit counter).  Misses — absent *or expired* — do not
         touch the policy.
         """
+        observed = self._observed
+        t0 = time.perf_counter_ns() if observed else 0
         with self._lock:
             self.counters.gets += 1
             entry = self._values.get(key)
+            outcome = "miss"
             if entry is not None and self._expired(entry):
                 self._purge(key, entry)
                 self.counters.expired += 1
                 entry = None
+                outcome = "expired"
             if entry is None:
                 self.counters.misses += 1
                 self._tick()
+                if observed:
+                    self._record("get", key, outcome, t0)
                 return default
             hit = self._policy.request(Request(key, size=entry.size))
             assert hit, f"resident key {key!r} missed in the policy"
             self.counters.hits += 1
             self._tick()
+            if observed:
+                self._record("get", key, "hit", t0)
             return entry.value
 
     def set(
@@ -226,8 +306,10 @@ class CacheService:
         (``None`` = never expires, ``0`` = expires immediately — the
         set is a no-op beyond purging any live predecessor).  ``size``
         charges the entry against the policy capacity; an entry larger
-        than the whole cache is rejected.  Re-setting a live key
-        refreshes its value, size, and deadline.
+        than the whole cache is rejected, as is any set whose key the
+        policy declines to retain (admission-filter policies reject
+        first-touch keys).  Re-setting a live key refreshes its value,
+        size, and deadline.
         """
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
@@ -238,91 +320,75 @@ class CacheService:
                 raise ValueError(f"ttl must be >= 0, got {ttl}")
             if not self.supports_removal:
                 raise RemovalUnsupportedError(self.policy_name, "ttl")
+        observed = self._observed
+        t0 = time.perf_counter_ns() if observed else 0
         with self._lock:
-            self.counters.sets += 1
-            entry = self._values.get(key)
-            if entry is not None and self._expired(entry):
-                # The predecessor died before this set: purge it first so
-                # the policy sees a fresh admission (frequency bits must
-                # not survive expiry).
-                self._purge(key, entry)
-                self.counters.expired += 1
-                entry = None
-            if ttl == 0:
-                if entry is not None:
-                    self._purge(key, entry)
-                self._tick()
-                return False
-            if size > self.capacity:
-                if entry is not None:
-                    self._purge(key, entry)
-                self.counters.rejected += 1
-                self._tick()
-                return False
-            if entry is not None and entry.size != size:
-                # Policies cannot resize a resident entry in place.
-                self._purge(key, entry)
-                entry = None
-            self._policy.request(Request(key, size=size))
-            expires_at = None if ttl is None else self._clock() + ttl
-            if key not in self._values:
-                # The policy admitted the key (or it was already purged
-                # above); either way this set (re)creates the entry.
-                self._values[key] = new = _Entry(value, expires_at, size)
-                if expires_at is not None:
-                    self._ttl_entries += 1
-            else:
-                new = self._values[key]
-                had_ttl = new.expires_at is not None
-                new.value = value
-                new.expires_at = expires_at
-                if had_ttl != (expires_at is not None):
-                    self._ttl_entries += 1 if expires_at is not None else -1
+            stored, outcome = self._set_locked(key, value, ttl, size)
             self._tick()
-            return True
+            if observed:
+                self._record("set", key, outcome, t0)
+            return stored
 
     def delete(self, key: Hashable) -> bool:
         """Remove ``key``; True when a live entry was removed."""
         if not self.supports_removal:
             raise RemovalUnsupportedError(self.policy_name, "delete()")
+        observed = self._observed
+        t0 = time.perf_counter_ns() if observed else 0
         with self._lock:
             self.counters.deletes += 1
             entry = self._values.get(key)
             if entry is None:
+                if observed:
+                    self._record("delete", key, "absent", t0)
                 return False
             was_live = not self._expired(entry)
             self._purge(key, entry)
             if not was_live:
                 self.counters.expired += 1
             self._tick()
+            if observed:
+                self._record(
+                    "delete", key, "deleted" if was_live else "expired", t0
+                )
             return was_live
 
     def sweep(self, max_checks: Optional[int] = None) -> int:
         """Expire up to ``max_checks`` entries; returns how many died.
 
-        One incremental step of the background sweeper: a bounded batch
-        of keys is checked against the clock, so no single call stalls
-        the service scanning a huge cache.  Call repeatedly (or leave it
-        to the automatic per-operation trigger) to drain all expired
-        entries.
+        One incremental step of the background sweeper.  The sweeper's
+        queue holds exactly the keys that were ever given a TTL (plus
+        since-departed stragglers, dropped on sight), so a batch never
+        wastes checks on immortal entries and a key with a deadline is
+        guaranteed a visit within ``ceil(queue_len / batch)`` sweeps of
+        being queued — the starvation bound the TTL tests pin.  Keys
+        still alive when visited recycle to the tail.
         """
         if max_checks is None:
             max_checks = self._sweep_batch
         with self._lock:
             self.counters.sweeps += 1
-            if not self._ttl_entries:
+            queue = self._sweep_queue
+            if not queue:
                 return 0
-            if not self._sweep_queue:
-                self._sweep_queue = list(self._values.keys())
             expired = 0
-            for _ in range(min(max_checks, len(self._sweep_queue))):
-                key = self._sweep_queue.pop()
+            # len() is taken once: tail recycles queued this batch are
+            # not revisited, so every iteration retires one old slot.
+            for _ in range(min(max_checks, len(queue))):
+                key = queue.popleft()
                 self.counters.sweep_checks += 1
                 entry = self._values.get(key)
-                if entry is not None and self._expired(entry):
+                if entry is None or entry.expires_at is None:
+                    # Evicted, deleted, already expired, or re-set
+                    # without a TTL since it was queued: stop tracking.
+                    self._sweep_enqueued.discard(key)
+                elif self._expired(entry):
+                    self._sweep_enqueued.discard(key)
                     self._purge(key, entry)
                     self.counters.expired += 1
                     expired += 1
+                else:
+                    queue.append(key)
             return expired
 
     def stats(self) -> Dict[str, Any]:
@@ -337,6 +403,7 @@ class CacheService:
                 "used": policy.used,
                 "hit_ratio": self.counters.hit_ratio,
                 "ttl_entries": self._ttl_entries,
+                "sweep_backlog": len(self._sweep_queue),
                 "policy_requests": policy.stats.requests,
                 "policy_miss_ratio": policy.stats.miss_ratio,
                 **counters,
@@ -347,7 +414,7 @@ class CacheService:
     # ------------------------------------------------------------------
     @property
     def policy(self):
-        """The backing policy (the sanitizer wrapper when ``checked``)."""
+        """The backing policy (the outermost wrapper when decorated)."""
         return self._policy
 
     def __contains__(self, key: Hashable) -> bool:
@@ -372,6 +439,11 @@ class CacheService:
                     f"service value map holds {used} bytes but policy "
                     f"reports used={self._policy.used}"
                 )
+            if len(self._sweep_enqueued) != len(self._sweep_queue):
+                raise AssertionError(
+                    f"sweep queue ({len(self._sweep_queue)}) and its "
+                    f"membership set ({len(self._sweep_enqueued)}) diverged"
+                )
 
     def __repr__(self) -> str:
         return (
@@ -382,6 +454,72 @@ class CacheService:
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
     # ------------------------------------------------------------------
+    def _set_locked(self, key: Hashable, value: Any, ttl: Optional[float],
+                    size: int):
+        """The body of :meth:`set`; returns ``(stored, outcome)``."""
+        self.counters.sets += 1
+        entry = self._values.get(key)
+        if entry is not None and self._expired(entry):
+            # The predecessor died before this set: purge it first so
+            # the policy sees a fresh admission (frequency bits must
+            # not survive expiry).
+            self._purge(key, entry)
+            self.counters.expired += 1
+            entry = None
+        if ttl == 0:
+            if entry is not None:
+                self._purge(key, entry)
+            return False, "expired"
+        if size > self.capacity:
+            if entry is not None:
+                self._purge(key, entry)
+            self.counters.rejected += 1
+            return False, "rejected"
+        if entry is not None and entry.size != size:
+            # Policies cannot resize a resident entry in place.
+            self._purge(key, entry)
+            entry = None
+        refreshed = entry is not None
+        self._policy.request(Request(key, size=size))
+        if key not in self._policy:
+            # The policy did not retain the key: admission was refused
+            # (blru's Bloom doorkeeper rejects first touches) or the
+            # in-flight key was picked as the eviction victim.  Storing
+            # the value anyway would orphan it in the map and the next
+            # get would trip the residency assertion.
+            dropped = self._values.pop(key, None)
+            if dropped is not None and dropped.expires_at is not None:
+                self._ttl_entries -= 1
+            self.counters.rejected += 1
+            return False, "rejected"
+        expires_at = None if ttl is None else self._clock() + ttl
+        if key not in self._values:
+            self._values[key] = _Entry(value, expires_at, size)
+            if expires_at is not None:
+                self._track_ttl(key)
+        else:
+            existing = self._values[key]
+            had_ttl = existing.expires_at is not None
+            existing.value = value
+            existing.expires_at = expires_at
+            if expires_at is not None and not had_ttl:
+                self._track_ttl(key)
+            elif had_ttl and expires_at is None:
+                self._ttl_entries -= 1
+        return True, ("refreshed" if refreshed else "stored")
+
+    def _track_ttl(self, key: Hashable) -> None:
+        """A key just gained a TTL: count it and queue it for the sweeper.
+
+        A key already queued (a purged predecessor's slot, or a live
+        entry whose deadline moved) keeps its existing slot — the queue
+        and its membership set always agree.
+        """
+        self._ttl_entries += 1
+        if key not in self._sweep_enqueued:
+            self._sweep_enqueued.add(key)
+            self._sweep_queue.append(key)
+
     def _expired(self, entry: _Entry) -> bool:
         return entry.expires_at is not None and self._clock() >= entry.expires_at
 
@@ -401,9 +539,60 @@ class CacheService:
 
     def _tick(self) -> None:
         """Operation bookkeeping: trigger an incremental sweep on cadence."""
-        if not self._sweep_interval or not self._ttl_entries:
+        if not self._sweep_interval or not self._sweep_queue:
             return
         self._ops_since_sweep += 1
         if self._ops_since_sweep >= self._sweep_interval:
             self._ops_since_sweep = 0
             self.sweep(self._sweep_batch)
+
+    def _wire_metrics(self, registry, labels: Dict[str, str]) -> None:
+        """Publish service state into ``registry``.
+
+        Counters and gauges read existing state through collect-time
+        callbacks — zero hot-path cost.  The per-op latency histograms
+        are the only metrics written per operation, and only exist
+        because a registry was injected at all.
+        """
+        counters = self.counters
+        for field, help_text in _COUNTER_HELP.items():
+            registry.counter(
+                f"repro_service_{field}", help_text, labels
+            ).set_function(lambda c=counters, f=field: getattr(c, f))
+        for name, help_text, fn in (
+            ("repro_service_objects",
+             "Entries resident in the value map (unswept expired included).",
+             lambda: len(self._values)),
+            ("repro_service_used",
+             "Capacity units occupied per the policy.",
+             lambda: self._policy.used),
+            ("repro_service_capacity",
+             "Configured capacity of this service (or shard).",
+             lambda: self.capacity),
+            ("repro_service_ttl_entries",
+             "Live entries carrying a TTL.",
+             lambda: self._ttl_entries),
+            ("repro_service_sweep_backlog",
+             "Keys queued for the incremental expiry sweeper.",
+             lambda: len(self._sweep_queue)),
+            ("repro_service_hit_ratio",
+             "Fraction of gets served from cache.",
+             lambda: self.counters.hit_ratio),
+        ):
+            registry.gauge(name, help_text, labels).set_function(fn)
+        self._lat = {
+            op: registry.histogram(
+                "repro_service_op_latency_us",
+                "Service operation latency in microseconds.",
+                {**labels, "op": op},
+            )
+            for op in ("get", "set", "delete")
+        }
+
+    def _record(self, op: str, key: Hashable, outcome: str, t0: int) -> None:
+        """Feed one finished operation to the histograms and tracer."""
+        latency_us = (time.perf_counter_ns() - t0) / 1000.0
+        if self._lat is not None:
+            self._lat[op].observe(latency_us)
+        if self._tracer is not None:
+            self._tracer.record(op, key, outcome, latency_us, self._shard_id)

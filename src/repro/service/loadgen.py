@@ -106,6 +106,33 @@ def _run_open(service, keys: Sequence[int], value: Any,
         record(done - scheduled)
 
 
+def counters_snapshot(service, t_s: float) -> Dict[str, Any]:
+    """One point-in-time counters row (lock-free, benignly racy reads)."""
+    shards = getattr(service, "shards", None)
+    counters = (
+        [s.counters for s in shards] if shards is not None
+        else [service.counters]
+    )
+    gets = sum(c.gets for c in counters)
+    hits = sum(c.hits for c in counters)
+    sets = sum(c.sets for c in counters)
+    return {
+        "t_s": round(t_s, 3),
+        "gets": gets,
+        "hits": hits,
+        "sets": sets,
+        "hit_ratio": round(hits / gets, 6) if gets else 0.0,
+    }
+
+
+def _interval_monitor(service, stop: threading.Event, interval_s: float,
+                      out: List[Dict[str, Any]]) -> None:
+    """Append a counters snapshot every ``interval_s`` until stopped."""
+    start = time.perf_counter()
+    while not stop.wait(interval_s):
+        out.append(counters_snapshot(service, time.perf_counter() - start))
+
+
 def _percentile(sorted_ns: Sequence[int], q: float) -> float:
     """Nearest-rank percentile of an already-sorted sample."""
     if not sorted_ns:
@@ -151,18 +178,36 @@ def run_scenario(
     open_rate: float = 50_000.0,
     value: Any = "v",
     checked: bool = False,
+    ttl: Optional[float] = None,
+    metrics=None,
+    tracer=None,
+    instrument_policy: bool = False,
+    snapshot_interval_s: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Drive one (shards, threads) configuration; returns the report row.
 
     ``trace`` is split into ``num_threads`` contiguous slices so the
     aggregate workload is the same for every thread count.  ``open_rate``
-    is the per-thread target in ops/sec (open mode only).
+    is the per-thread target in ops/sec (open mode only).  ``ttl``
+    becomes the service's ``default_ttl`` (requires a removal-capable
+    policy).  ``metrics`` / ``tracer`` / ``instrument_policy`` are
+    forwarded to the service; pass a fresh registry per scenario if
+    histograms must not accumulate across rows.
+    ``snapshot_interval_s`` attaches a monitor thread appending
+    periodic counters snapshots to the row's ``intervals`` list.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
-    service = build_service(capacity, policy, num_shards, checked=checked)
+    service = build_service(
+        capacity, policy, num_shards,
+        checked=checked,
+        default_ttl=ttl,
+        metrics=metrics,
+        tracer=tracer,
+        instrument_policy=instrument_policy,
+    )
     per_thread = len(trace) // num_threads
     slices = [
         trace[i * per_thread:(i + 1) * per_thread] for i in range(num_threads)
@@ -189,13 +234,32 @@ def run_scenario(
             )
             for i, (s, st) in enumerate(zip(slices, stats))
         ]
+    intervals: List[Dict[str, Any]] = []
+    monitor = stop_monitor = None
+    if snapshot_interval_s is not None:
+        if snapshot_interval_s <= 0:
+            raise ValueError(
+                f"snapshot_interval_s must be positive, got {snapshot_interval_s}"
+            )
+        stop_monitor = threading.Event()
+        monitor = threading.Thread(
+            target=_interval_monitor,
+            args=(service, stop_monitor, snapshot_interval_s, intervals),
+            name="loadgen-monitor", daemon=True,
+        )
     for w in workers:
         w.start()
+    if monitor is not None:
+        monitor.start()
     barrier.wait()
     t0 = time.perf_counter()
     for w in workers:
         w.join()
     wall = time.perf_counter() - t0
+    if monitor is not None:
+        stop_monitor.set()
+        monitor.join()
+        intervals.append(counters_snapshot(service, wall))
 
     merged = array("q")
     hits = misses = hit_ns = miss_ns = 0
@@ -230,7 +294,9 @@ def run_scenario(
         "shard_ops": shard_ops,
         "imbalance": imbalance,
         "evictions": service_stats["evictions"],
+        "expired": service_stats["expired"],
         "objects": service_stats["objects"],
+        **({"intervals": intervals} if snapshot_interval_s is not None else {}),
     }
 
 
@@ -246,6 +312,11 @@ def run_loadgen(
     mode: str = "closed",
     open_rate: float = 50_000.0,
     checked: bool = False,
+    ttl: Optional[float] = None,
+    metrics=None,
+    tracer=None,
+    instrument_policy: bool = False,
+    snapshot_interval_s: Optional[float] = None,
 ) -> Dict[str, Any]:
     """The full scenario matrix (shards x threads); returns the report.
 
@@ -277,6 +348,11 @@ def run_loadgen(
                     mode=mode,
                     open_rate=open_rate,
                     checked=checked,
+                    ttl=ttl,
+                    metrics=metrics,
+                    tracer=tracer,
+                    instrument_policy=instrument_policy,
+                    snapshot_interval_s=snapshot_interval_s,
                 )
             )
     return {
@@ -293,6 +369,7 @@ def run_loadgen(
             "mode": mode,
             "open_rate": open_rate if mode == "open" else None,
             "checked": checked,
+            "ttl": ttl,
         },
         "scenarios": scenarios,
     }

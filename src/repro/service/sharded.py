@@ -79,16 +79,40 @@ class ShardedCacheService:
         capacity: int,
         policy: str = "s3fifo",
         num_shards: int = 4,
+        metrics=None,
+        tracer=None,
+        instrument_policy: bool = False,
         **shard_kwargs: Any,
     ) -> None:
         capacities = partition_capacity(capacity, num_shards)
         self.capacity = capacity
         self.num_shards = num_shards
         self._shards = [
-            CacheService(cap, policy, **shard_kwargs) for cap in capacities
+            CacheService(
+                cap,
+                policy,
+                metrics=metrics,
+                tracer=tracer,
+                instrument_policy=instrument_policy,
+                metrics_labels=(
+                    {"shard": str(i)} if metrics is not None else None
+                ),
+                shard_id=i,
+                **shard_kwargs,
+            )
+            for i, cap in enumerate(capacities)
         ]
         self.policy_name = self._shards[0].policy_name
         self.supports_removal = self._shards[0].supports_removal
+        if metrics is not None:
+            metrics.gauge(
+                "repro_shards", "Number of shards in this service."
+            ).set(num_shards)
+            metrics.gauge(
+                "repro_shard_imbalance",
+                "Hottest shard's operation count over the per-shard mean "
+                "(1.0 = perfectly balanced).",
+            ).set_function(self.imbalance)
 
     # ------------------------------------------------------------------
     # Routing
@@ -150,13 +174,19 @@ class ShardedCacheService:
             counts.append(c.gets + c.sets + c.deletes)
         return counts
 
+    def imbalance(self) -> float:
+        """Hottest shard's operation count over the mean (1.0 = balanced)."""
+        from repro.concurrency.sharding import imbalance_factor
+
+        return imbalance_factor(self.ops_per_shard())
+
     def stats(self) -> Dict[str, Any]:
         """Aggregate counters plus the per-shard breakdown."""
         per_shard = [shard.stats() for shard in self._shards]
         summed = (
             "gets", "hits", "misses", "sets", "deletes", "expired",
             "evictions", "rejected", "objects", "used", "ttl_entries",
-            "policy_requests",
+            "sweep_backlog", "policy_requests",
         )
         aggregate: Dict[str, Any] = {name: 0 for name in summed}
         for stats in per_shard:

@@ -387,11 +387,39 @@ def _pool_round(pool, pending, results, timeout, attempt):
     return failed
 
 
+def _record_sweep_metrics(registry, report: SweepReport) -> None:
+    """Publish a finished sweep into a metrics registry.
+
+    Recording happens entirely in the parent process from the results
+    it already holds — worker processes never see the registry, so no
+    IPC or shared memory is involved.
+    """
+    wall = registry.histogram(
+        "repro_sweep_job_wall_seconds",
+        "Per-job wall time as measured in the worker.",
+        buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300),
+    )
+    retries = registry.counter(
+        "repro_sweep_retries", "Job attempts beyond each job's first."
+    )
+    for result in report:
+        registry.counter(
+            "repro_sweep_jobs", "Sweep jobs by final status.",
+            {"status": "ok" if result.ok else "failed"},
+        ).inc()
+        attempts = int(result.tags.get("attempts", 1))
+        if attempts > 1:
+            retries.inc(attempts - 1)
+        if result.ok:
+            wall.observe(result.wall_time)
+
+
 def run_sweep(
     jobs: Iterable[SweepJob],
     processes: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     timeout: Optional[float] = None,
+    metrics=None,
 ) -> SweepReport:
     """Execute jobs, in parallel when ``processes`` allows it.
 
@@ -414,6 +442,10 @@ def run_sweep(
     ``retry.attempt_timeout``.  Each result records its attempt count
     in ``tags["attempts"]``, and the returned :class:`SweepReport`
     aggregates whatever still failed.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records
+    job counts by status, retry counts, and a per-job wall-time
+    histogram — all from the parent process as results arrive.
     """
     job_list = list(jobs)
     report = SweepReport()
@@ -480,4 +512,6 @@ def run_sweep(
         pending = failed
     report.extend(results[idx] for idx in sorted(results))
     report.log_failures()
+    if metrics is not None:
+        _record_sweep_metrics(metrics, report)
     return report

@@ -220,3 +220,109 @@ class TestResilienceCommand:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestObservabilityCommands:
+    def test_export_metrics_prometheus_to_stdout(self, capsys):
+        code = main(
+            [
+                "export-metrics",
+                "--objects", "300",
+                "--requests", "3000",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# HELP ")
+        assert out.endswith("\n")
+        assert "repro_service_gets_total{" in out
+        assert "repro_policy_small_used{" in out
+        assert "repro_shard_imbalance " in out
+        assert 'repro_service_op_latency_us_bucket{' in out
+
+    def test_export_metrics_json_to_file(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "export-metrics",
+                "--objects", "300",
+                "--requests", "2000",
+                "--format", "json",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert str(out_path) in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == 1
+        assert doc["kind"] == "metrics-export"
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_service_hits" in names
+        assert "repro_policy_ghost_entries" in names
+
+    def test_stats_alias(self, capsys):
+        code = main(
+            ["stats", "--objects", "200", "--requests", "1000"]
+        )
+        assert code == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_export_metrics_ttl_on_removal_policy(self, capsys):
+        code = main(
+            [
+                "export-metrics",
+                "--objects", "200",
+                "--requests", "1000",
+                "--ttl", "60",
+            ]
+        )
+        assert code == 0
+        assert "repro_service_ttl_entries " in capsys.readouterr().out
+
+
+class TestRemovalUnsupportedHandling:
+    """TTL flags on a policy without remove() exit with one clean line."""
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--objects", "100", "--requests", "200",
+         "--policy", "sieve", "--ttl", "1"],
+        ["loadgen", "--objects", "100", "--requests", "200",
+         "--shards", "1", "--threads", "1",
+         "--policy", "sieve", "--ttl", "1"],
+        ["export-metrics", "--objects", "100", "--requests", "200",
+         "--policy", "sieve", "--ttl", "1"],
+    ])
+    def test_exits_2_with_one_line_error(self, capsys, argv):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: policy 'sieve'")
+        assert err.count("\n") == 1  # one line, no traceback
+        # The message tells the user which policies would work.
+        assert "s3fifo" in err and "lru" in err
+
+
+class TestServeWatch:
+    def test_watch_rejects_nonpositive(self, capsys):
+        code = main(
+            ["serve", "--objects", "100", "--requests", "200",
+             "--watch", "0"]
+        )
+        assert code == 2
+        assert "--watch" in capsys.readouterr().err
+
+    def test_watch_prints_snapshots(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--objects", "2000",
+                "--requests", "120000",
+                "--watch", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[watch +" in out
+        assert "live miss ratio" in out

@@ -23,7 +23,7 @@ class TestReferencedFilesExist:
         "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                 "docs/ALGORITHMS.md", "docs/REPRODUCING.md",
                 "docs/PERFORMANCE.md", "docs/RESILIENCE.md",
-                "docs/SERVICE.md"]
+                "docs/SERVICE.md", "docs/OBSERVABILITY.md"]
     )
     def test_doc_exists(self, doc):
         assert (REPO / doc).is_file(), doc

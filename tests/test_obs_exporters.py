@@ -1,0 +1,233 @@
+"""Pinned-schema tests for the metrics exporters.
+
+The Prometheus text and JSON layouts are a published interface (see
+docs/OBSERVABILITY.md): dashboards and scrapers parse them, so the
+exact rendering — names, suffixes, label ordering, bucket shape — is
+pinned here, byte for byte where practical.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    EXPORT_KIND,
+    EXPORT_SCHEMA_VERSION,
+    EventTracer,
+    MetricsRegistry,
+    export_dict,
+    to_json,
+    to_prometheus,
+)
+from repro.service.loadgen import build_service
+from repro.traces.synthetic import zipf_trace
+
+
+def small_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_hits", "Cache hits.", {"shard": "0"}).inc(7)
+    reg.counter("repro_hits", "Cache hits.", {"shard": "1"}).inc(3)
+    reg.gauge("repro_depth", "Queue depth.").set(12)
+    h = reg.histogram("repro_lat_us", "Latency.", buckets=(1, 5))
+    h.observe(0.5)
+    h.observe(2)
+    h.observe(100)
+    return reg
+
+
+PINNED_PROMETHEUS = """\
+# HELP repro_depth Queue depth.
+# TYPE repro_depth gauge
+repro_depth 12
+# HELP repro_hits_total Cache hits.
+# TYPE repro_hits_total counter
+repro_hits_total{shard="0"} 7
+repro_hits_total{shard="1"} 3
+# HELP repro_lat_us Latency.
+# TYPE repro_lat_us histogram
+repro_lat_us_bucket{le="1"} 1
+repro_lat_us_bucket{le="5"} 2
+repro_lat_us_bucket{le="+Inf"} 3
+repro_lat_us_sum 102.5
+repro_lat_us_count 3
+"""
+
+
+class TestPrometheusText:
+    def test_pinned_rendering(self):
+        assert to_prometheus(small_registry()) == PINNED_PROMETHEUS
+
+    def test_deterministic_across_collects(self):
+        reg = small_registry()
+        assert to_prometheus(reg) == to_prometheus(reg)
+
+    def test_counter_families_get_total_suffix(self):
+        text = to_prometheus(small_registry())
+        assert "repro_hits_total{" in text
+        assert "\nrepro_hits{" not in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"path": 'a"b\\c\nd'}).inc()
+        line = to_prometheus(reg).splitlines()[-1]
+        assert line == 'c_total{path="a\\"b\\\\c\\nd"} 1'
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g_nan").set(float("nan"))
+        reg.gauge("g_inf").set(math.inf)
+        reg.gauge("g_frac").set(2.5)
+        text = to_prometheus(reg)
+        assert "g_nan NaN" in text
+        assert "g_inf +Inf" in text
+        assert "g_frac 2.5" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonExport:
+    def test_pinned_document_shape(self):
+        doc = export_dict(small_registry())
+        assert doc["schema"] == EXPORT_SCHEMA_VERSION == 1
+        assert doc["kind"] == EXPORT_KIND == "metrics-export"
+        assert doc["namespace"] == "repro"
+        by_name = {}
+        for entry in doc["metrics"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+        assert set(by_name) == {"repro_hits", "repro_depth", "repro_lat_us"}
+        gauge = by_name["repro_depth"][0]
+        assert gauge == {
+            "name": "repro_depth",
+            "type": "gauge",
+            "labels": {},
+            "value": 12,
+            "help": "Queue depth.",
+        }
+        hist = by_name["repro_lat_us"][0]
+        assert hist["buckets"] == [["1", 1], ["5", 2], ["+Inf", 3]]
+        assert hist["sum"] == 102.5
+        assert hist["count"] == 3
+
+    def test_to_json_round_trips(self):
+        text = to_json(small_registry())
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert doc == export_dict(small_registry())
+
+
+#: The stable service/policy metric families (docs/OBSERVABILITY.md).
+#: Renaming or dropping any of these is a breaking schema change.
+SERVICE_FAMILIES = {
+    "repro_service_gets",
+    "repro_service_hits",
+    "repro_service_misses",
+    "repro_service_sets",
+    "repro_service_deletes",
+    "repro_service_expired",
+    "repro_service_evictions",
+    "repro_service_rejected",
+    "repro_service_sweeps",
+    "repro_service_sweep_checks",
+    "repro_service_objects",
+    "repro_service_used",
+    "repro_service_capacity",
+    "repro_service_ttl_entries",
+    "repro_service_sweep_backlog",
+    "repro_service_hit_ratio",
+    "repro_service_op_latency_us",
+}
+
+POLICY_FAMILIES = {
+    "repro_policy_requests",
+    "repro_policy_hits",
+    "repro_policy_misses",
+    "repro_policy_admissions",
+    "repro_policy_ghost_hits",
+    "repro_policy_evictions",
+    "repro_policy_eviction_freq",
+    "repro_policy_demotions",
+    "repro_policy_used",
+    "repro_policy_objects",
+    "repro_policy_small_used",
+    "repro_policy_main_used",
+    "repro_policy_small_capacity",
+    "repro_policy_main_capacity",
+    "repro_policy_ghost_entries",
+}
+
+SHARDED_FAMILIES = {"repro_shards", "repro_shard_imbalance"}
+
+
+def drive(registry, num_shards=1, tracer=None):
+    trace = zipf_trace(num_objects=300, num_requests=3000, alpha=1.0, seed=7)
+    service = build_service(
+        60, "s3fifo", num_shards,
+        metrics=registry, tracer=tracer, instrument_policy=True,
+    )
+    for key in trace:
+        if service.get(key) is None:
+            service.set(key, key)
+    return service
+
+
+class TestStableServiceSchema:
+    def test_single_shard_family_names_pinned(self):
+        reg = MetricsRegistry()
+        drive(reg)
+        names = {name for name, _, _, _ in reg.families()}
+        assert names == SERVICE_FAMILIES | POLICY_FAMILIES
+
+    def test_sharded_family_names_pinned(self):
+        reg = MetricsRegistry()
+        drive(reg, num_shards=2)
+        names = {name for name, _, _, _ in reg.families()}
+        assert names == (
+            SERVICE_FAMILIES | POLICY_FAMILIES | SHARDED_FAMILIES
+        )
+
+    def test_every_family_has_help_and_kind(self):
+        reg = MetricsRegistry()
+        drive(reg, num_shards=2)
+        for name, kind, help_text, series in reg.families():
+            assert kind in ("counter", "gauge", "histogram"), name
+            assert help_text, f"{name} has no help text"
+            assert series, name
+
+    def test_counters_match_service_stats(self):
+        reg = MetricsRegistry()
+        service = drive(reg)
+        stats = service.stats()
+        for field in ("gets", "hits", "misses", "sets", "evictions"):
+            metric = reg.get(f"repro_service_{field}")
+            assert metric.collect_value() == stats[field], field
+
+    def test_latency_histograms_cover_all_ops(self):
+        reg = MetricsRegistry()
+        drive(reg)
+        for op in ("get", "set", "delete"):
+            h = reg.get("repro_service_op_latency_us", {"op": op})
+            assert h is not None, op
+        gets = reg.get("repro_service_op_latency_us", {"op": "get"})
+        assert gets.count == reg.get("repro_service_gets").collect_value()
+
+    def test_tracer_populated_alongside_metrics(self):
+        reg = MetricsRegistry()
+        tracer = EventTracer(capacity=32)
+        drive(reg, tracer=tracer)
+        assert len(tracer) == 32
+        outcomes = {e["outcome"] for e in tracer.events()}
+        assert outcomes <= {"hit", "miss", "stored", "rejected"}
+
+    def test_prometheus_parses_line_by_line(self):
+        """Every non-comment line is `name{labels} value` with a float."""
+        reg = MetricsRegistry()
+        drive(reg, num_shards=2)
+        for line in to_prometheus(reg).splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert not line.startswith("#"), line
+            name_part, _, value = line.rpartition(" ")
+            assert name_part, line
+            float(value)  # raises if the sample value is malformed

@@ -1,0 +1,131 @@
+"""Tests for the metrics substrate: counters, gauges, histograms, registry."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("ops")
+        assert c.collect_value() == 0
+        c.inc()
+        c.inc(5)
+        assert c.collect_value() == 6
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.collect_value() == 0
+
+    def test_collect_time_callback_wins(self):
+        c = Counter("ops")
+        c.inc(3)
+        c.set_function(lambda: 42)
+        assert c.collect_value() == 42
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.collect_value() == 7
+
+    def test_collect_time_callback(self):
+        backing = [1, 2, 3]
+        g = Gauge("len").set_function(lambda: len(backing))
+        assert g.collect_value() == 3
+        backing.pop()
+        assert g.collect_value() == 2
+
+
+class TestHistogram:
+    def test_observe_respects_inclusive_upper_bounds(self):
+        h = Histogram("lat", buckets=(1, 2, 5))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1):
+            h.observe(v)
+        # le=1: 0.5, 1.0; le=2: 1.5, 2.0; le=5: 4.9, 5.0; +Inf: 5.1
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(20.0)
+
+    def test_cumulative_buckets_end_with_inf(self):
+        h = Histogram("lat", buckets=(1, 2))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99)
+        cum = h.cumulative_buckets()
+        assert cum == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_bounds_sorted_and_deduplicated_input_rejected(self):
+        h = Histogram("lat", buckets=(5, 1, 2))
+        assert h.buckets == (1.0, 2.0, 5.0)
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+    def test_default_buckets_are_the_latency_ladder(self):
+        h = Histogram("lat")
+        assert h.buckets == tuple(float(b) for b in DEFAULT_LATENCY_BUCKETS_US)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", "help", {"shard": "0"})
+        b = reg.counter("hits", labels={"shard": "0"})
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_identity_is_order_insensitive(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", labels={"a": "1", "b": "2"})
+        b = reg.gauge("g", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_distinct_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", labels={"shard": "0"})
+        b = reg.counter("hits", labels={"shard": "1"})
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_name_bound_to_first_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("ops")
+        with pytest.raises(ValueError):
+            reg.gauge("ops", labels={"shard": "1"})
+        with pytest.raises(ValueError):
+            reg.histogram("ops")
+
+    def test_families_sorted_and_grouped(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.counter("alpha", "first help", {"shard": "1"})
+        reg.counter("alpha", labels={"shard": "0"})
+        fams = reg.families()
+        assert [name for name, _, _, _ in fams] == ["alpha", "zeta"]
+        name, kind, help_text, series = fams[0]
+        assert kind == "counter"
+        assert help_text == "first help"
+        assert [m.labels["shard"] for m in series] == ["0", "1"]
+
+    def test_get_and_namespace(self):
+        reg = MetricsRegistry(namespace="test")
+        assert reg.namespace == "test"
+        reg.gauge("depth", labels={"q": "s"})
+        assert reg.get("depth", {"q": "s"}) is not None
+        assert reg.get("depth", {"q": "m"}) is None
+        assert reg.get("missing") is None

@@ -1,0 +1,66 @@
+"""Observability overhead measurement (perf tier, run via ``make obs``).
+
+Pins the contract docs/OBSERVABILITY.md makes: with no registry and no
+tracer the service runs its pre-existing code path (the default build
+must not regress), and with full instrumentation attached the closed-
+loop throughput cost stays moderate.
+"""
+
+import pytest
+
+from repro.obs import EventTracer, MetricsRegistry
+from repro.service.loadgen import run_scenario
+from repro.traces.synthetic import zipf_trace
+
+pytestmark = pytest.mark.perf
+
+NUM_OBJECTS = 10_000
+NUM_REQUESTS = 200_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(
+        num_objects=NUM_OBJECTS, num_requests=NUM_REQUESTS,
+        alpha=1.0, seed=42,
+    )
+
+
+def throughput(trace, **kwargs) -> float:
+    best = 0.0
+    for _ in range(3):
+        row = run_scenario(
+            trace, capacity=NUM_OBJECTS // 10, policy="s3fifo",
+            num_shards=1, num_threads=1, **kwargs,
+        )
+        best = max(best, row["ops_per_sec"])
+    return best
+
+
+def test_full_instrumentation_overhead_is_moderate(trace):
+    baseline = throughput(trace)
+    instrumented = throughput(
+        trace,
+        metrics=MetricsRegistry(),
+        tracer=EventTracer(capacity=256, sample_every=64),
+        instrument_policy=True,
+    )
+    ratio = instrumented / baseline
+    print(
+        f"\nbaseline {baseline:,.0f} ops/s, instrumented "
+        f"{instrumented:,.0f} ops/s ({ratio:.1%})"
+    )
+    # Latency histograms + policy wrapper cost real work per op; the
+    # guard is against pathological regressions, not noise.
+    assert ratio > 0.5
+
+
+def test_metrics_only_overhead_is_small(trace):
+    baseline = throughput(trace)
+    metered = throughput(trace, metrics=MetricsRegistry())
+    ratio = metered / baseline
+    print(
+        f"\nbaseline {baseline:,.0f} ops/s, metrics-only "
+        f"{metered:,.0f} ops/s ({ratio:.1%})"
+    )
+    assert ratio > 0.6

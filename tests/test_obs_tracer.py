@@ -1,0 +1,132 @@
+"""Tests for the sampling event tracer and its dump plumbing."""
+
+import io
+import json
+import os
+import signal
+
+import pytest
+
+from repro.obs import EventTracer, dump_on_error, install_signal_dump
+
+
+class TestRingBuffer:
+    def test_keeps_last_capacity_events(self):
+        tr = EventTracer(capacity=4)
+        for i in range(10):
+            tr.record("get", i, "hit")
+        assert tr.seen == 10
+        assert len(tr) == 4
+        assert [e["seq"] for e in tr.events()] == [6, 7, 8, 9]
+
+    def test_sampling_thins_the_stream(self):
+        tr = EventTracer(capacity=100, sample_every=3)
+        for i in range(12):
+            tr.record("get", i, "miss")
+        assert tr.seen == 12
+        assert [e["seq"] for e in tr.events()] == [0, 3, 6, 9]
+
+    def test_event_dict_shape(self):
+        tr = EventTracer()
+        tr.record("set", "user:1", "stored", latency_us=12.3456, shard=2)
+        tr.record("get", 7, "hit")
+        full, minimal = tr.events()
+        assert full == {
+            "seq": 0,
+            "op": "set",
+            "key": "'user:1'",
+            "outcome": "stored",
+            "latency_us": 12.346,
+            "shard": 2,
+        }
+        assert minimal == {"seq": 1, "op": "get", "key": "7", "outcome": "hit"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+        with pytest.raises(ValueError):
+            EventTracer(sample_every=0)
+
+    def test_clear(self):
+        tr = EventTracer()
+        tr.record("get", 1, "hit")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.seen == 1  # the stream counter survives
+
+
+class TestDump:
+    def test_dump_is_json_lines(self):
+        tr = EventTracer()
+        tr.record("get", 1, "hit")
+        tr.record("get", 2, "miss")
+        text = tr.dump()
+        lines = text.strip().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1]
+
+    def test_dump_writes_to_stream(self):
+        tr = EventTracer()
+        tr.record("delete", "k", "absent")
+        out = io.StringIO()
+        returned = tr.dump(out)
+        assert out.getvalue() == returned != ""
+
+    def test_empty_dump_is_empty_string(self):
+        assert EventTracer().dump() == ""
+
+
+class TestDumpOnError:
+    def test_passthrough_on_success(self):
+        tr = EventTracer()
+        out = io.StringIO()
+        assert dump_on_error(tr, lambda: 42, stream=out) == 42
+        assert out.getvalue() == ""
+
+    def test_dumps_tail_and_reraises(self):
+        tr = EventTracer()
+        tr.record("get", "victim", "error")
+        out = io.StringIO()
+
+        def boom():
+            raise RuntimeError("replay died")
+
+        with pytest.raises(RuntimeError):
+            dump_on_error(tr, boom, stream=out)
+        text = out.getvalue()
+        assert "event tracer: last 1 of 1 requests" in text
+        assert "'victim'" in text
+
+    def test_none_tracer_accepted(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            dump_on_error(None, boom)
+
+
+class TestSignalDump:
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR1"), reason="no SIGUSR1 on this platform"
+    )
+    def test_sigusr1_appends_to_path(self, tmp_path):
+        tr = EventTracer()
+        tr.record("get", 99, "hit")
+        dump_file = tmp_path / "trace.jsonl"
+        restore = install_signal_dump(tr, path=str(dump_file))
+        try:
+            os.kill(os.getpid(), signal.SIGUSR1)
+        finally:
+            restore()
+        lines = dump_file.read_text().strip().splitlines()
+        assert json.loads(lines[0])["key"] == "99"
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR1"), reason="no SIGUSR1 on this platform"
+    )
+    def test_restore_reinstates_previous_handler(self):
+        tr = EventTracer()
+        previous = signal.getsignal(signal.SIGUSR1)
+        restore = install_signal_dump(tr)
+        assert signal.getsignal(signal.SIGUSR1) is not previous
+        restore()
+        assert signal.getsignal(signal.SIGUSR1) is previous

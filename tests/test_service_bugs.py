@@ -1,0 +1,181 @@
+"""Regression tests for two service-layer correctness bugs.
+
+Bug 1 — **orphaned values**: ``CacheService.set`` used to store the
+value unconditionally after ``policy.request()``.  A policy that
+declines to retain the key (``blru``'s Bloom doorkeeper rejects every
+first-touch key) left ``_values`` holding an entry the policy never
+admitted; the next ``get`` tripped the residency assertion.  The fix
+re-checks residency after the request and reports the set as rejected.
+
+Bug 2 — **sweeper starvation**: ``sweep()`` used to rebuild its queue
+from *all* resident keys, so a TTL'd key buried behind a large
+immortal population waited ``O(total_keys / batch)`` sweeps for its
+visit.  The queue now holds only keys that were ever given a TTL, so
+the bound is ``O(ttl_keys / batch)``.
+"""
+
+import random
+
+import pytest
+
+from repro.service import CacheService
+
+
+class TestAdmissionRejection:
+    """Bug 1: the policy may decline the key the service just offered."""
+
+    def test_blru_first_touch_set_is_rejected_not_orphaned(self):
+        svc = CacheService(10, "blru")
+        # blru's Bloom filter has never seen the key: the policy refuses
+        # admission, so the service must not store the value.
+        assert svc.set("k", "v") is False
+        assert "k" not in svc
+        assert svc.get("k") is None  # pre-fix: AssertionError here
+        assert svc.counters.rejected == 1
+        svc.check()
+
+    def test_blru_second_touch_is_admitted(self):
+        svc = CacheService(10, "blru")
+        assert svc.set("k", "v1") is False
+        assert svc.set("k", "v2") is True
+        assert svc.get("k") == "v2"
+        svc.check()
+
+    def test_blru_read_through_loop_stays_consistent(self):
+        """The realistic reproducer: a read-through loop over more keys
+        than the capacity.  Pre-fix this died on the residency assert
+        within the first few iterations."""
+        svc = CacheService(10, "blru")
+        rng = random.Random(7)
+        for _ in range(2000):
+            key = rng.randrange(50)
+            if svc.get(key) is None:
+                svc.set(key, key)
+        svc.check()
+        assert svc.counters.rejected > 0
+        assert svc.counters.hits > 0
+
+    @pytest.mark.parametrize("policy", ["s3fifo", "s3fifo-fast"])
+    def test_near_capacity_sized_hammer(self, policy):
+        """Byte-sized entries sized near the S/M partition boundaries:
+        residency must hold after every operation mix."""
+        for seed in range(8):
+            rng = random.Random(seed)
+            capacity = 100
+            svc = CacheService(capacity, policy, checked=True)
+            sizes = [1, 2, 5, 9, 10, 11, 45, 89, 90, 91, 99, 100]
+            for _ in range(1500):
+                key = rng.randrange(40)
+                op = rng.random()
+                if op < 0.5:
+                    value = svc.get(key)
+                    if value is None:
+                        svc.set(key, key, size=rng.choice(sizes))
+                elif op < 0.8:
+                    svc.set(key, key, size=rng.choice(sizes))
+                else:
+                    svc.delete(key)
+            svc.check()
+            for key in list(svc._values):
+                assert key in svc.policy, (policy, seed, key)
+
+    def test_oversized_set_still_counts_rejected(self):
+        svc = CacheService(10, "s3fifo")
+        assert svc.set("big", "v", size=11) is False
+        assert svc.counters.rejected == 1
+        assert "big" not in svc
+
+
+class TestSweeperStarvation:
+    """Bug 2: the sweeper's work is bounded by TTL'd keys, not all keys."""
+
+    def make_service(self, **kwargs):
+        self.now = [0.0]
+        kwargs.setdefault("sweep_interval", 0)
+        return CacheService(
+            kwargs.pop("capacity", 50_000),
+            kwargs.pop("policy", "s3fifo"),
+            clock=lambda: self.now[0],
+            **kwargs,
+        )
+
+    def test_ttl_key_buried_under_immortal_population(self):
+        """One TTL'd key set *before* 5000 immortal keys must be purged
+        by the very first sweep batch.  Pre-fix the sweeper walked the
+        whole key population tail-first, so this key — at the head of
+        the rebuilt queue — was reached only after ~78 batches."""
+        svc = self.make_service()
+        svc.set("mortal", 1, ttl=5)
+        for i in range(5000):
+            svc.set(i, i)
+        self.now[0] = 10.0
+        assert svc.sweep(max_checks=64) == 1
+        assert svc.counters.sweep_checks == 1
+        assert "mortal" not in svc
+        assert len(svc) == 5000
+
+    def test_sweep_bound_is_queue_len_over_batch(self):
+        """200 expired TTL'd keys, batch 50: exactly 4 sweeps drain them
+        regardless of 2000 immortal cohabitants."""
+        svc = self.make_service()
+        for i in range(2000):
+            svc.set(("immortal", i), i)
+        for i in range(200):
+            svc.set(("mortal", i), i, ttl=1)
+        self.now[0] = 2.0
+        drained = [svc.sweep(max_checks=50) for _ in range(4)]
+        assert drained == [50, 50, 50, 50]
+        assert svc.sweep(max_checks=50) == 0
+        assert svc.stats()["sweep_backlog"] == 0
+        assert svc.counters.sweep_checks == 200
+
+    def test_live_ttl_keys_recycle_to_tail(self):
+        svc = self.make_service()
+        for i in range(10):
+            svc.set(i, i, ttl=100)
+        assert svc.sweep(max_checks=10) == 0
+        assert svc.stats()["sweep_backlog"] == 10  # still tracked
+        self.now[0] = 200.0
+        assert svc.sweep(max_checks=10) == 10
+        assert svc.stats()["sweep_backlog"] == 0
+
+    def test_departed_keys_dropped_on_sight(self):
+        svc = self.make_service()
+        svc.set("gone", 1, ttl=50)
+        svc.delete("gone")
+        assert svc.sweep() == 0
+        assert svc.stats()["sweep_backlog"] == 0
+        svc.check()
+
+    def test_reset_without_ttl_leaves_the_queue(self):
+        svc = self.make_service()
+        svc.set("k", 1, ttl=50)
+        svc.set("k", 2)  # TTL removed: now immortal
+        assert svc.stats()["ttl_entries"] == 0
+        assert svc.sweep() == 0
+        assert svc.stats()["sweep_backlog"] == 0
+        assert svc.get("k") == 2
+
+    def test_stale_queue_slot_serves_the_reincarnation(self):
+        """Lazy expiry purges a key but leaves its queue slot; a re-set
+        with a new TTL reuses that slot instead of duplicating it."""
+        svc = self.make_service()
+        svc.set("k", 1, ttl=5)
+        self.now[0] = 10.0
+        assert svc.get("k") is None  # lazy expiry purges the entry
+        svc.set("k", 2, ttl=5)
+        assert svc.stats()["sweep_backlog"] == 1
+        self.now[0] = 20.0
+        assert svc.sweep() == 1
+        assert svc.stats()["sweep_backlog"] == 0
+        svc.check()
+
+    def test_automatic_sweeps_still_fire_on_cadence(self):
+        svc = self.make_service(sweep_interval=10, sweep_batch=8)
+        for i in range(50):
+            svc.set(i, i, ttl=1)
+        self.now[0] = 2.0
+        for i in range(100):
+            svc.get(("probe", i))
+        assert svc.counters.sweeps > 0
+        assert svc.counters.expired >= 50

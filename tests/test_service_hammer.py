@@ -1,0 +1,117 @@
+"""Concurrent hammer: mixed get/set/delete/sweep under the sanitizer.
+
+Several threads drive one service with a seeded mix of operations
+(including TTL'd sets against an injected-but-advancing clock) while
+the :class:`~repro.resilience.sanitizer.CheckedPolicy` cross-checks
+every policy access.  At the end the service's value map and the
+policy must agree key-for-key — the invariant the bug-1 fix protects.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.service import CacheService, ShardedCacheService
+
+POLICIES = ["s3fifo", "s3fifo-fast"]
+
+NUM_THREADS = 4
+OPS_PER_THREAD = 2000
+KEYSPACE = 200
+CAPACITY = 64
+
+
+def hammer(service, seed: int, errors: list) -> None:
+    rng = random.Random(seed)
+    try:
+        for _ in range(OPS_PER_THREAD):
+            key = rng.randrange(KEYSPACE)
+            op = rng.random()
+            if op < 0.55:
+                if service.get(key) is None:
+                    service.set(key, key)
+            elif op < 0.75:
+                size = rng.choice((1, 2, 3))
+                if rng.random() < 0.3:
+                    service.set(key, key, ttl=rng.choice((0.0005, 0.002)),
+                                size=size)
+                else:
+                    service.set(key, key, size=size)
+            elif op < 0.9:
+                service.delete(key)
+            else:
+                service.sweep(max_checks=16)
+    except BaseException as exc:  # propagate to the main thread
+        errors.append(exc)
+
+
+def assert_residency_agreement(shard: CacheService) -> None:
+    shard.check()  # sanitizer invariants + used-bytes agreement
+    values = shard._values
+    policy = shard.policy
+    for key in list(values):
+        assert key in policy, f"service holds {key!r}, policy does not"
+    assert len(policy) == len(values)
+
+
+def run_hammer(service) -> None:
+    errors: list = []
+    threads = [
+        threading.Thread(target=hammer, args=(service, seed, errors))
+        for seed in range(NUM_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    # Drain whatever TTL backlog remains, then verify agreement.
+    for _ in range(64):
+        if not service.sweep(max_checks=64):
+            break
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_single_shard_hammer(policy):
+    service = CacheService(CAPACITY, policy, checked=True)
+    run_hammer(service)
+    assert_residency_agreement(service)
+    counters = service.counters
+    assert counters.gets + counters.sets + counters.deletes > 0
+    assert counters.evictions > 0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_sharded_hammer(policy):
+    service = ShardedCacheService(
+        CAPACITY, policy, num_shards=4, checked=True
+    )
+    run_hammer(service)
+    for shard in service.shards:
+        assert_residency_agreement(shard)
+    stats = service.stats()
+    assert stats["evictions"] > 0
+    assert len(stats["per_shard"]) == 4
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_hammer_with_observability_attached(policy):
+    """The metrics/tracer hot path must not perturb correctness."""
+    from repro.obs import EventTracer, MetricsRegistry
+
+    registry = MetricsRegistry()
+    tracer = EventTracer(capacity=128, sample_every=17)
+    service = ShardedCacheService(
+        CAPACITY, policy, num_shards=2, checked=True,
+        metrics=registry, tracer=tracer, instrument_policy=True,
+    )
+    run_hammer(service)
+    for shard in service.shards:
+        assert_residency_agreement(shard)
+    gets = sum(
+        registry.get("repro_service_gets", {"shard": str(i)}).collect_value()
+        for i in range(2)
+    )
+    assert gets == service.stats()["gets"]
+    assert tracer.seen > 0

@@ -31,7 +31,7 @@ SCENARIO_KEYS = {
     "shards", "threads", "mode", "policy", "ops", "wall_time_s",
     "ops_per_sec", "hit_ratio", "hits", "misses", "latency_us",
     "hit_ns_mean", "miss_ns_mean", "shard_ops", "imbalance",
-    "evictions", "objects",
+    "evictions", "expired", "objects",
 }
 LATENCY_KEYS = {"p50", "p90", "p99", "p999", "mean", "max"}
 
