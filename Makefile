@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen obs examples experiments all
+.PHONY: install test resilience bench perf loadgen mp fig08-native obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,7 +20,15 @@ perf:
 
 loadgen:
 	pytest tests/ -m service --no-header -rN
-	s3fifo-repro loadgen --out benchmarks/results/BENCH_service.json
+	s3fifo-repro loadgen --backend thread,mp \
+	    --out benchmarks/results/BENCH_service.json
+
+mp:
+	pytest tests/ -m mp --no-header -rN
+
+fig08-native:
+	python -m repro.experiments.fig08_native \
+	    --out benchmarks/results/fig08_throughput_native.txt
 
 obs:
 	pytest tests/test_obs_overhead.py -m perf --no-header -rN -s

@@ -1,0 +1,73 @@
+"""Native-scaling perf guard for the process-per-shard backend.
+
+Marked ``perf`` and excluded from tier-1 (see pyproject addopts); run
+via ``pytest benchmarks/perf -m perf``.  Compares a live 4-worker
+``MPCacheService`` run against the recorded 1-worker mp baseline in
+``benchmarks/results/BENCH_service.json`` (regenerate with ``make
+loadgen``) and enforces the PR's headline claim: with real cores,
+process-per-shard with batching clears 2x the single-worker
+throughput at 4 workers.
+
+The guard needs hardware to say anything: on a host granting fewer
+than 4 usable CPUs the workers time-slice one core and the "scaling"
+measured would be scheduler noise, so the test skips (the experiment
+table in ``fig08_throughput_native.txt`` stamps the same cpu count
+for the same reason).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig08_native import usable_cpus
+from repro.service.loadgen import find_scenario, run_scenario
+from repro.traces.synthetic import zipf_trace
+
+RESULTS_PATH = Path(__file__).parent.parent / "results" / "BENCH_service.json"
+
+MIN_CPUS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    usable_cpus() < MIN_CPUS,
+    reason=f"needs >= {MIN_CPUS} usable CPUs to measure native scaling "
+           f"(host grants {usable_cpus()})",
+)
+def test_mp_four_workers_doubles_recorded_single_worker():
+    if not RESULTS_PATH.exists():
+        pytest.skip("no recorded baseline; run `make loadgen` first")
+    report = json.loads(RESULTS_PATH.read_text())
+    if report.get("schema", 0) < 2:
+        pytest.skip("recorded baseline predates mp rows; rerun `make loadgen`")
+    baseline = find_scenario(report, shards=1, threads=1, backend="mp")
+    if baseline is None:
+        pytest.skip("recorded report has no 1-worker mp row; rerun `make loadgen`")
+
+    cfg = report["config"]
+    trace = zipf_trace(
+        num_objects=cfg["num_objects"],
+        num_requests=cfg["num_requests"],
+        alpha=cfg["alpha"],
+        seed=cfg["seed"],
+    )
+    live = run_scenario(
+        trace,
+        capacity=cfg["capacity"],
+        num_shards=4,
+        num_threads=1,
+        policy=cfg["policy"],
+        backend="mp",
+        batch_size=baseline.get("batch_size", 1),
+    )
+    speedup = live["ops_per_sec"] / baseline["ops_per_sec"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"4-worker mp backend is only {speedup:.2f}x the recorded "
+        f"1-worker baseline ({live['ops_per_sec']:,.0f} vs "
+        f"{baseline['ops_per_sec']:,.0f} ops/s) on a host with "
+        f"{usable_cpus()} usable CPUs "
+        f"(affinity {sorted(os.sched_getaffinity(0))})"
+    )

@@ -24,6 +24,7 @@ EXPERIMENTS = {
     "fig06": "repro.experiments.fig06_missratio_percentiles",
     "fig07": "repro.experiments.fig07_missratio_by_dataset",
     "fig08": "repro.experiments.fig08_throughput",
+    "fig08-native": "repro.experiments.fig08_native",
     "fig09": "repro.experiments.fig09_flash_admission",
     "fig10": "repro.experiments.fig10_demotion",
     "fig11": "repro.experiments.fig11_s_size_sweep",
@@ -355,10 +356,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         seed=args.seed,
     )
-    capacity = max(args.shards, int(args.objects * args.cache_ratio))
-    service = build_service(
-        capacity, args.policy, args.shards, checked=args.checked
-    )
+    if args.backend == "mp":
+        from repro.service.mp import MPCacheService
+
+        num_shards = args.workers
+        capacity = max(num_shards, int(args.objects * args.cache_ratio))
+        service = MPCacheService(
+            capacity, args.policy, num_workers=num_shards,
+            checked=args.checked,
+        )
+    else:
+        num_shards = args.shards
+        capacity = max(num_shards, int(args.objects * args.cache_ratio))
+        service = build_service(
+            capacity, args.policy, num_shards, checked=args.checked
+        )
     ttl = args.ttl
     stop_watch = threading.Event()
     watcher = None
@@ -388,19 +400,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         watcher = threading.Thread(target=_watch, daemon=True)
         watcher.start()
     try:
-        for key in trace:
-            if service.get(key) is None:
-                if ttl is not None:
-                    service.set(key, key, ttl=ttl)
-                else:
-                    service.set(key, key)
+        if args.batch > 1:
+            for i in range(0, len(trace), args.batch):
+                batch = trace[i:i + args.batch]
+                values = service.get_many(batch)
+                missed = [(k, k) for k, v in zip(batch, values) if v is None]
+                if missed:
+                    if ttl is not None:
+                        service.set_many(missed, ttl=ttl)
+                    else:
+                        service.set_many(missed)
+        else:
+            for key in trace:
+                if service.get(key) is None:
+                    if ttl is not None:
+                        service.set(key, key, ttl=ttl)
+                    else:
+                        service.set(key, key)
+        stats = service.stats()
+        shard_ops = (
+            service.ops_per_shard() if hasattr(service, "ops_per_shard")
+            else None
+        )
     finally:
         if watcher is not None:
             stop_watch.set()
             watcher.join()
-    stats = service.stats()
+        if args.backend == "mp":
+            service.close()
     live_miss = 1.0 - stats["hit_ratio"]
-    print(f"policy:          {args.policy} x {args.shards} shard(s)")
+    unit = "worker process(es)" if args.backend == "mp" else "shard(s)"
+    print(f"policy:          {args.policy} x {num_shards} {unit}")
     print(f"capacity:        {capacity}")
     print(f"requests:        {stats['gets']} gets, {stats['sets']} sets")
     print(f"live miss ratio: {live_miss:.4f}")
@@ -408,12 +438,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"evictions:       {stats['evictions']}")
     if ttl is not None:
         print(f"expired:         {stats['expired']} (ttl={ttl:g}s)")
-    if args.shards > 1:
+    if num_shards > 1 and shard_ops is not None:
         from repro.concurrency.sharding import imbalance_factor
 
-        ops = service.ops_per_shard()
-        print(f"shard ops:       {ops}")
-        print(f"imbalance:       {imbalance_factor(ops):.3f} (max/mean)")
+        print(f"shard ops:       {shard_ops}")
+        print(f"imbalance:       {imbalance_factor(shard_ops):.3f} (max/mean)")
     if ttl is None:
         offline = simulate(
             create_policy(args.policy, capacity=capacity), trace
@@ -427,18 +456,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     """Concurrent load generator; writes BENCH_service.json."""
     from repro.concurrency.calibrate import calibration_summary
     from repro.perf.bench import write_report
-    from repro.service.loadgen import format_report, run_loadgen
+    from repro.service.loadgen import (
+        combine_reports,
+        format_report,
+        run_loadgen,
+    )
 
     try:
         shard_counts = [int(s) for s in args.shards.split(",")]
         thread_counts = [int(t) for t in args.threads.split(",")]
+        worker_counts = [int(w) for w in args.workers.split(",")]
     except ValueError:
-        print("--shards/--threads take comma-separated integers",
+        print("--shards/--threads/--workers take comma-separated integers",
               file=sys.stderr)
         return 2
-    report = run_loadgen(
-        shard_counts=shard_counts,
-        thread_counts=thread_counts,
+    backends = [b.strip() for b in args.backend.split(",")]
+    unknown = set(backends) - {"thread", "mp"}
+    if unknown or not backends:
+        print(f"--backend takes a comma-separated subset of thread,mp; "
+              f"got {args.backend!r}", file=sys.stderr)
+        return 2
+    workload = dict(
         num_objects=args.objects,
         num_requests=args.requests,
         alpha=args.alpha,
@@ -450,12 +488,39 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         checked=args.checked,
         ttl=args.ttl,
     )
+    reports = []
+    for backend in backends:
+        if backend == "thread":
+            reports.append(run_loadgen(
+                shard_counts=shard_counts,
+                thread_counts=thread_counts,
+                batch_size=args.batch,
+                **workload,
+            ))
+        else:
+            # The mp axis scales worker processes under one driver
+            # thread; batches amortize the per-operation pipe cost.
+            reports.append(run_loadgen(
+                shard_counts=worker_counts,
+                thread_counts=(1,),
+                backend="mp",
+                batch_size=args.batch,
+                **workload,
+            ))
+    report = reports[0] if len(reports) == 1 else combine_reports(reports)
     try:
         report["calibration"] = calibration_summary(
             report, shards=min(shard_counts)
         )
     except ValueError:
         pass  # needs both a 1-thread and a multi-thread row
+    if "mp" in backends:
+        try:
+            report["calibration_native"] = calibration_summary(
+                report, axis="workers"
+            )
+        except ValueError:
+            pass  # needs a 1-worker and a multi-worker row
     print(format_report(report))
     calibration = report.get("calibration")
     if calibration:
@@ -463,6 +528,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"calibrated {calibration['profile']}: "
             f"{calibration['serial_fraction']:.0%} serial, "
             f"hit {calibration['hit_ns']}ns / miss {calibration['miss_ns']}ns"
+        )
+    native = report.get("calibration_native")
+    if native:
+        print(
+            f"calibrated {native['profile']} (workers axis): "
+            f"{native['serial_fraction']:.0%} serial at "
+            f"{native['workers']} workers, batch {native['batch_size']}"
         )
     path = write_report(report, args.out)
     print(f"wrote {path}")
@@ -618,6 +690,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--policy", default="s3fifo")
     serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--backend", choices=("inproc", "mp"),
+                       default="inproc",
+                       help="inproc: in-process shards; mp: one worker "
+                       "process per shard (see --workers)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker process count (mp backend)")
+    serve.add_argument("--batch", type=int, default=1,
+                       help="replay in get_many/set_many batches of this "
+                       "size (amortizes IPC on the mp backend)")
     serve.add_argument("--objects", type=int, default=10_000)
     serve.add_argument("--requests", type=int, default=100_000)
     serve.add_argument("--alpha", type=float, default=1.0)
@@ -637,9 +718,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lg.add_argument("--policy", default="s3fifo")
     lg.add_argument("--shards", default="1,4",
-                    help="comma-separated shard counts")
+                    help="comma-separated shard counts (thread backend)")
     lg.add_argument("--threads", default="1,4",
-                    help="comma-separated thread counts")
+                    help="comma-separated thread counts (thread backend)")
+    lg.add_argument("--backend", default="thread",
+                    help="comma-separated subset of thread,mp; each "
+                    "backend runs its own matrix and the rows land in "
+                    "one combined report")
+    lg.add_argument("--workers", default="1,4",
+                    help="comma-separated worker-process counts "
+                    "(mp backend)")
+    lg.add_argument("--batch", type=int, default=1,
+                    help="get_many/set_many batch size (1 = per-key ops)")
     lg.add_argument("--objects", type=int, default=10_000)
     lg.add_argument("--requests", type=int, default=100_000)
     lg.add_argument("--alpha", type=float, default=1.0)

@@ -18,11 +18,23 @@ in-memory workload hovers near 1, so calibrated profiles report a
 serial fraction close to 100% — the calibration faithfully measures
 the runtime it runs on, which is exactly the point of having a
 measured path next to the paper-derived one (see docs/PERFORMANCE.md).
+
+Two scaling axes can feed the same inversion:
+
+* ``axis="threads"`` — in-process rows; the GIL is part of what is
+  measured (the paragraph above).
+* ``axis="workers"`` — process-per-shard rows from the ``mp`` backend
+  (:class:`~repro.service.mp.MPCacheService`), scaling worker
+  *processes* at fixed driver threads and batch size.  Processes
+  escape the GIL, so on a multicore host this axis is where the
+  parallel fraction finally rises above the in-process ceiling; on a
+  single-core host it honestly reports ~0 instead (IPC overhead, no
+  parallel gain).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.concurrency.costs import CostProfile
 
@@ -76,55 +88,114 @@ def calibrate_profile(
     )
 
 
+def _scaling_rows(
+    report: Dict[str, Any],
+    shards: int,
+    axis: str,
+) -> tuple:
+    """``(single, multi, n_units)`` rows for the requested scaling axis.
+
+    ``axis="threads"`` pairs the 1-thread and highest-thread in-process
+    rows at ``shards``; ``axis="workers"`` pairs the 1-worker and
+    highest-worker ``mp``-backend rows at the *same* driver thread
+    count and batch size (the one axis that must vary is the worker
+    count).  Rows from schema-1 reports, which predate the ``backend``
+    field, read as in-process.
+    """
+    if axis == "threads":
+        rows = [
+            r for r in report["scenarios"]
+            if r["shards"] == shards
+            and r.get("backend", "thread") == "thread"
+        ]
+        single = next((r for r in rows if r["threads"] == 1), None)
+        multi = max(
+            (r for r in rows if r["threads"] > 1),
+            key=lambda r: r["threads"],
+            default=None,
+        )
+        if single is None or multi is None:
+            raise ValueError(
+                f"report needs a 1-thread and a multi-thread scenario at "
+                f"shards={shards} to calibrate axis='threads'"
+            )
+        return single, multi, multi["threads"]
+    if axis == "workers":
+        rows: List[Dict[str, Any]] = [
+            r for r in report["scenarios"]
+            if r.get("backend", "thread") == "mp"
+        ]
+        single = next((r for r in rows if r["shards"] == 1), None)
+        if single is not None:
+            rows = [
+                r for r in rows
+                if r["threads"] == single["threads"]
+                and r.get("batch_size", 1) == single.get("batch_size", 1)
+            ]
+        multi = max(
+            (r for r in rows if r["shards"] > 1),
+            key=lambda r: r["shards"],
+            default=None,
+        )
+        if single is None or multi is None:
+            raise ValueError(
+                "report needs mp-backend rows at workers=1 and workers>1 "
+                "(same driver threads and batch size) to calibrate "
+                "axis='workers'"
+            )
+        return single, multi, multi["shards"]
+    raise ValueError(f"axis must be 'threads' or 'workers', got {axis!r}")
+
+
 def profile_from_loadgen(
     report: Dict[str, Any],
     shards: int = 1,
     name: Optional[str] = None,
+    axis: str = "threads",
 ) -> CostProfile:
-    """Calibrate from a ``run_loadgen`` report at one shard count.
+    """Calibrate from a ``run_loadgen`` report along one scaling axis.
 
-    Uses the 1-thread scenario for per-op costs and the highest thread
-    count present for the scaling pair.  Raises ``ValueError`` when the
+    Uses the single-unit scenario for per-op costs and the highest
+    unit count present for the scaling pair, where a *unit* is a
+    thread (``axis="threads"``, at shard count ``shards``) or an mp
+    worker process (``axis="workers"``; ``shards`` is ignored — the
+    worker count IS the shard count).  Raises ``ValueError`` when the
     report lacks the needed rows.
     """
-    rows = [r for r in report["scenarios"] if r["shards"] == shards]
-    single = next((r for r in rows if r["threads"] == 1), None)
-    multi = max(
-        (r for r in rows if r["threads"] > 1),
-        key=lambda r: r["threads"],
-        default=None,
-    )
-    if single is None or multi is None:
-        raise ValueError(
-            f"report needs a 1-thread and a multi-thread scenario at "
-            f"shards={shards} to calibrate"
-        )
+    single, multi, n = _scaling_rows(report, shards, axis)
     if name is None:
-        name = f"{report['config']['policy']}-measured"
+        suffix = "-measured-mp" if axis == "workers" else "-measured"
+        name = f"{report['config']['policy']}{suffix}"
     return calibrate_profile(
         name,
         hit_ns=float(single["hit_ns_mean"]),
         miss_ns=float(single["miss_ns_mean"]),
         single_ops_per_sec=float(single["ops_per_sec"]),
         multi_ops_per_sec=float(multi["ops_per_sec"]),
-        threads=multi["threads"],
+        threads=n,
     )
 
 
-def calibration_summary(report: Dict[str, Any], shards: int = 1) -> Dict[str, Any]:
-    """Measured-vs-model digest for the CLI and BENCH_service.json."""
+def calibration_summary(
+    report: Dict[str, Any],
+    shards: int = 1,
+    axis: str = "threads",
+) -> Dict[str, Any]:
+    """Measured-vs-model digest for the CLI and BENCH_service.json.
+
+    The ``_1t`` / ``_nt`` key suffixes read "one unit" / "n units" of
+    whichever ``axis`` was calibrated; workers-axis summaries add the
+    ``workers`` and ``batch_size`` of the scaling pair.
+    """
     from repro.concurrency.model import analytic_throughput
 
-    profile = profile_from_loadgen(report, shards=shards)
-    rows = [r for r in report["scenarios"] if r["shards"] == shards]
-    single = next(r for r in rows if r["threads"] == 1)
-    multi = max((r for r in rows if r["threads"] > 1), key=lambda r: r["threads"])
+    profile = profile_from_loadgen(report, shards=shards, axis=axis)
+    single, multi, n = _scaling_rows(report, shards, axis)
     miss_ratio = 1.0 - single["hit_ratio"]
-    p = parallel_fraction(
-        single["ops_per_sec"], multi["ops_per_sec"], multi["threads"]
-    )
-    return {
+    p = parallel_fraction(single["ops_per_sec"], multi["ops_per_sec"], n)
+    summary = {
         "profile": profile.name,
+        "axis": axis,
         "parallel_fraction": round(p, 4),
         "serial_fraction": round(1.0 - p, 4),
         "hit_ns": single["hit_ns_mean"],
@@ -136,6 +207,10 @@ def calibration_summary(report: Dict[str, Any], shards: int = 1) -> Dict[str, An
             analytic_throughput(profile, 1, miss_ratio), 4
         ),
         "model_mqps_nt": round(
-            analytic_throughput(profile, multi["threads"], miss_ratio), 4
+            analytic_throughput(profile, n, miss_ratio), 4
         ),
     }
+    if axis == "workers":
+        summary["workers"] = n
+        summary["batch_size"] = multi.get("batch_size", 1)
+    return summary

@@ -20,6 +20,7 @@ from repro.obs.exporters import (
     EXPORT_KIND,
     EXPORT_SCHEMA_VERSION,
     export_dict,
+    merge_export_dict,
     to_json,
     to_prometheus,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "to_prometheus",
     "to_json",
     "export_dict",
+    "merge_export_dict",
     "EXPORT_SCHEMA_VERSION",
     "EXPORT_KIND",
     "EventTracer",

@@ -123,3 +123,66 @@ def export_dict(registry: MetricsRegistry) -> Dict[str, Any]:
 def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
     """The registry as a versioned, deterministic JSON document."""
     return json.dumps(export_dict(registry), indent=indent) + "\n"
+
+
+def merge_export_dict(
+    registry: MetricsRegistry,
+    export: Dict[str, Any],
+    extra_labels: Dict[str, str] = None,
+) -> int:
+    """Merge an :func:`export_dict` snapshot into ``registry``.
+
+    The write half of cross-process metrics: a worker process snapshots
+    its registry with :func:`export_dict` (callbacks resolved to plain
+    values, so the result is picklable), ships it over a pipe, and the
+    parent merges it here at collect time — this is how the
+    multiprocess cache backend (:class:`~repro.service.mp.MPCacheService`)
+    presents per-worker metrics as one registry.
+
+    Series identity is ``(name, labels | extra_labels)``.  Counters and
+    gauges are *overwritten* with the snapshot's value and histograms
+    are reconstructed from their cumulative buckets, so merging a newer
+    snapshot of the same worker replaces its series instead of
+    double-counting.  Returns the number of series merged.
+    """
+    if export.get("kind") != EXPORT_KIND:
+        raise ValueError(
+            f"not a metrics export (kind={export.get('kind')!r})"
+        )
+    if export.get("schema") != EXPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"metrics export schema {export.get('schema')!r} != "
+            f"{EXPORT_SCHEMA_VERSION}"
+        )
+    merged = 0
+    for entry in export["metrics"]:
+        labels = dict(entry["labels"])
+        if extra_labels:
+            labels.update(extra_labels)
+        name = entry["name"]
+        help_text = entry.get("help", "")
+        kind = entry["type"]
+        if kind == "counter":
+            registry.counter(name, help_text, labels).value = entry["value"]
+        elif kind == "gauge":
+            registry.gauge(name, help_text, labels).set(entry["value"])
+        elif kind == "histogram":
+            bounds = [float(b) for b, _ in entry["buckets"][:-1]]
+            histogram = registry.histogram(name, help_text, labels,
+                                           buckets=bounds)
+            if list(histogram.buckets) != bounds:
+                raise ValueError(
+                    f"histogram {name!r} already registered with "
+                    f"different buckets"
+                )
+            cumulative = [c for _, c in entry["buckets"]]
+            histogram.counts = [cumulative[0]] + [
+                cumulative[i] - cumulative[i - 1]
+                for i in range(1, len(cumulative))
+            ]
+            histogram.sum = entry["sum"]
+            histogram.count = entry["count"]
+        else:
+            raise ValueError(f"unknown metric type {kind!r} in export")
+        merged += 1
+    return merged

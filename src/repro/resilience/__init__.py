@@ -22,6 +22,7 @@ from repro.resilience.faults import (
     LATENCY,
     LEVEL_OUTAGE,
     TRACE_CORRUPTION,
+    WORKER_CRASH,
     FaultEvent,
     FaultPlan,
     corrupt_binary_trace,
@@ -53,6 +54,7 @@ __all__ = [
     "TRACE_CORRUPTION",
     "LEVEL_OUTAGE",
     "CRASH",
+    "WORKER_CRASH",
     "RetryError",
     "RetryPolicy",
     "CheckedPolicy",

@@ -24,6 +24,10 @@ Fault kinds:
 * ``level-outage`` — one hierarchy level goes dark and is bypassed.
 * ``crash`` — the cache process dies; used by the warm-restart
   experiment in :mod:`repro.resilience.snapshot`.
+* ``worker-crash`` — one shard worker process of the multiprocess
+  cache backend (:class:`~repro.service.mp.MPCacheService`) hard-exits
+  mid-operation, exercising the parent's crash detection and clean
+  shutdown of the surviving workers.
 """
 
 from __future__ import annotations
@@ -38,9 +42,11 @@ LATENCY = "latency"
 TRACE_CORRUPTION = "trace-corruption"
 LEVEL_OUTAGE = "level-outage"
 CRASH = "crash"
+WORKER_CRASH = "worker-crash"
 
 FAULT_KINDS = frozenset(
-    {FLASH_READ, FLASH_WRITE, LATENCY, TRACE_CORRUPTION, LEVEL_OUTAGE, CRASH}
+    {FLASH_READ, FLASH_WRITE, LATENCY, TRACE_CORRUPTION, LEVEL_OUTAGE,
+     CRASH, WORKER_CRASH}
 )
 
 

@@ -3,9 +3,10 @@
 ``repro.service`` turns the simulator's eviction policies into an
 in-process cache you can actually run: :class:`CacheService` adds
 values, TTLs, deletion, and a lock; :class:`ShardedCacheService`
-hash-partitions keys across independently-locked shards; and
-:mod:`repro.service.loadgen` measures the result under concurrent
-load.  See ``docs/SERVICE.md``.
+hash-partitions keys across independently-locked shards;
+:class:`MPCacheService` runs each shard in its own *process* for
+native multicore scaling; and :mod:`repro.service.loadgen` measures
+the result under concurrent load.  See ``docs/SERVICE.md``.
 """
 
 from repro.service.core import (
@@ -14,13 +15,20 @@ from repro.service.core import (
     ServiceCounters,
 )
 from repro.service.loadgen import (
+    combine_reports,
     format_report,
     latency_summary_us,
     run_loadgen,
     run_scenario,
 )
+from repro.service.mp import (
+    MPCacheService,
+    ServiceClosedError,
+    WorkerCrashedError,
+)
 from repro.service.sharded import (
     ShardedCacheService,
+    aggregate_stats,
     partition_capacity,
     stable_key_hash,
 )
@@ -30,10 +38,15 @@ __all__ = [
     "RemovalUnsupportedError",
     "ServiceCounters",
     "ShardedCacheService",
+    "MPCacheService",
+    "ServiceClosedError",
+    "WorkerCrashedError",
+    "aggregate_stats",
     "partition_capacity",
     "stable_key_hash",
     "run_loadgen",
     "run_scenario",
+    "combine_reports",
     "latency_summary_us",
     "format_report",
 ]

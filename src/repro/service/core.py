@@ -64,7 +64,18 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.cache.registry import create_policy, removal_capable_policies
 from repro.sim.request import Request
@@ -76,11 +87,19 @@ class RemovalUnsupportedError(TypeError):
     """The backing policy cannot delete entries (no ``remove()``)."""
 
     def __init__(self, policy_name: str, operation: str) -> None:
+        self.policy_name = policy_name
+        self.operation = operation
         capable = ", ".join(removal_capable_policies())
         super().__init__(
             f"policy {policy_name!r} does not support remove(), which "
             f"{operation} requires; use a removal-capable policy: {capable}"
         )
+
+    def __reduce__(self):
+        # args holds the formatted message, not the constructor inputs,
+        # so default pickling would re-call __init__ with the wrong
+        # arity; the mp backend ships this exception across pipes.
+        return (type(self), (self.policy_name, self.operation))
 
 
 class ServiceCounters:
@@ -271,27 +290,7 @@ class CacheService:
         observed = self._observed
         t0 = time.perf_counter_ns() if observed else 0
         with self._lock:
-            self.counters.gets += 1
-            entry = self._values.get(key)
-            outcome = "miss"
-            if entry is not None and self._expired(entry):
-                self._purge(key, entry)
-                self.counters.expired += 1
-                entry = None
-                outcome = "expired"
-            if entry is None:
-                self.counters.misses += 1
-                self._tick()
-                if observed:
-                    self._record("get", key, outcome, t0)
-                return default
-            hit = self._policy.request(Request(key, size=entry.size))
-            assert hit, f"resident key {key!r} missed in the policy"
-            self.counters.hits += 1
-            self._tick()
-            if observed:
-                self._record("get", key, "hit", t0)
-            return entry.value
+            return self._get_locked(key, default, observed, t0)
 
     def set(
         self,
@@ -336,22 +335,74 @@ class CacheService:
         observed = self._observed
         t0 = time.perf_counter_ns() if observed else 0
         with self._lock:
-            self.counters.deletes += 1
-            entry = self._values.get(key)
-            if entry is None:
+            return self._delete_locked(key, observed, t0)
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Iterable[Hashable],
+                 default: Any = None) -> List[Any]:
+        """The live values for ``keys``, aligned with the input order.
+
+        Semantically identical to ``[self.get(k, default) for k in
+        keys]`` — same counter increments, same policy requests, same
+        sweeper cadence, in the same per-key order — but the lock is
+        acquired once for the whole batch instead of once per key.  The
+        batch-parity tests pin the stats equivalence byte-for-byte.
+        """
+        observed = self._observed
+        results = []
+        with self._lock:
+            for key in keys:
+                t0 = time.perf_counter_ns() if observed else 0
+                results.append(self._get_locked(key, default, observed, t0))
+        return results
+
+    def set_many(
+        self,
+        items: Iterable[Tuple[Hashable, Any]],
+        ttl: Any = _UNSET,
+        size: int = 1,
+    ) -> List[bool]:
+        """Store ``(key, value)`` pairs; one residency bool per pair.
+
+        Equivalent to ``[self.set(k, v, ttl, size) for k, v in items]``
+        under a single lock acquisition; ``ttl`` and ``size`` apply to
+        every pair.  Stats parity with the per-key loop is pinned by
+        the batch-parity tests.
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if ttl is _UNSET:
+            ttl = self.default_ttl
+        if ttl is not None:
+            if ttl < 0:
+                raise ValueError(f"ttl must be >= 0, got {ttl}")
+            if not self.supports_removal:
+                raise RemovalUnsupportedError(self.policy_name, "ttl")
+        observed = self._observed
+        results = []
+        with self._lock:
+            for key, value in items:
+                t0 = time.perf_counter_ns() if observed else 0
+                stored, outcome = self._set_locked(key, value, ttl, size)
+                self._tick()
                 if observed:
-                    self._record("delete", key, "absent", t0)
-                return False
-            was_live = not self._expired(entry)
-            self._purge(key, entry)
-            if not was_live:
-                self.counters.expired += 1
-            self._tick()
-            if observed:
-                self._record(
-                    "delete", key, "deleted" if was_live else "expired", t0
-                )
-            return was_live
+                    self._record("set", key, outcome, t0)
+                results.append(stored)
+        return results
+
+    def delete_many(self, keys: Iterable[Hashable]) -> List[bool]:
+        """Remove ``keys``; one was-live bool per key (single lock hold)."""
+        if not self.supports_removal:
+            raise RemovalUnsupportedError(self.policy_name, "delete_many()")
+        observed = self._observed
+        results = []
+        with self._lock:
+            for key in keys:
+                t0 = time.perf_counter_ns() if observed else 0
+                results.append(self._delete_locked(key, observed, t0))
+        return results
 
     def sweep(self, max_checks: Optional[int] = None) -> int:
         """Expire up to ``max_checks`` entries; returns how many died.
@@ -454,6 +505,50 @@ class CacheService:
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
     # ------------------------------------------------------------------
+    def _get_locked(self, key: Hashable, default: Any, observed: bool,
+                    t0: int) -> Any:
+        """The body of :meth:`get` (shared with :meth:`get_many`)."""
+        self.counters.gets += 1
+        entry = self._values.get(key)
+        outcome = "miss"
+        if entry is not None and self._expired(entry):
+            self._purge(key, entry)
+            self.counters.expired += 1
+            entry = None
+            outcome = "expired"
+        if entry is None:
+            self.counters.misses += 1
+            self._tick()
+            if observed:
+                self._record("get", key, outcome, t0)
+            return default
+        hit = self._policy.request(Request(key, size=entry.size))
+        assert hit, f"resident key {key!r} missed in the policy"
+        self.counters.hits += 1
+        self._tick()
+        if observed:
+            self._record("get", key, "hit", t0)
+        return entry.value
+
+    def _delete_locked(self, key: Hashable, observed: bool, t0: int) -> bool:
+        """The body of :meth:`delete` (shared with :meth:`delete_many`)."""
+        self.counters.deletes += 1
+        entry = self._values.get(key)
+        if entry is None:
+            if observed:
+                self._record("delete", key, "absent", t0)
+            return False
+        was_live = not self._expired(entry)
+        self._purge(key, entry)
+        if not was_live:
+            self.counters.expired += 1
+        self._tick()
+        if observed:
+            self._record(
+                "delete", key, "deleted" if was_live else "expired", t0
+            )
+        return was_live
+
     def _set_locked(self, key: Hashable, value: Any, ttl: Optional[float],
                     size: int):
         """The body of :meth:`set`; returns ``(stored, outcome)``."""

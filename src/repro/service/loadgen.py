@@ -24,10 +24,34 @@ value)``.  With one shard and one thread this drives the policy with
 exactly the offline simulator's request sequence, which the parity
 tests exploit.  All threads draw slices of one shared trace, so the
 workload is identical across thread counts.
+
+Two backends (``backend=``):
+
+* **thread** — the in-process services
+  (:class:`~repro.service.core.CacheService` /
+  :class:`~repro.service.sharded.ShardedCacheService`).  Threads share
+  the GIL, so throughput tops out near one core no matter the shard
+  count — the honest CPython baseline.
+* **mp** — the process-per-shard
+  :class:`~repro.service.mp.MPCacheService`; ``num_shards`` becomes the
+  worker-process count.  This is the native-scaling configuration
+  behind ``fig08_throughput_native.txt``.
+
+``batch_size > 1`` switches both backends to the batched read-through
+loop: ``get_many`` over the batch, then one ``set_many`` for the
+misses.  For the mp backend that coalesces each batch into one pipe
+round-trip per worker — the lever that amortizes IPC.  Batched rows
+report each operation's latency as its *batch's* latency (an
+operation is done when its batch is), and hit/miss mean costs as the
+batch cost split evenly across its operations.  Note the batched
+workload is not operation-identical to the unbatched one: duplicate
+keys inside one batch all miss together (the unbatched loop would hit
+from the second occurrence on).
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from array import array
@@ -38,7 +62,9 @@ from repro.service.core import CacheService
 from repro.service.sharded import ShardedCacheService
 
 #: Bumped when the report layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: 2: scenario rows and config gained ``backend`` / ``workers`` /
+#: ``batch_size``; percentile convention fixed to true nearest-rank.
+SCHEMA_VERSION = 2
 
 #: Report ``kind`` discriminator (BENCH_service.json vs other reports).
 REPORT_KIND = "service-loadgen"
@@ -106,9 +132,85 @@ def _run_open(service, keys: Sequence[int], value: Any,
         record(done - scheduled)
 
 
+def _charge_batch(stats: _WorkerStats, batch_len: int, missed: int,
+                  elapsed: int, record) -> None:
+    """Account one batch: per-op latency is the batch latency, and the
+    batch cost is split evenly across its operations for the hit/miss
+    mean-cost counters (per-op costs are not separable inside a batch).
+    """
+    nhit = batch_len - missed
+    stats.hits += nhit
+    stats.misses += missed
+    per_op = elapsed // batch_len
+    stats.hit_ns += per_op * nhit
+    stats.miss_ns += per_op * missed
+    for _ in range(batch_len):
+        record(elapsed)
+
+
+def _run_closed_batched(service, keys: Sequence[int], value: Any,
+                        stats: _WorkerStats, barrier: threading.Barrier,
+                        batch_size: int) -> None:
+    get_many = service.get_many
+    set_many = service.set_many
+    record = stats.latencies_ns.append
+    clock = time.perf_counter_ns
+    barrier.wait()
+    for start in range(0, len(keys), batch_size):
+        batch = keys[start:start + batch_size]
+        t0 = clock()
+        values = get_many(batch)
+        missed = [k for k, v in zip(batch, values) if v is None]
+        if missed:
+            set_many([(k, value) for k in missed])
+        elapsed = clock() - t0
+        _charge_batch(stats, len(batch), len(missed), elapsed, record)
+
+
+def _run_open_batched(service, keys: Sequence[int], value: Any,
+                      stats: _WorkerStats, barrier: threading.Barrier,
+                      interval_ns: int, batch_size: int) -> None:
+    get_many = service.get_many
+    set_many = service.set_many
+    record = stats.latencies_ns.append
+    clock = time.perf_counter_ns
+    barrier.wait()
+    start = clock()
+    for bstart in range(0, len(keys), batch_size):
+        batch = keys[bstart:bstart + batch_size]
+        # A batch issues at its first operation's slot; latency is
+        # still charged from the schedule (coordinated omission rules
+        # apply to batches exactly as to single operations).
+        scheduled = start + bstart * interval_ns
+        wait = scheduled - clock()
+        if wait > 0:
+            time.sleep(wait / 1e9)
+        values = get_many(batch)
+        missed = [k for k, v in zip(batch, values) if v is None]
+        if missed:
+            set_many([(k, value) for k in missed])
+        elapsed = clock() - scheduled
+        _charge_batch(stats, len(batch), len(missed), elapsed, record)
+
+
 def counters_snapshot(service, t_s: float) -> Dict[str, Any]:
-    """One point-in-time counters row (lock-free, benignly racy reads)."""
+    """One point-in-time counters row (lock-free, benignly racy reads).
+
+    Process-backed services keep their counters in the workers, so for
+    them the snapshot is one ``stats()`` round-trip instead of a racy
+    in-process read.
+    """
     shards = getattr(service, "shards", None)
+    if shards is None and not hasattr(service, "counters"):
+        stats = service.stats()
+        gets, hits, sets = stats["gets"], stats["hits"], stats["sets"]
+        return {
+            "t_s": round(t_s, 3),
+            "gets": gets,
+            "hits": hits,
+            "sets": sets,
+            "hit_ratio": round(hits / gets, 6) if gets else 0.0,
+        }
     counters = (
         [s.counters for s in shards] if shards is not None
         else [service.counters]
@@ -134,10 +236,25 @@ def _interval_monitor(service, stop: threading.Event, interval_s: float,
 
 
 def _percentile(sorted_ns: Sequence[int], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
-    if not sorted_ns:
+    """Nearest-rank percentile of an already-sorted sample.
+
+    The convention is the classic nearest-rank definition: the q-th
+    percentile is the smallest sample value such that at least
+    ``q * n`` samples are <= it, i.e. index ``ceil(q * n) - 1``
+    (clamped to the sample).  No interpolation — the result is always
+    an observed value.  Consequences the tests pin: any percentile of
+    a 1-sample set is that sample; p50 of 2 samples is the *lower* one
+    (1 of 2 samples is already >= 50%); and p99.9 of 1,000 samples is
+    the 999th value (999 samples cover exactly 99.9%).  An earlier
+    version rounded
+    ``q * (n - 1)`` instead, which for example reported the p50 of 4
+    samples as the 3rd value — a *75th* percentile under this
+    definition.
+    """
+    n = len(sorted_ns)
+    if not n:
         return 0.0
-    rank = min(len(sorted_ns) - 1, max(0, round(q * (len(sorted_ns) - 1))))
+    rank = min(n - 1, max(0, math.ceil(q * n) - 1))
     return float(sorted_ns[rank])
 
 
@@ -168,6 +285,26 @@ def build_service(
     return ShardedCacheService(capacity, policy, num_shards=num_shards, **kwargs)
 
 
+def _build_mp_service(
+    capacity: int,
+    policy: str,
+    num_workers: int,
+    start_method: Optional[str],
+    checked: bool,
+    ttl: Optional[float],
+):
+    from repro.service.mp import MPCacheService
+
+    return MPCacheService(
+        capacity,
+        policy,
+        num_workers=num_workers,
+        start_method=start_method,
+        checked=checked,
+        default_ttl=ttl,
+    )
+
+
 def run_scenario(
     trace: Sequence[int],
     capacity: int,
@@ -183,6 +320,9 @@ def run_scenario(
     tracer=None,
     instrument_policy: bool = False,
     snapshot_interval_s: Optional[float] = None,
+    backend: str = "thread",
+    batch_size: int = 1,
+    start_method: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Drive one (shards, threads) configuration; returns the report row.
 
@@ -195,19 +335,41 @@ def run_scenario(
     histograms must not accumulate across rows.
     ``snapshot_interval_s`` attaches a monitor thread appending
     periodic counters snapshots to the row's ``intervals`` list.
+
+    ``backend="mp"`` runs the process-per-shard
+    :class:`~repro.service.mp.MPCacheService` with ``num_shards``
+    worker processes (torn down before the row returns);
+    ``batch_size > 1`` switches either backend to the batched
+    read-through loop (see the module docstring for its latency and
+    accounting conventions).
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
-    service = build_service(
-        capacity, policy, num_shards,
-        checked=checked,
-        default_ttl=ttl,
-        metrics=metrics,
-        tracer=tracer,
-        instrument_policy=instrument_policy,
-    )
+    if backend not in ("thread", "mp"):
+        raise ValueError(f"backend must be 'thread' or 'mp', got {backend!r}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if backend == "mp":
+        if metrics is not None or tracer is not None or instrument_policy:
+            raise ValueError(
+                "metrics/tracer/instrument_policy are in-process hooks and "
+                "cannot cross process boundaries; the mp backend exposes "
+                "MPCacheService.merge_metrics() instead"
+            )
+        service = _build_mp_service(
+            capacity, policy, num_shards, start_method, checked, ttl
+        )
+    else:
+        service = build_service(
+            capacity, policy, num_shards,
+            checked=checked,
+            default_ttl=ttl,
+            metrics=metrics,
+            tracer=tracer,
+            instrument_policy=instrument_policy,
+        )
     per_thread = len(trace) // num_threads
     slices = [
         trace[i * per_thread:(i + 1) * per_thread] for i in range(num_threads)
@@ -215,24 +377,45 @@ def run_scenario(
     stats = [_WorkerStats() for _ in range(num_threads)]
     barrier = threading.Barrier(num_threads + 1)
     if mode == "closed":
+        if batch_size > 1:
+            thread_args = [
+                (service, s, value, st, barrier, batch_size)
+                for s, st in zip(slices, stats)
+            ]
+            target = _run_closed_batched
+        else:
+            thread_args = [
+                (service, s, value, st, barrier)
+                for s, st in zip(slices, stats)
+            ]
+            target = _run_closed
         workers = [
             threading.Thread(
-                target=_run_closed, args=(service, s, value, st, barrier),
-                name=f"loadgen-{i}", daemon=True,
+                target=target, args=args, name=f"loadgen-{i}", daemon=True,
             )
-            for i, (s, st) in enumerate(zip(slices, stats))
+            for i, args in enumerate(thread_args)
         ]
     else:
         if open_rate <= 0:
             raise ValueError(f"open_rate must be positive, got {open_rate}")
         interval_ns = max(1, int(1e9 / open_rate))
+        if batch_size > 1:
+            thread_args = [
+                (service, s, value, st, barrier, interval_ns, batch_size)
+                for s, st in zip(slices, stats)
+            ]
+            target = _run_open_batched
+        else:
+            thread_args = [
+                (service, s, value, st, barrier, interval_ns)
+                for s, st in zip(slices, stats)
+            ]
+            target = _run_open
         workers = [
             threading.Thread(
-                target=_run_open,
-                args=(service, s, value, st, barrier, interval_ns),
-                name=f"loadgen-{i}", daemon=True,
+                target=target, args=args, name=f"loadgen-{i}", daemon=True,
             )
-            for i, (s, st) in enumerate(zip(slices, stats))
+            for i, args in enumerate(thread_args)
         ]
     intervals: List[Dict[str, Any]] = []
     monitor = stop_monitor = None
@@ -270,16 +453,23 @@ def run_scenario(
         hit_ns += st.hit_ns
         miss_ns += st.miss_ns
     ops = len(merged)
-    if num_shards > 1:
+    if hasattr(service, "ops_per_shard"):
         shard_ops = service.ops_per_shard()
-        imbalance = round(imbalance_factor(shard_ops), 4)
+        imbalance = (
+            round(imbalance_factor(shard_ops), 4) if num_shards > 1 else 1.0
+        )
     else:
         shard_ops = [service.counters.gets + service.counters.sets]
         imbalance = 1.0
     service_stats = service.stats()
+    if backend == "mp":
+        service.close()
     return {
         "shards": num_shards,
         "threads": num_threads,
+        "backend": backend,
+        "workers": num_shards if backend == "mp" else 0,
+        "batch_size": batch_size,
         "mode": mode,
         "policy": policy,
         "ops": ops,
@@ -317,6 +507,9 @@ def run_loadgen(
     tracer=None,
     instrument_policy: bool = False,
     snapshot_interval_s: Optional[float] = None,
+    backend: str = "thread",
+    batch_size: int = 1,
+    start_method: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The full scenario matrix (shards x threads); returns the report.
 
@@ -325,6 +518,10 @@ def run_loadgen(
     *same* seeded trace, so hit ratios are comparable across rows and
     the single-shard rows are directly comparable to the offline
     simulator on the same trace.
+
+    With ``backend="mp"`` the ``shard_counts`` axis becomes the
+    worker-process count; to compare backends in one document, run
+    this once per backend and join with :func:`combine_reports`.
     """
     from repro.traces.synthetic import zipf_trace
 
@@ -353,6 +550,9 @@ def run_loadgen(
                     tracer=tracer,
                     instrument_policy=instrument_policy,
                     snapshot_interval_s=snapshot_interval_s,
+                    backend=backend,
+                    batch_size=batch_size,
+                    start_method=start_method,
                 )
             )
     return {
@@ -370,8 +570,43 @@ def run_loadgen(
             "open_rate": open_rate if mode == "open" else None,
             "checked": checked,
             "ttl": ttl,
+            "backend": backend,
+            "batch_size": batch_size,
         },
         "scenarios": scenarios,
+    }
+
+
+def combine_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Join several :func:`run_loadgen` reports into one document.
+
+    Used by the CLI's comma-separated ``--backend thread,mp`` form:
+    each backend runs as its own report (its own service lifecycle)
+    and the combined document carries every scenario row — rows are
+    self-describing since schema 2 (``backend``/``workers``/
+    ``batch_size``), so consumers filter rows, not documents.  The
+    combined config is the first report's, with ``backend`` replaced
+    by the list of contributing backends.
+    """
+    if not reports:
+        raise ValueError("combine_reports needs at least one report")
+    for report in reports:
+        if report.get("kind") != REPORT_KIND:
+            raise ValueError(
+                f"not a loadgen report (kind={report.get('kind')!r})"
+            )
+        if report.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"loadgen report schema {report.get('schema')!r} != "
+                f"{SCHEMA_VERSION}"
+            )
+    config = dict(reports[0]["config"])
+    config["backend"] = [r["config"]["backend"] for r in reports]
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "config": config,
+        "scenarios": [row for r in reports for row in r["scenarios"]],
     }
 
 
@@ -382,13 +617,16 @@ def format_report(report: Dict[str, Any]) -> str:
         f"loadgen {cfg['policy']} zipf-{cfg['alpha']:g} "
         f"({cfg['mode']} loop): {cfg['num_requests']:,} requests, "
         f"{cfg['num_objects']:,} objects, capacity {cfg['capacity']:,}",
-        f"{'shards':>6} {'threads':>7} {'ops/s':>10} {'hit':>7} "
+        f"{'backend':>7} {'shards':>6} {'threads':>7} {'batch':>5} "
+        f"{'ops/s':>10} {'hit':>7} "
         f"{'p50us':>8} {'p99us':>8} {'p999us':>8} {'imbal':>6}",
     ]
     for row in report["scenarios"]:
         lat = row["latency_us"]
         lines.append(
+            f"{row.get('backend', 'thread'):>7} "
             f"{row['shards']:>6} {row['threads']:>7} "
+            f"{row.get('batch_size', 1):>5} "
             f"{row['ops_per_sec']:>10,} {row['hit_ratio']:>7.4f} "
             f"{lat['p50']:>8.1f} {lat['p99']:>8.1f} {lat['p999']:>8.1f} "
             f"{row['imbalance']:>6.2f}"
@@ -400,9 +638,21 @@ def find_scenario(
     report: Dict[str, Any],
     shards: int,
     threads: int,
+    backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> Optional[Dict[str, Any]]:
-    """The first scenario row matching (shards, threads), if any."""
+    """The first scenario row matching the given axes, if any.
+
+    ``backend`` / ``batch_size`` of ``None`` match any row (schema-1
+    rows, which predate those fields, read as thread/1).
+    """
     for row in report["scenarios"]:
-        if row["shards"] == shards and row["threads"] == threads:
-            return row
+        if row["shards"] != shards or row["threads"] != threads:
+            continue
+        if backend is not None and row.get("backend", "thread") != backend:
+            continue
+        if (batch_size is not None
+                and row.get("batch_size", 1) != batch_size):
+            continue
+        return row
     return None

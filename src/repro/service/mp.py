@@ -1,0 +1,592 @@
+"""Process-per-shard cache backend: native multicore scaling.
+
+The paper's headline *systems* claim (Fig. 8) is about throughput:
+S3-FIFO's lock-free queues scale to ~6x optimized LRU at 16 threads.
+Threads cannot demonstrate that under CPython's GIL — the in-process
+:class:`~repro.service.sharded.ShardedCacheService` serializes on the
+interpreter no matter how many shard locks it splits — so this module
+escapes the GIL the way production Python caches do: **one worker
+process per shard**, each hosting a full single-shard
+:class:`~repro.service.core.CacheService` (its own policy instance,
+value map, TTL bookkeeping, and lock), with the parent routing
+operations over pipes by the same restart-stable
+:func:`~repro.service.sharded.stable_key_hash` the in-process sharded
+service uses.  Identical routing means identical per-shard request
+sequences: the differential tests pin ``MPCacheService`` stats against
+``ShardedCacheService`` byte-for-byte.
+
+IPC is the new cost, and batching is the lever: every batched
+operation (:meth:`MPCacheService.get_many` / ``set_many`` /
+``delete_many``) coalesces its keys into **one message per worker per
+batch**, so a batch of B keys over W workers costs ~W round-trips
+instead of B.  Single-key ``get``/``set``/``delete`` are one-element
+batches.  The load generator's ``--backend mp --batch B`` mode drives
+this path and the measured curves live in
+``benchmarks/results/fig08_throughput_native.txt``.
+
+Lifecycle and crash safety
+--------------------------
+
+* Workers are **daemon** processes: a normally-exiting parent never
+  leaves them behind.
+* The pipe doubles as a **sentinel watchdog**: a worker blocks in
+  ``recv()``, and when the parent dies — even by SIGKILL, which skips
+  daemon cleanup — the pipe's parent end closes and the worker reads
+  EOF and exits.  No polling, no leaked processes.
+* :meth:`MPCacheService.close` (also ``__exit__`` and a best-effort
+  ``__del__``) closes every channel, joins the workers, and terminates
+  stragglers; it is idempotent and safe after a worker crash.
+* A worker that dies mid-operation surfaces as
+  :class:`WorkerCrashedError` on the operation that touched it, never
+  as a hang.  Deterministic crash tests inject the
+  :data:`~repro.resilience.faults.WORKER_CRASH` fault kind via a
+  :class:`~repro.resilience.faults.FaultPlan` (the worker hard-exits
+  at a planned operation count, simulating SIGKILL).
+
+Observability across processes
+------------------------------
+
+A worker cannot share the parent's
+:class:`~repro.obs.metrics.MetricsRegistry` (callback-backed gauges
+don't pickle), so each worker owns a private registry labelled
+``worker=<i>`` and the parent pulls *snapshots*
+(:func:`~repro.obs.exporters.export_dict`) at collect time, merging
+them with :func:`~repro.obs.exporters.merge_export_dict` — repeated
+collects replace each worker's series rather than double-count.  See
+:meth:`MPCacheService.merge_metrics`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.service.sharded import (
+    aggregate_stats,
+    partition_capacity,
+    stable_key_hash,
+)
+
+_UNSET = object()
+
+
+class WorkerCrashedError(RuntimeError):
+    """A shard worker process died while (or before) serving an operation."""
+
+    def __init__(self, worker_id: int, pid: Optional[int],
+                 exitcode: Optional[int]) -> None:
+        self.worker_id = worker_id
+        self.pid = pid
+        self.exitcode = exitcode
+        super().__init__(
+            f"mp cache worker {worker_id} (pid {pid}) died "
+            f"(exitcode {exitcode}); the shard's contents are lost — "
+            f"close() the service or rebuild it"
+        )
+
+
+class ServiceClosedError(RuntimeError):
+    """Operation attempted on a closed :class:`MPCacheService`."""
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (fast), else ``spawn`` (macOS/Windows)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _worker_main(
+    conn,
+    worker_id: int,
+    capacity: int,
+    policy: str,
+    service_kwargs: Dict[str, Any],
+    collect_metrics: bool,
+    fault_plan,
+) -> None:
+    """Worker process body: host one CacheService, serve the pipe.
+
+    The loop exits on a ``close`` message *or* on EOF — the latter is
+    the sentinel watchdog: if the parent dies (even SIGKILL), its pipe
+    end closes and ``recv`` raises, so the worker never outlives it.
+    """
+    from repro.service.core import CacheService
+
+    registry = None
+    try:
+        if collect_metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        service = CacheService(
+            capacity,
+            policy,
+            metrics=registry,
+            metrics_labels=(
+                {"worker": str(worker_id)} if registry is not None else None
+            ),
+            shard_id=worker_id,
+            **service_kwargs,
+        )
+    except BaseException as exc:  # constructor failed: report, don't hang
+        _send_error(conn, exc)
+        return
+    # Startup handshake: the parent blocks on this before serving ops.
+    conn.send(("ok", {
+        "policy_name": service.policy_name,
+        "supports_removal": service.supports_removal,
+        "capacity": capacity,
+        "pid": os.getpid(),
+    }))
+    clock = 0  # logical operation clock for deterministic fault windows
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # parent died or closed the channel: exit now
+        op = msg[0]
+        if op == "close":
+            break
+        clock += 1
+        if fault_plan is not None and fault_plan.active("worker-crash", clock):
+            # Simulate a hard crash: no reply, no cleanup, nonzero exit.
+            os._exit(13)
+        try:
+            if op == "get_many":
+                result = service.get_many(msg[1], msg[2])
+            elif op == "set_many":
+                has_ttl, ttl, size, items = msg[1], msg[2], msg[3], msg[4]
+                if has_ttl:
+                    result = service.set_many(items, ttl=ttl, size=size)
+                else:
+                    result = service.set_many(items, size=size)
+            elif op == "delete_many":
+                result = service.delete_many(msg[1])
+            elif op == "contains":
+                result = msg[1] in service
+            elif op == "len":
+                result = len(service)
+            elif op == "sweep":
+                result = service.sweep(msg[1])
+            elif op == "stats":
+                result = service.stats()
+            elif op == "check":
+                service.check()
+                result = None
+            elif op == "metrics":
+                if registry is None:
+                    result = None
+                else:
+                    from repro.obs.exporters import export_dict
+
+                    result = export_dict(registry)
+            else:
+                raise ValueError(f"unknown mp cache op {op!r}")
+        except BaseException as exc:
+            _send_error(conn, exc)
+        else:
+            try:
+                conn.send(("ok", result))
+            except (OSError, BrokenPipeError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _send_error(conn, exc: BaseException) -> None:
+    """Ship an exception to the parent; degrade to repr if unpicklable."""
+    try:
+        conn.send(("err", exc))
+    except Exception:
+        try:
+            conn.send(("err", RuntimeError(
+                f"{type(exc).__name__}: {exc} (original not picklable)"
+            )))
+        except (OSError, BrokenPipeError):
+            pass
+
+
+class MPCacheService:
+    """N shard worker *processes* behind the one-service API.
+
+    Exposes the same surface as
+    :class:`~repro.service.sharded.ShardedCacheService` —
+    ``get``/``set``/``delete``, their ``_many`` batches,
+    ``sweep``/``stats``/``check``, ``in``/``len`` — with each shard's
+    :class:`~repro.service.core.CacheService` running in its own
+    process.  Keys route by ``stable_key_hash(key) % num_workers``,
+    exactly the in-process sharded service's mapping, so for the same
+    operation sequence both backends produce identical per-shard stats.
+
+    Parameters mirror ``ShardedCacheService`` where they can; the
+    differences are inherent to processes:
+
+    * ``start_method`` — multiprocessing start method (default:
+      ``fork`` when the platform has it, else ``spawn``).
+    * ``collect_metrics`` — give each worker a private
+      :class:`~repro.obs.metrics.MetricsRegistry` (labelled
+      ``worker=<i>``) whose snapshots :meth:`merge_metrics` pulls into
+      a parent-side registry.  A parent registry object cannot be
+      shared directly: its collect-time callbacks don't pickle.
+    * ``fault_plans`` — optional ``{worker_id: FaultPlan}`` injecting
+      deterministic :data:`~repro.resilience.faults.WORKER_CRASH`
+      faults (the crash-safety tests use this).
+    * ``**service_kwargs`` — forwarded to every worker's
+      ``CacheService`` constructor; must be picklable (so no
+      ``clock=`` callables — workers keep the default monotonic
+      clock).
+
+    Thread safety: the parent side is safe to drive from multiple
+    threads.  Each worker channel is guarded by a lock held for the
+    full request/response exchange; a batch spanning several workers
+    acquires the involved locks in index order (no lock-order
+    inversion) and pipelines — all sub-batches are sent before any
+    reply is awaited, so workers execute concurrently.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "s3fifo",
+        num_workers: int = 2,
+        *,
+        start_method: Optional[str] = None,
+        collect_metrics: bool = False,
+        fault_plans: Optional[Dict[int, Any]] = None,
+        **service_kwargs: Any,
+    ) -> None:
+        capacities = partition_capacity(capacity, num_workers)
+        self.capacity = capacity
+        self.num_workers = num_workers
+        self.collect_metrics = collect_metrics
+        self._closed = False
+        ctx = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._conns: List[Any] = []
+        self._procs: List[Any] = []
+        self._locks = [threading.Lock() for _ in range(num_workers)]
+        try:
+            for i, cap in enumerate(capacities):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn, i, cap, policy, dict(service_kwargs),
+                        collect_metrics,
+                        (fault_plans or {}).get(i),
+                    ),
+                    name=f"mp-cache-worker-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()  # the worker holds the only child end
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            # Startup handshake doubles as constructor error propagation.
+            infos = [self._recv(i) for i in range(num_workers)]
+        except BaseException:
+            self._closed = True
+            self._teardown()
+            raise
+        self.policy_name = infos[0]["policy_name"]
+        self.supports_removal = infos[0]["supports_removal"]
+        self.worker_pids = [info["pid"] for info in infos]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: Hashable) -> int:
+        """The worker index ``key`` routes to (stable across restarts)."""
+        return stable_key_hash(key) % self.num_workers
+
+    def _group_positions(self, keys: List[Hashable]) -> Dict[int, List[int]]:
+        groups: Dict[int, List[int]] = {}
+        for pos, key in enumerate(keys):
+            groups.setdefault(self.shard_for(key), []).append(pos)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Channel plumbing
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(
+                "MPCacheService is closed; build a new one"
+            )
+
+    def _crashed(self, worker: int) -> WorkerCrashedError:
+        proc = self._procs[worker]
+        proc.join(timeout=1.0)
+        return WorkerCrashedError(worker, proc.pid, proc.exitcode)
+
+    def _recv(self, worker: int) -> Any:
+        """One raw reply from ``worker``; raises remote errors/crashes."""
+        try:
+            tag, payload = self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            raise self._crashed(worker) from exc
+        if tag == "err":
+            raise payload
+        return payload
+
+    def _exchange(self, msgs: Dict[int, tuple]) -> Dict[int, Any]:
+        """Send one message per worker, then await every reply.
+
+        Locks are acquired in worker-index order (deadlock-free against
+        concurrent callers) and all sends complete before the first
+        receive, so the involved workers run their sub-batches
+        concurrently.  If a worker crashes mid-exchange the remaining
+        replies are still drained — the surviving channels stay in
+        sync — and the crash is raised after the drain.
+        """
+        self._ensure_open()
+        idxs = sorted(msgs)
+        for w in idxs:
+            self._locks[w].acquire()
+        try:
+            crash: Optional[WorkerCrashedError] = None
+            remote: Optional[BaseException] = None
+            results: Dict[int, Any] = {}
+            for w in idxs:
+                try:
+                    self._conns[w].send(msgs[w])
+                except (OSError, ValueError) as exc:
+                    if crash is None:
+                        crash = self._crashed(w)
+                        crash.__cause__ = exc
+                    msgs = {k: v for k, v in msgs.items() if k != w}
+            for w in idxs:
+                if w not in msgs:
+                    continue
+                try:
+                    results[w] = self._recv(w)
+                except WorkerCrashedError as exc:
+                    crash = crash or exc
+                except BaseException as exc:
+                    remote = remote or exc
+            if crash is not None:
+                raise crash
+            if remote is not None:
+                raise remote
+            return results
+        finally:
+            for w in reversed(idxs):
+                self._locks[w].release()
+
+    def _exchange_all(self, msg: tuple) -> List[Any]:
+        """The same message to every worker; replies in worker order."""
+        results = self._exchange({w: msg for w in range(self.num_workers)})
+        return [results[w] for w in range(self.num_workers)]
+
+    # ------------------------------------------------------------------
+    # The service surface
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        return self.get_many([key], default)[0]
+
+    def set(
+        self,
+        key: Hashable,
+        value: Any,
+        ttl: Any = _UNSET,
+        size: int = 1,
+    ) -> bool:
+        if ttl is _UNSET:
+            return self.set_many([(key, value)], size=size)[0]
+        return self.set_many([(key, value)], ttl=ttl, size=size)[0]
+
+    def delete(self, key: Hashable) -> bool:
+        return self.delete_many([key])[0]
+
+    def get_many(self, keys: Iterable[Hashable],
+                 default: Any = None) -> List[Any]:
+        """Batched get: **one pipe round-trip per involved worker**."""
+        keys = list(keys)
+        if not keys:
+            return []
+        groups = self._group_positions(keys)
+        replies = self._exchange({
+            w: ("get_many", [keys[p] for p in positions], default)
+            for w, positions in groups.items()
+        })
+        results: List[Any] = [default] * len(keys)
+        for w, positions in groups.items():
+            for p, v in zip(positions, replies[w]):
+                results[p] = v
+        return results
+
+    def set_many(
+        self,
+        items: Iterable[Tuple[Hashable, Any]],
+        ttl: Any = _UNSET,
+        size: int = 1,
+    ) -> List[bool]:
+        """Batched set, coalesced per worker like :meth:`get_many`.
+
+        ``ttl`` travels as an explicit (present, value) pair — the
+        in-process ``_UNSET`` sentinel would not survive pickling.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if ttl is not _UNSET and ttl is not None:
+            if ttl < 0:
+                raise ValueError(f"ttl must be >= 0, got {ttl}")
+        groups = self._group_positions([key for key, _ in items])
+        has_ttl = ttl is not _UNSET
+        replies = self._exchange({
+            w: ("set_many", has_ttl, (ttl if has_ttl else None), size,
+                [items[p] for p in positions])
+            for w, positions in groups.items()
+        })
+        results: List[bool] = [False] * len(items)
+        for w, positions in groups.items():
+            for p, stored in zip(positions, replies[w]):
+                results[p] = stored
+        return results
+
+    def delete_many(self, keys: Iterable[Hashable]) -> List[bool]:
+        keys = list(keys)
+        if not keys:
+            return []
+        groups = self._group_positions(keys)
+        replies = self._exchange({
+            w: ("delete_many", [keys[p] for p in positions])
+            for w, positions in groups.items()
+        })
+        results: List[bool] = [False] * len(keys)
+        for w, positions in groups.items():
+            for p, deleted in zip(positions, replies[w]):
+                results[p] = deleted
+        return results
+
+    def sweep(self, max_checks: Optional[int] = None) -> int:
+        return sum(self._exchange_all(("sweep", max_checks)))
+
+    def check(self) -> None:
+        self._exchange_all(("check",))
+
+    def __contains__(self, key: Hashable) -> bool:
+        replies = self._exchange({self.shard_for(key): ("contains", key)})
+        return next(iter(replies.values()))
+
+    def __len__(self) -> int:
+        return sum(self._exchange_all(("len",)))
+
+    # ------------------------------------------------------------------
+    # Statistics / observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate stats across workers (same shape as sharded).
+
+        Every worker snapshot is taken under that worker's service
+        lock inside its own process, so the same no-tear guarantee as
+        :meth:`ShardedCacheService.stats` holds across the pipe.
+        """
+        per_shard = self._exchange_all(("stats",))
+        aggregate = aggregate_stats(per_shard)
+        aggregate["policy"] = self.policy_name
+        aggregate["capacity"] = self.capacity
+        aggregate["num_shards"] = self.num_workers
+        aggregate["backend"] = "mp"
+        return aggregate
+
+    def ops_per_shard(self) -> List[int]:
+        """Operations (gets+sets+deletes) each worker has served."""
+        return [
+            s["gets"] + s["sets"] + s["deletes"]
+            for s in self._exchange_all(("stats",))
+        ]
+
+    def imbalance(self) -> float:
+        """Hottest worker's operation count over the mean."""
+        from repro.concurrency.sharding import imbalance_factor
+
+        return imbalance_factor(self.ops_per_shard())
+
+    def merge_metrics(self, registry) -> int:
+        """Pull every worker's metrics snapshot into ``registry``.
+
+        Requires ``collect_metrics=True``.  Each worker's series
+        already carry the ``worker=<i>`` label, so repeated merges
+        replace rather than duplicate (see
+        :func:`~repro.obs.exporters.merge_export_dict`).  Returns the
+        total number of series merged.
+        """
+        if not self.collect_metrics:
+            raise ValueError(
+                "MPCacheService was built without collect_metrics=True"
+            )
+        from repro.obs.exporters import merge_export_dict
+
+        merged = 0
+        for snapshot in self._exchange_all(("metrics",)):
+            if snapshot is not None:
+                merged += merge_export_dict(registry, snapshot)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker; idempotent, safe after crashes.
+
+        Asks each live worker to exit, closes the parent pipe ends
+        (which is itself a kill signal — workers exit on EOF), joins,
+        and terminates anything still alive at the deadline.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown(timeout)
+
+    def _teardown(self, timeout: float = 5.0) -> None:
+        for w, conn in enumerate(self._conns):
+            with self._locks[w]:
+                try:
+                    conn.send(("close",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass  # already dead or channel gone
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for proc in self._procs:
+            # Release the Process object's pipe/sentinel resources now
+            # rather than at GC time (no leaked fds or semaphores).
+            try:
+                proc.close()
+            except ValueError:
+                pass  # still alive after terminate: give up quietly
+
+    def __enter__(self) -> "MPCacheService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; never raise from GC
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"MPCacheService({self.policy_name}, capacity={self.capacity}, "
+            f"workers={self.num_workers}, {state})"
+        )

@@ -20,11 +20,38 @@ digest values to guard this.
 from __future__ import annotations
 
 from hashlib import blake2b
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.service.core import CacheService
 
 _UNSET = object()
+
+#: Aggregate-able per-shard stats fields (summed by ``aggregate_stats``).
+SUMMED_STATS_FIELDS: Tuple[str, ...] = (
+    "gets", "hits", "misses", "sets", "deletes", "expired",
+    "evictions", "rejected", "objects", "used", "ttl_entries",
+    "sweep_backlog", "policy_requests",
+)
+
+
+def aggregate_stats(per_shard: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum per-shard stats snapshots into one aggregate dict.
+
+    Shared by :class:`ShardedCacheService` and the process-per-shard
+    :class:`~repro.service.mp.MPCacheService`, so both backends report
+    the same aggregate surface.  Each input snapshot must itself be
+    internally consistent (taken under its shard's lock); the aggregate
+    then preserves invariants like ``hits + misses == gets`` even
+    though the shards were sampled at slightly different instants.
+    """
+    aggregate: Dict[str, Any] = {name: 0 for name in SUMMED_STATS_FIELDS}
+    for stats in per_shard:
+        for name in SUMMED_STATS_FIELDS:
+            aggregate[name] += stats[name]
+    gets = aggregate["gets"]
+    aggregate["hit_ratio"] = aggregate["hits"] / gets if gets else 0.0
+    aggregate["per_shard"] = per_shard
+    return aggregate
 
 
 def stable_key_hash(key: Hashable) -> int:
@@ -150,6 +177,67 @@ class ShardedCacheService:
     def delete(self, key: Hashable) -> bool:
         return self._shards[self.shard_for(key)].delete(key)
 
+    # ------------------------------------------------------------------
+    # Batched operations (per-shard request coalescing)
+    # ------------------------------------------------------------------
+    def _group_positions(self, keys: List[Hashable]) -> Dict[int, List[int]]:
+        """shard index -> positions in ``keys`` routed there (order kept)."""
+        groups: Dict[int, List[int]] = {}
+        for pos, key in enumerate(keys):
+            groups.setdefault(self.shard_for(key), []).append(pos)
+        return groups
+
+    def get_many(self, keys: Iterable[Hashable],
+                 default: Any = None) -> List[Any]:
+        """Batched :meth:`get`: one lock acquisition per shard per batch.
+
+        Keys are coalesced by shard (preserving their relative order
+        within each shard, so per-shard counters match the per-key
+        loop exactly) and results are reassembled in input order.
+        """
+        keys = list(keys)
+        results: List[Any] = [default] * len(keys)
+        for idx, positions in self._group_positions(keys).items():
+            values = self._shards[idx].get_many(
+                [keys[p] for p in positions], default
+            )
+            for p, v in zip(positions, values):
+                results[p] = v
+        return results
+
+    def set_many(
+        self,
+        items: Iterable[Tuple[Hashable, Any]],
+        ttl: Any = _UNSET,
+        size: int = 1,
+    ) -> List[bool]:
+        """Batched :meth:`set`: pairs coalesced into one call per shard."""
+        items = list(items)
+        keys = [key for key, _ in items]
+        results: List[bool] = [False] * len(items)
+        for idx, positions in self._group_positions(keys).items():
+            shard = self._shards[idx]
+            sub = [items[p] for p in positions]
+            if ttl is _UNSET:
+                stored = shard.set_many(sub, size=size)
+            else:
+                stored = shard.set_many(sub, ttl=ttl, size=size)
+            for p, s in zip(positions, stored):
+                results[p] = s
+        return results
+
+    def delete_many(self, keys: Iterable[Hashable]) -> List[bool]:
+        """Batched :meth:`delete`: keys coalesced into one call per shard."""
+        keys = list(keys)
+        results: List[bool] = [False] * len(keys)
+        for idx, positions in self._group_positions(keys).items():
+            deleted = self._shards[idx].delete_many(
+                [keys[p] for p in positions]
+            )
+            for p, d in zip(positions, deleted):
+                results[p] = d
+        return results
+
     def sweep(self, max_checks: Optional[int] = None) -> int:
         return sum(shard.sweep(max_checks) for shard in self._shards)
 
@@ -181,21 +269,20 @@ class ShardedCacheService:
         return imbalance_factor(self.ops_per_shard())
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate counters plus the per-shard breakdown."""
+        """Aggregate counters plus the per-shard breakdown.
+
+        Each shard snapshot is taken under *that shard's* lock
+        (:meth:`CacheService.stats` acquires it), so no per-shard
+        counter can tear mid-increment: every snapshot satisfies
+        ``hits + misses == gets`` individually, and therefore so does
+        the aggregate, even while writers are running — the stats
+        hammer test pins this.  The shards are sampled sequentially,
+        not at one global instant; the aggregate is a sum of
+        per-shard-consistent snapshots, never a torn read.
+        """
         per_shard = [shard.stats() for shard in self._shards]
-        summed = (
-            "gets", "hits", "misses", "sets", "deletes", "expired",
-            "evictions", "rejected", "objects", "used", "ttl_entries",
-            "sweep_backlog", "policy_requests",
-        )
-        aggregate: Dict[str, Any] = {name: 0 for name in summed}
-        for stats in per_shard:
-            for name in summed:
-                aggregate[name] += stats[name]
-        gets = aggregate["gets"]
-        aggregate["hit_ratio"] = aggregate["hits"] / gets if gets else 0.0
+        aggregate = aggregate_stats(per_shard)
         aggregate["policy"] = self.policy_name
         aggregate["capacity"] = self.capacity
         aggregate["num_shards"] = self.num_shards
-        aggregate["per_shard"] = per_shard
         return aggregate

@@ -189,9 +189,10 @@ class TestServiceCommands:
         import json
 
         report = json.loads(out_path.read_text())
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["kind"] == "service-loadgen"
         assert len(report["scenarios"]) == 4
+        assert all(row["backend"] == "thread" for row in report["scenarios"])
         assert "calibration" in report
 
     def test_loadgen_rejects_bad_shards(self, capsys):

@@ -1,0 +1,180 @@
+"""Batch-API parity: ``*_many`` must be the per-key loop, exactly.
+
+The batched operations exist to amortize lock (and, on the mp backend,
+pipe) overhead — they must never change *what* the cache does.  The
+differential here drives one service with per-key calls and a twin
+with batched calls, on the same workload, and requires byte-identical
+``stats()`` dictionaries at the end: same counters, same evictions,
+same per-shard breakdowns.  Runs across removal-capable and
+removal-free policies, reference and fast variants, single-shard and
+sharded services.  (The process-backed twin has the same differential
+in ``test_service_mp.py``, under the ``mp`` marker.)
+"""
+
+import pytest
+
+from repro.service import (
+    CacheService,
+    RemovalUnsupportedError,
+    ShardedCacheService,
+)
+
+POLICIES = ("s3fifo", "s3fifo-fast", "lru", "blru")
+REMOVAL_POLICIES = ("s3fifo", "s3fifo-fast", "lru")
+
+
+def workload(n=600, span=150, seed=9):
+    """A deterministic mixed key stream with repeats and clustering."""
+    keys = []
+    state = seed
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) % (2 ** 31)
+        keys.append(state % span)
+    return keys
+
+
+def drive_per_key(svc, keys, deletes, batch=32):
+    """Chunked read-through, one service call per key.
+
+    Chunk structure mirrors the batched twin — all of a chunk's gets,
+    then its misses' sets — because THAT is the equivalence the batch
+    API promises: ``get_many(chunk)`` is a get loop, ``set_many`` a
+    set loop.  (An interleaved get/set loop is a different operation
+    sequence: a key repeated within a chunk hits from its second
+    occurrence there, misses twice here.)
+    """
+    for i in range(0, len(keys), batch):
+        chunk = keys[i:i + batch]
+        missed = [key for key in chunk if svc.get(key) is None]
+        for key in missed:
+            svc.set(key, key)
+    for i in range(0, len(deletes), batch):
+        for key in deletes[i:i + batch]:
+            svc.delete(key)
+    half = keys[: len(keys) // 2]
+    for i in range(0, len(half), batch):
+        for key in half[i:i + batch]:
+            svc.get(key)
+
+
+def drive_batched(svc, keys, deletes, batch=32):
+    """The same chunk structure through the batch API."""
+    for i in range(0, len(keys), batch):
+        chunk = keys[i:i + batch]
+        values = svc.get_many(chunk)
+        missed = [key for key, v in zip(chunk, values) if v is None]
+        if missed:
+            svc.set_many([(key, key) for key in missed])
+    for i in range(0, len(deletes), batch):
+        svc.delete_many(deletes[i:i + batch])
+    half = keys[: len(keys) // 2]
+    for i in range(0, len(half), batch):
+        svc.get_many(half[i:i + batch])
+
+
+class TestBatchSemantics:
+    def test_get_many_orders_and_defaults(self):
+        svc = CacheService(16, "s3fifo")
+        svc.set("a", 1)
+        svc.set("b", 2)
+        assert svc.get_many(["b", "missing", "a"]) == [2, None, 1]
+        assert svc.get_many(["missing"], default=-1) == [-1]
+        assert svc.get_many([]) == []
+
+    def test_set_many_returns_per_key_outcomes(self):
+        svc = CacheService(16, "s3fifo")
+        assert svc.set_many([("a", 1), ("b", 2)]) == [True, True]
+        assert svc.set_many([]) == []
+        with pytest.raises(ValueError):
+            svc.set_many([("a", 1)], size=0)
+        with pytest.raises(ValueError):
+            svc.set_many([("a", 1)], ttl=-1)
+
+    def test_set_many_rejection_outcomes(self):
+        """blru admits probabilistically: set_many must report the
+        per-key reject decisions, exactly as per-key set does."""
+        ref = CacheService(8, "blru")
+        bat = CacheService(8, "blru")
+        items = [(k, k) for k in range(50)]
+        per_key = [ref.set(k, v) for k, v in items]
+        batched = bat.set_many(items)
+        assert per_key == batched
+        assert False in batched  # the policy really did reject some
+
+    def test_delete_many(self):
+        svc = CacheService(16, "lru")
+        svc.set_many([(k, k) for k in range(5)])
+        assert svc.delete_many([0, 99, 4]) == [True, False, True]
+        assert svc.delete_many([]) == []
+
+    def test_delete_many_requires_removal(self):
+        svc = CacheService(16, "blru")
+        with pytest.raises(RemovalUnsupportedError):
+            svc.delete_many([1, 2])
+        sharded = ShardedCacheService(16, "blru", num_shards=2)
+        with pytest.raises(RemovalUnsupportedError):
+            sharded.delete_many([1, 2])
+
+    def test_ttl_forwarding(self):
+        svc = CacheService(16, "s3fifo", default_ttl=60.0)
+        svc.set_many([("d", 1)])              # inherits the default
+        svc.set_many([("n", 2)], ttl=None)    # explicit no-expiry
+        stats = svc.stats()
+        assert stats["ttl_entries"] == 1
+
+    def test_sharded_batches_preserve_input_order(self):
+        svc = ShardedCacheService(200, "s3fifo", num_shards=4)
+        keys = [f"k{i}" for i in range(40)]
+        svc.set_many([(k, i) for i, k in enumerate(keys)])
+        assert svc.get_many(keys) == list(range(40))
+
+
+class TestBatchParity:
+    """stats() equality between the per-key and batched twins."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_single_shard_parity(self, policy):
+        keys = workload()
+        deletes = (
+            [k for k in range(0, 150, 3)]
+            if policy in REMOVAL_POLICIES else []
+        )
+        ref = CacheService(48, policy)
+        bat = CacheService(48, policy)
+        drive_per_key(ref, keys, deletes)
+        drive_batched(bat, keys, deletes)
+        assert ref.stats() == bat.stats()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_sharded_parity(self, policy):
+        keys = workload(n=800, span=200)
+        deletes = (
+            [k for k in range(0, 200, 3)]
+            if policy in REMOVAL_POLICIES else []
+        )
+        ref = ShardedCacheService(64, policy, num_shards=4)
+        bat = ShardedCacheService(64, policy, num_shards=4)
+        drive_per_key(ref, keys, deletes)
+        drive_batched(bat, keys, deletes)
+        # Full dict equality covers the per-shard breakdowns too.
+        assert ref.stats() == bat.stats()
+
+    def test_sharded_vs_single_batch_routing(self):
+        """Batched ops on the sharded service must produce the same
+        per-shard request streams as per-key routing."""
+        keys = workload(n=500, span=120)
+        per_key = ShardedCacheService(48, "s3fifo", num_shards=3)
+        batched = ShardedCacheService(48, "s3fifo", num_shards=3)
+        for i in range(0, len(keys), 25):
+            chunk = keys[i:i + 25]
+            missed = [key for key in chunk if per_key.get(key) is None]
+            for key in missed:
+                per_key.set(key, key)
+            values = batched.get_many(chunk)
+            batch_missed = [
+                key for key, v in zip(chunk, values) if v is None
+            ]
+            assert batch_missed == missed
+            if batch_missed:
+                batched.set_many([(key, key) for key in batch_missed])
+        assert per_key.stats() == batched.stats()

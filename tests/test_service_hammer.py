@@ -95,6 +95,49 @@ def test_sharded_hammer(policy):
     assert len(stats["per_shard"]) == 4
 
 
+def test_stats_consistent_while_writers_run():
+    """``stats()`` snapshots must never tear: each shard snapshot is
+    taken under that shard's lock, so ``hits + misses == gets`` holds
+    per shard and in the aggregate even while writers are mid-storm —
+    a reader polling stats concurrently with the hammer sees only
+    internally-consistent numbers."""
+    service = ShardedCacheService(CAPACITY, "s3fifo", num_shards=4)
+    errors: list = []
+    stop = threading.Event()
+
+    def poll_stats() -> None:
+        try:
+            while not stop.is_set():
+                stats = service.stats()
+                assert stats["hits"] + stats["misses"] == stats["gets"], stats
+                for shard_stats in stats["per_shard"]:
+                    assert (
+                        shard_stats["hits"] + shard_stats["misses"]
+                        == shard_stats["gets"]
+                    ), shard_stats
+        except BaseException as exc:  # propagate to the main thread
+            errors.append(exc)
+
+    writers = [
+        threading.Thread(target=hammer, args=(service, seed, errors))
+        for seed in range(NUM_THREADS)
+    ]
+    readers = [
+        threading.Thread(target=poll_stats, daemon=True) for _ in range(2)
+    ]
+    for t in writers + readers:
+        t.start()
+    for t in writers:
+        t.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert not errors, errors
+    final = service.stats()
+    assert final["hits"] + final["misses"] == final["gets"]
+    assert final["gets"] > 0
+
+
 @pytest.mark.parametrize("policy", POLICIES)
 def test_hammer_with_observability_attached(policy):
     """The metrics/tracer hot path must not perturb correctness."""

@@ -28,7 +28,8 @@ from repro.service.loadgen import (
 #: Keys every BENCH_service.json consumer relies on; bump
 #: loadgen.SCHEMA_VERSION when changing them.
 SCENARIO_KEYS = {
-    "shards", "threads", "mode", "policy", "ops", "wall_time_s",
+    "shards", "threads", "backend", "workers", "batch_size",
+    "mode", "policy", "ops", "wall_time_s",
     "ops_per_sec", "hit_ratio", "hits", "misses", "latency_us",
     "hit_ns_mean", "miss_ns_mean", "shard_ops", "imbalance",
     "evictions", "expired", "objects",
@@ -51,11 +52,11 @@ def tiny_report(**kwargs):
 class TestReportSchema:
     def test_schema_pinned(self):
         report = tiny_report()
-        assert report["schema"] == SCHEMA_VERSION == 1
+        assert report["schema"] == SCHEMA_VERSION == 2
         assert report["kind"] == REPORT_KIND == "service-loadgen"
         assert set(report["config"]) >= {
             "num_objects", "num_requests", "alpha", "cache_ratio",
-            "capacity", "seed", "policy", "mode",
+            "capacity", "seed", "policy", "mode", "backend", "batch_size",
         }
         assert len(report["scenarios"]) == 4
         for row in report["scenarios"]:
@@ -95,6 +96,26 @@ class TestReportSchema:
         assert summary["p999"] == 100.0
         assert latency_summary_us([])["p99"] == 0.0
 
+    def test_percentile_nearest_rank_pins(self):
+        """The nearest-rank convention on the cases that expose
+        off-by-one bugs: rank = ceil(q*n), 1-indexed, no interpolation."""
+        from repro.service.loadgen import _percentile
+
+        # n=1: every percentile is the sample.
+        assert _percentile([7], 0.5) == 7.0
+        assert _percentile([7], 0.999) == 7.0
+        # n=2: 1 of 2 samples already covers 50%, so p50 is the LOWER.
+        assert _percentile([1, 2], 0.5) == 1.0
+        assert _percentile([1, 2], 0.51) == 2.0
+        # n=4, q=0.5: ceil(2)=2nd value.  The old round(q*(n-1))
+        # formula picked the 3rd — a 75th percentile.
+        assert _percentile([10, 20, 30, 40], 0.5) == 20.0
+        # q=0.999 tail: 999 of 1000 samples cover exactly 99.9%.
+        thousand = list(range(1, 1001))
+        assert _percentile(thousand, 0.999) == 999.0
+        assert _percentile(thousand, 0.99) == 990.0
+        assert _percentile([], 0.5) == 0.0
+
     def test_open_loop_mode(self):
         report = tiny_report(
             shard_counts=(1,), thread_counts=(1,),
@@ -111,6 +132,67 @@ class TestReportSchema:
             run_scenario([1, 2, 3], capacity=10, num_threads=0)
         with pytest.raises(ValueError):
             run_scenario([1, 2, 3], capacity=10, mode="open", open_rate=0)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, backend="rdma")
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, batch_size=0)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, backend="mp",
+                         instrument_policy=True)
+
+
+class TestBatchedRows:
+    def test_batched_thread_rows_report_batch_size(self):
+        report = tiny_report(
+            shard_counts=(1, 2), thread_counts=(1,), batch_size=16,
+        )
+        for row in report["scenarios"]:
+            assert row["backend"] == "thread"
+            assert row["batch_size"] == 16
+            assert row["workers"] == 0
+            assert row["ops"] == row["hits"] + row["misses"]
+            # per-op latency in batched mode is the batch's latency
+            assert row["latency_us"]["p50"] > 0
+
+    def test_batched_and_unbatched_same_total_ops(self):
+        plain = tiny_report(shard_counts=(2,), thread_counts=(1,))
+        batched = tiny_report(
+            shard_counts=(2,), thread_counts=(1,), batch_size=8,
+        )
+        assert plain["scenarios"][0]["ops"] == batched["scenarios"][0]["ops"]
+
+    def test_open_loop_batched(self):
+        report = tiny_report(
+            shard_counts=(1,), thread_counts=(1,), num_requests=600,
+            mode="open", open_rate=200_000, batch_size=32,
+        )
+        row = report["scenarios"][0]
+        assert row["ops"] == 600 and row["batch_size"] == 32
+
+
+class TestCombineReports:
+    def test_combine_merges_scenarios(self):
+        from repro.service.loadgen import combine_reports
+
+        a = tiny_report(shard_counts=(1,), thread_counts=(1,))
+        b = tiny_report(shard_counts=(2,), thread_counts=(1,), batch_size=4)
+        combined = combine_reports([a, b])
+        assert combined["schema"] == SCHEMA_VERSION
+        assert len(combined["scenarios"]) == 2
+        assert combined["config"]["backend"] == ["thread", "thread"]
+        assert find_scenario(combined, 2, 1, batch_size=4) is not None
+        assert find_scenario(combined, 2, 1, batch_size=9) is None
+
+    def test_combine_rejects_foreign_documents(self):
+        from repro.service.loadgen import combine_reports
+
+        with pytest.raises(ValueError):
+            combine_reports([])
+        with pytest.raises(ValueError):
+            combine_reports([{"kind": "metrics-export", "schema": 2}])
+        with pytest.raises(ValueError):
+            combine_reports([{"kind": REPORT_KIND, "schema": 1,
+                              "config": {}, "scenarios": []}])
 
 
 class TestConcurrentHammer:
@@ -204,6 +286,56 @@ class TestCalibration:
         report = tiny_report(shard_counts=(1,), thread_counts=(1,))
         with pytest.raises(ValueError):
             profile_from_loadgen(report)
+
+    @staticmethod
+    def synthetic_mp_report(mqps_1w=0.1, mqps_4w=0.3):
+        """A hand-built schema-2 report with a workers-axis pair, so
+        the calibration unit tests need no real worker processes."""
+        def row(shards, threads, backend, ops_per_sec, batch_size=64):
+            return {
+                "shards": shards, "threads": threads, "backend": backend,
+                "workers": shards if backend == "mp" else 0,
+                "batch_size": batch_size if backend == "mp" else 1,
+                "ops_per_sec": ops_per_sec, "hit_ratio": 0.8,
+                "hit_ns_mean": 2000, "miss_ns_mean": 5000,
+            }
+
+        return {
+            "schema": 2, "kind": REPORT_KIND,
+            "config": {"policy": "s3fifo"},
+            "scenarios": [
+                row(1, 1, "thread", 300_000),
+                row(1, 1, "mp", mqps_1w * 1e6),
+                row(4, 1, "mp", mqps_4w * 1e6),
+            ],
+        }
+
+    def test_workers_axis_calibration(self):
+        from repro.concurrency.calibrate import calibration_summary
+
+        report = self.synthetic_mp_report(mqps_1w=0.1, mqps_4w=0.25)
+        summary = calibration_summary(report, axis="workers")
+        assert summary["axis"] == "workers"
+        assert summary["profile"] == "s3fifo-measured-mp"
+        assert summary["workers"] == 4 and summary["batch_size"] == 64
+        # speedup 2.5 at n=4: p = (1 - 1/2.5) / (1 - 1/4) = 0.8
+        assert summary["parallel_fraction"] == pytest.approx(0.8)
+        # The thread row must NOT leak into the workers axis.
+        profile = profile_from_loadgen(report, axis="workers")
+        assert profile.name == "s3fifo-measured-mp"
+
+    def test_workers_axis_requires_mp_pair(self):
+        report = tiny_report(shard_counts=(1, 2))  # thread rows only
+        with pytest.raises(ValueError):
+            profile_from_loadgen(report, axis="workers")
+        with pytest.raises(ValueError):
+            profile_from_loadgen(report, axis="sideways")
+
+    def test_threads_axis_ignores_mp_rows(self):
+        report = self.synthetic_mp_report()
+        # Only one thread-backend row at shards=1: no scaling pair.
+        with pytest.raises(ValueError):
+            profile_from_loadgen(report, axis="threads")
 
 
 @pytest.mark.service
