@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen mp fig08-native obs examples experiments all
+.PHONY: install test resilience bench perf loadgen mp cluster cluster-churn fig08-native obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,13 @@ loadgen:
 
 mp:
 	pytest tests/ -m mp --no-header -rN
+
+cluster:
+	pytest tests/ -m cluster --no-header -rN
+
+cluster-churn:
+	python -m repro.experiments.cluster_churn \
+	    --out benchmarks/results/cluster_churn.txt
 
 fig08-native:
 	python -m repro.experiments.fig08_native \

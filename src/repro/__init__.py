@@ -28,9 +28,12 @@ Package layout:
 * :mod:`repro.service` — the live cache service layer: thread-safe
   TTL-aware get/set/delete over any policy, hash-sharding, and a
   concurrent load generator.
+* :mod:`repro.cluster` — consistent-hash ring over node processes with
+  R-way replication, crash failover, read-repair, and rebalancing.
 """
 
 from repro.cache import EvictionPolicy, create_policy, policy_names
+from repro.cluster import ClusterCacheService, HashRing
 from repro.core import (
     FastS3FifoCache,
     S3FifoCache,
@@ -70,6 +73,8 @@ __all__ = [
     "RetryPolicy",
     "CacheService",
     "ShardedCacheService",
+    "ClusterCacheService",
+    "HashRing",
     "RemovalUnsupportedError",
     "stable_key_hash",
     "Request",

@@ -33,6 +33,7 @@ EXPERIMENTS = {
     "sec62": "repro.experiments.sec62_adaptive",
     "sec63": "repro.experiments.sec63_queue_type",
     "ablations": "repro.experiments.ablations",
+    "cluster-churn": "repro.experiments.cluster_churn",
 }
 
 
@@ -365,6 +366,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             capacity, args.policy, num_workers=num_shards,
             checked=args.checked,
         )
+    elif args.backend == "cluster":
+        from repro.cluster import ClusterCacheService
+
+        num_shards = args.nodes
+        capacity = max(num_shards, int(args.objects * args.cache_ratio))
+        service = ClusterCacheService(
+            capacity, args.policy, num_nodes=num_shards,
+            replication=args.replication, vnodes=args.vnodes,
+            checked=args.checked,
+        )
     else:
         num_shards = args.shards
         capacity = max(num_shards, int(args.objects * args.cache_ratio))
@@ -417,7 +428,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         service.set(key, key, ttl=ttl)
                     else:
                         service.set(key, key)
-        stats = service.stats()
+        if args.backend == "cluster":
+            stats = service.drain()  # graceful: sweep + final snapshot
+        else:
+            stats = service.stats()
         shard_ops = (
             service.ops_per_shard() if hasattr(service, "ops_per_shard")
             else None
@@ -426,10 +440,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if watcher is not None:
             stop_watch.set()
             watcher.join()
-        if args.backend == "mp":
+        if args.backend in ("mp", "cluster"):
             service.close()
     live_miss = 1.0 - stats["hit_ratio"]
-    unit = "worker process(es)" if args.backend == "mp" else "shard(s)"
+    unit = (
+        "worker process(es)" if args.backend == "mp"
+        else "node process(es)" if args.backend == "cluster"
+        else "shard(s)"
+    )
     print(f"policy:          {args.policy} x {num_shards} {unit}")
     print(f"capacity:        {capacity}")
     print(f"requests:        {stats['gets']} gets, {stats['sets']} sets")
@@ -443,6 +461,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         print(f"shard ops:       {shard_ops}")
         print(f"imbalance:       {imbalance_factor(shard_ops):.3f} (max/mean)")
+    if args.backend == "cluster":
+        health = " ".join(
+            f"{nid}:{'up' if up else 'DOWN'}"
+            for nid, up in stats["node_health"].items()
+        )
+        print(f"nodes:           {stats['nodes_up']}/{stats['num_nodes']} up "
+              f"(R={stats['replication']}, vnodes={stats['vnodes']}) "
+              f"[{health}]")
+        print(f"failovers:       {stats['failovers']}")
+        print(f"read repairs:    {stats['read_repairs']}")
+        print(f"degraded ops:    {stats['degraded_ops']}")
     if ttl is None:
         offline = simulate(
             create_policy(args.policy, capacity=capacity), trace
@@ -466,15 +495,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         shard_counts = [int(s) for s in args.shards.split(",")]
         thread_counts = [int(t) for t in args.threads.split(",")]
         worker_counts = [int(w) for w in args.workers.split(",")]
+        node_counts = [int(n) for n in args.nodes.split(",")]
     except ValueError:
-        print("--shards/--threads/--workers take comma-separated integers",
-              file=sys.stderr)
+        print("--shards/--threads/--workers/--nodes take comma-separated "
+              "integers", file=sys.stderr)
         return 2
     backends = [b.strip() for b in args.backend.split(",")]
-    unknown = set(backends) - {"thread", "mp"}
+    unknown = set(backends) - {"thread", "mp", "cluster"}
     if unknown or not backends:
-        print(f"--backend takes a comma-separated subset of thread,mp; "
-              f"got {args.backend!r}", file=sys.stderr)
+        print(f"--backend takes a comma-separated subset of "
+              f"thread,mp,cluster; got {args.backend!r}", file=sys.stderr)
         return 2
     workload = dict(
         num_objects=args.objects,
@@ -497,7 +527,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 batch_size=args.batch,
                 **workload,
             ))
-        else:
+        elif backend == "mp":
             # The mp axis scales worker processes under one driver
             # thread; batches amortize the per-operation pipe cost.
             reports.append(run_loadgen(
@@ -505,6 +535,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 thread_counts=(1,),
                 backend="mp",
                 batch_size=args.batch,
+                **workload,
+            ))
+        else:
+            # The cluster axis scales node processes; rows carry the
+            # error-rate and node-health columns.
+            reports.append(run_loadgen(
+                shard_counts=node_counts,
+                thread_counts=(1,),
+                backend="cluster",
+                batch_size=args.batch,
+                replication=args.replication,
+                vnodes=args.vnodes,
                 **workload,
             ))
     report = reports[0] if len(reports) == 1 else combine_reports(reports)
@@ -690,12 +732,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--policy", default="s3fifo")
     serve.add_argument("--shards", type=int, default=1)
-    serve.add_argument("--backend", choices=("inproc", "mp"),
+    serve.add_argument("--backend", choices=("inproc", "mp", "cluster"),
                        default="inproc",
                        help="inproc: in-process shards; mp: one worker "
-                       "process per shard (see --workers)")
+                       "process per shard (see --workers); cluster: "
+                       "replicated node processes (see --nodes)")
     serve.add_argument("--workers", type=int, default=2,
                        help="worker process count (mp backend)")
+    serve.add_argument("--nodes", type=int, default=3,
+                       help="node process count (cluster backend)")
+    serve.add_argument("--replication", type=int, default=2,
+                       help="copies per key (cluster backend)")
+    serve.add_argument("--vnodes", type=int, default=64,
+                       help="ring points per node (cluster backend)")
     serve.add_argument("--batch", type=int, default=1,
                        help="replay in get_many/set_many batches of this "
                        "size (amortizes IPC on the mp backend)")
@@ -722,12 +771,19 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--threads", default="1,4",
                     help="comma-separated thread counts (thread backend)")
     lg.add_argument("--backend", default="thread",
-                    help="comma-separated subset of thread,mp; each "
-                    "backend runs its own matrix and the rows land in "
-                    "one combined report")
+                    help="comma-separated subset of thread,mp,cluster; "
+                    "each backend runs its own matrix and the rows land "
+                    "in one combined report")
     lg.add_argument("--workers", default="1,4",
                     help="comma-separated worker-process counts "
                     "(mp backend)")
+    lg.add_argument("--nodes", default="3",
+                    help="comma-separated node-process counts "
+                    "(cluster backend)")
+    lg.add_argument("--replication", type=int, default=2,
+                    help="copies per key (cluster backend)")
+    lg.add_argument("--vnodes", type=int, default=64,
+                    help="ring points per node (cluster backend)")
     lg.add_argument("--batch", type=int, default=1,
                     help="get_many/set_many batch size (1 = per-key ops)")
     lg.add_argument("--objects", type=int, default=10_000)

@@ -1,0 +1,19 @@
+"""Cluster tier: consistent-hash placement, replication, failover.
+
+``repro.cluster`` turns the single-host service stack into a
+replicated multi-node cache: :class:`~repro.cluster.ring.HashRing`
+places keys on a consistent-hash ring with virtual nodes, and
+:class:`~repro.cluster.service.ClusterCacheService` runs N node
+processes with R-way replication, fault-driven failover, read-repair,
+and bounded-movement rebalancing.  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, key_movement
+from repro.cluster.service import ClusterCacheService
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "key_movement",
+    "ClusterCacheService",
+]

@@ -1,0 +1,169 @@
+"""Consistent-hash ring with virtual nodes.
+
+The sharded backends map keys to shards with ``hash % n`` — perfect
+balance, but resizing from N to N+1 shards remaps ~N/(N+1) of all
+keys.  A cluster whose nodes come and go needs the opposite trade:
+:class:`HashRing` places ``vnodes`` points per node on a 64-bit ring
+and routes each key to the first point at or after the key's hash, so
+adding or removing one node only moves the keys that fall between the
+affected points — about ``1/N`` of them, bounded tighter as ``vnodes``
+grows (the ring property tests pin ``<= 1/N + epsilon``).
+
+Hashing reuses :func:`~repro.service.sharded.stable_key_hash` for both
+keys and vnode points, so placement is identical in every process and
+across restarts — the same property the flat sharded services pin for
+their modulo routing.
+
+Replica sets come from the same walk: :meth:`HashRing.nodes_for`
+continues clockwise past the primary, collecting *distinct* nodes, so
+a key's R owners are R different nodes whenever the ring has that
+many.  The walk order is also the failover order — when the primary
+is down, the next distinct node is exactly where the R=2 replica
+lives.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.service.sharded import stable_key_hash
+
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """A consistent-hash ring of hashable node ids.
+
+    ``vnodes`` is the number of points each node contributes; more
+    points smooth both placement balance and the per-join movement
+    bound, at O(vnodes * nodes) memory and O(log(vnodes * nodes))
+    lookups.
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set = set()
+        self._points: List[Tuple[int, Any]] = []  # sorted (hash, node)
+        self._hashes: List[int] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Any]:
+        """The member nodes, in sorted-repr order (deterministic)."""
+        return sorted(self._nodes, key=repr)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Any) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: Hashable) -> None:
+        """Add ``node``'s vnode points to the ring."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        self._points.extend(
+            (self._point_hash(node, i), node) for i in range(self.vnodes)
+        )
+        self._rebuild()
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node``'s vnode points from the ring."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+        self._rebuild()
+
+    def _point_hash(self, node: Any, index: int) -> int:
+        """The ring position of ``node``'s ``index``-th vnode.
+
+        The point key is a namespaced *string*, so a node id can never
+        collide with a cache key that happens to share its repr.
+        """
+        return stable_key_hash(f"vnode:{node!r}:{index}")
+
+    def _rebuild(self) -> None:
+        # Ties on the hash (astronomically rare with 64-bit points)
+        # break on the node's repr so iteration order is deterministic.
+        self._points.sort(key=lambda p: (p[0], repr(p[1])))
+        self._hashes = [h for h, _ in self._points]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def node_for(self, key: Hashable) -> Any:
+        """The primary owner of ``key``."""
+        return self.nodes_for(key, 1)[0]
+
+    def nodes_for(self, key: Hashable, count: int = 1) -> List[Any]:
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        The list is the key's replica set in failover order; it is
+        shorter than ``count`` when the ring has fewer nodes.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self._points:
+            raise LookupError("hash ring has no nodes")
+        start = bisect_right(self._hashes, stable_key_hash(key))
+        n = len(self._points)
+        owners: List[Any] = []
+        seen: set = set()
+        for step in range(n):
+            node = self._points[(start + step) % n][1]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
+    def spread(self, keys: Sequence[Hashable]) -> Dict[Any, int]:
+        """Primary-owner counts over ``keys`` (balance diagnostics)."""
+        counts: Dict[Any, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing({len(self._nodes)} nodes, vnodes={self.vnodes}, "
+            f"{len(self._points)} points)"
+        )
+
+
+def key_movement(
+    before: HashRing,
+    after: HashRing,
+    keys: Sequence[Hashable],
+    replication: int = 1,
+) -> float:
+    """The fraction of ``keys`` whose owner set gained a node.
+
+    This is the rebalance *copy* cost of going from ``before`` to
+    ``after``: a key counts as moved when some node owns it after that
+    did not own it before (data must be copied there).  Keys that only
+    *lose* owners cost a delete, not a copy, and do not count.  The
+    consistent-hashing guarantee the property tests pin is that one
+    join or leave moves about ``1/N`` of keys, not the ``N/(N+1)`` a
+    modulo remap would.
+    """
+    if not keys:
+        return 0.0
+    moved = 0
+    for key in keys:
+        old = set(before.nodes_for(key, replication))
+        new = set(after.nodes_for(key, replication))
+        if new - old:
+            moved += 1
+    return moved / len(keys)

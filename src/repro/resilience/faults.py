@@ -49,6 +49,12 @@ FAULT_KINDS = frozenset(
      CRASH, WORKER_CRASH}
 )
 
+# Kinds whose overlapping windows compose (latency magnitudes sum — a
+# behaviour :meth:`FaultPlan.latency` defines and tests pin).  Every
+# other kind is a binary condition, where two windows covering the
+# same clock on the same target is a plan-authoring bug.
+_ADDITIVE_KINDS = frozenset({LATENCY})
+
 
 class FaultEvent:
     """One fault window: ``kind`` is active for clocks in [start, stop).
@@ -103,13 +109,43 @@ class FaultPlan:
     """
 
     def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
-        self._events: List[FaultEvent] = sorted(
-            events, key=lambda e: (e.start, e.stop, e.kind)
-        )
+        self._events: List[FaultEvent] = []
+        for event in events:
+            self._append_validated(event)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _append_validated(self, event: FaultEvent) -> None:
+        """Admit one window after plan-level validation.
+
+        :class:`FaultEvent` already rejects unknown kinds; the check
+        here re-runs for events built by hand (``__slots__`` instances
+        can be mutated after construction).  Overlap rejection applies
+        to non-additive kinds only — two windows of a binary fault
+        covering the same clock on the same target cannot both "be"
+        the fault, so the plan is ambiguous and almost certainly a
+        typo; latency windows stack by design.
+        """
+        if event.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {event.kind!r}; "
+                f"known: {sorted(FAULT_KINDS)}"
+            )
+        if event.kind not in _ADDITIVE_KINDS:
+            for other in self._events:
+                if (other.kind == event.kind
+                        and other.target == event.target
+                        and event.start < other.stop
+                        and other.start < event.stop):
+                    raise ValueError(
+                        f"overlapping {event.kind!r} windows on target "
+                        f"{event.target!r}: [{other.start}, {other.stop}) "
+                        f"and [{event.start}, {event.stop})"
+                    )
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.start, e.stop, e.kind))
+
     def add(
         self,
         kind: str,
@@ -119,8 +155,9 @@ class FaultPlan:
         magnitude: float = 1.0,
     ) -> "FaultPlan":
         """Append a window; returns ``self`` for chaining."""
-        self._events.append(FaultEvent(kind, start, stop, target, magnitude))
-        self._events.sort(key=lambda e: (e.start, e.stop, e.kind))
+        self._append_validated(
+            FaultEvent(kind, start, stop, target, magnitude)
+        )
         return self
 
     @classmethod
@@ -136,7 +173,12 @@ class FaultPlan:
         """A reproducible random schedule over ``[0, horizon)``.
 
         The same arguments always yield the same plan: all randomness
-        comes from ``random.Random(seed)``.
+        comes from ``random.Random(seed)``.  Draws that would overlap
+        an already-placed window of the same (non-additive) kind and
+        target are deterministically redrawn; after a bounded number
+        of attempts (25 per requested event) the plan is returned with
+        fewer than ``count`` windows rather than looping forever on a
+        crowded horizon.
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -146,16 +188,24 @@ class FaultPlan:
             if kind not in FAULT_KINDS:
                 raise ValueError(f"unknown fault kind {kind!r}")
         rng = random.Random(seed)
-        events = []
-        for _ in range(count):
+        plan = cls()
+        placed = 0
+        attempts = 0
+        budget = count * 25
+        while placed < count and attempts < budget:
+            attempts += 1
             kind = rng.choice(list(kinds))
             duration = max(1, int(rng.expovariate(1.0 / mean_duration)))
             start = rng.randrange(max(1, horizon - duration))
             target = rng.choice(list(targets))
-            events.append(
-                FaultEvent(kind, start, min(horizon, start + duration), target)
-            )
-        return cls(events)
+            try:
+                plan._append_validated(FaultEvent(
+                    kind, start, min(horizon, start + duration), target
+                ))
+            except ValueError:
+                continue  # conflicting window: redraw deterministically
+            placed += 1
+        return plan
 
     # ------------------------------------------------------------------
     # Queries

@@ -21,15 +21,34 @@ T = TypeVar("T")
 
 
 class RetryError(Exception):
-    """All attempts failed.  ``last_error`` is the final exception."""
+    """All attempts failed (or the time budget ran out).
 
-    def __init__(self, attempts: int, last_error: Exception) -> None:
-        super().__init__(
+    ``last_error`` is the final exception.  When the policy carries a
+    ``max_elapsed`` budget, ``elapsed`` and ``budget`` report how much
+    backoff time had accumulated against it — the message shows both,
+    so a deadline abort is distinguishable from attempt exhaustion.
+    """
+
+    def __init__(
+        self,
+        attempts: int,
+        last_error: Exception,
+        elapsed: Optional[float] = None,
+        budget: Optional[float] = None,
+    ) -> None:
+        msg = (
             f"gave up after {attempts} attempt(s): "
             f"{type(last_error).__name__}: {last_error}"
         )
+        if budget is not None:
+            msg += (
+                f"; elapsed {elapsed:.3f} of {budget:.3f} budget"
+            )
+        super().__init__(msg)
         self.attempts = attempts
         self.last_error = last_error
+        self.elapsed = elapsed
+        self.budget = budget
 
 
 class RetryPolicy:
@@ -48,6 +67,14 @@ class RetryPolicy:
         cannot preempt a running function, so in-process users treat
         this as advisory; :func:`~repro.sim.runner.run_sweep` enforces
         it on worker processes (seconds).
+    max_elapsed:
+        Total-deadline budget across *all* retries, in the same time
+        units as the delays.  ``call`` sums the backoff delays it is
+        about to pay; a retry whose delay would push the total past
+        the budget is abandoned and :class:`RetryError` raised with
+        ``elapsed``/``budget`` filled in.  Stacked retries during
+        failover therefore cannot exceed a caller's time budget, no
+        matter how many layers retry independently.
     seed:
         Seeds the jitter stream; same seed, same delays.
     """
@@ -59,6 +86,7 @@ class RetryPolicy:
         "max_delay",
         "jitter",
         "attempt_timeout",
+        "max_elapsed",
         "seed",
         "_rng",
     )
@@ -71,6 +99,7 @@ class RetryPolicy:
         max_delay: float = 60.0,
         jitter: float = 0.5,
         attempt_timeout: Optional[float] = None,
+        max_elapsed: Optional[float] = None,
         seed: int = 0,
     ) -> None:
         if max_attempts < 1:
@@ -85,12 +114,17 @@ class RetryPolicy:
             raise ValueError(
                 f"attempt_timeout must be positive, got {attempt_timeout}"
             )
+        if max_elapsed is not None and max_elapsed <= 0:
+            raise ValueError(
+                f"max_elapsed must be positive, got {max_elapsed}"
+            )
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.multiplier = multiplier
         self.max_delay = max_delay
         self.jitter = jitter
         self.attempt_timeout = attempt_timeout
+        self.max_elapsed = max_elapsed
         self.seed = seed
         self._rng = random.Random(seed)
 
@@ -128,8 +162,18 @@ class RetryPolicy:
 
         ``sleep=None`` skips real waiting (simulation use); ``on_retry``
         observes ``(attempt_number, error, delay)`` before each retry.
+
+        With ``max_elapsed`` set, the accumulated backoff is charged
+        against the budget *before* each wait: a retry whose delay
+        would overshoot is abandoned immediately (the deadline abort
+        happens at the decision point, not after sleeping past it),
+        and the raised :class:`RetryError` reports elapsed vs budget.
+        Elapsed time is the sum of backoff delays — the policy's own
+        logical clock — so budget behaviour is deterministic per seed
+        regardless of how long ``fn`` itself runs.
         """
         last: Optional[Exception] = None
+        elapsed = 0.0
         for attempt in range(1, self.max_attempts + 1):
             try:
                 return fn(*args, **kwargs)
@@ -138,11 +182,23 @@ class RetryPolicy:
                 if attempt == self.max_attempts:
                     break
                 delay = self.backoff(attempt - 1)
+                if (self.max_elapsed is not None
+                        and elapsed + delay > self.max_elapsed):
+                    raise RetryError(
+                        attempt, exc,
+                        elapsed=elapsed, budget=self.max_elapsed,
+                    ) from exc
+                elapsed += delay
                 if on_retry is not None:
                     on_retry(attempt, exc, delay)
                 if sleep is not None and delay > 0:
                     sleep(delay)
         assert last is not None
+        if self.max_elapsed is not None:
+            raise RetryError(
+                self.max_attempts, last,
+                elapsed=elapsed, budget=self.max_elapsed,
+            )
         raise RetryError(self.max_attempts, last)
 
     def __repr__(self) -> str:

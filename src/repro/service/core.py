@@ -442,6 +442,61 @@ class CacheService:
                     queue.append(key)
             return expired
 
+    # ------------------------------------------------------------------
+    # Migration (cluster rebalancing)
+    # ------------------------------------------------------------------
+    def export_entries(self) -> List[Tuple[Hashable, Any, Optional[float], int]]:
+        """Snapshot every live entry as ``(key, value, ttl, size)``.
+
+        ``ttl`` is the *remaining* lifetime (``None`` for immortal
+        entries), so an entry imported elsewhere keeps roughly its
+        original deadline even though the two services run on
+        different clocks.  Pure read: no counters move, no policy
+        state is touched, expired-but-unswept entries are skipped.
+        Used by the cluster tier to rebalance keys between nodes.
+        """
+        with self._lock:
+            now = self._clock()
+            out: List[Tuple[Hashable, Any, Optional[float], int]] = []
+            for key, entry in self._values.items():
+                if entry.expires_at is not None and now >= entry.expires_at:
+                    continue
+                ttl = (
+                    None if entry.expires_at is None
+                    else entry.expires_at - now
+                )
+                out.append((key, entry.value, ttl, entry.size))
+            return out
+
+    def import_entries(
+        self, entries: Iterable[Tuple[Hashable, Any, Optional[float], int]]
+    ) -> int:
+        """Admit exported entries; returns how many became resident.
+
+        Each entry goes through the normal set path — it counts as a
+        set, charges its original size, and the policy may decline it
+        (admission filters apply to migrated keys exactly as to fresh
+        ones); declined entries are dropped, not retried.  TTL'd
+        entries require a removal-capable policy, as everywhere else.
+        """
+        stored_count = 0
+        with self._lock:
+            for key, value, ttl, size in entries:
+                if ttl is not None:
+                    if not self.supports_removal:
+                        raise RemovalUnsupportedError(
+                            self.policy_name, "import_entries() with ttl"
+                        )
+                    if ttl < 0:
+                        # Died in transit: ttl=0 is the acknowledged
+                        # expires-immediately path (nothing admitted).
+                        ttl = 0
+                stored, _ = self._set_locked(key, value, ttl, size)
+                self._tick()
+                if stored:
+                    stored_count += 1
+        return stored_count
+
     def stats(self) -> Dict[str, Any]:
         """A consistent snapshot of service and policy statistics."""
         with self._lock:

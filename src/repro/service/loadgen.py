@@ -25,7 +25,7 @@ exactly the offline simulator's request sequence, which the parity
 tests exploit.  All threads draw slices of one shared trace, so the
 workload is identical across thread counts.
 
-Two backends (``backend=``):
+Three backends (``backend=``):
 
 * **thread** — the in-process services
   (:class:`~repro.service.core.CacheService` /
@@ -36,6 +36,20 @@ Two backends (``backend=``):
   :class:`~repro.service.mp.MPCacheService`; ``num_shards`` becomes the
   worker-process count.  This is the native-scaling configuration
   behind ``fig08_throughput_native.txt``.
+* **cluster** — the replicated
+  :class:`~repro.cluster.service.ClusterCacheService`; ``num_shards``
+  becomes the node-process count, with ``replication`` copies per key
+  and failover instead of errors when a node dies.
+
+A worker that loses its shard mid-run (an mp worker crash, e.g. an
+injected ``fault_plans`` ``worker-crash``) no longer aborts the whole
+benchmark thread: the crashed operation is counted in the row's
+``errors`` / ``error_rate`` fields and the loop moves on — on the mp
+backend later operations on the dead shard keep failing and keep
+counting, while the cluster backend fails over and the error never
+recurs.  Rows also carry the cluster health counters (``nodes_up``,
+``failovers``, ``read_repairs``, ``degraded_ops``) when the backend
+reports them.
 
 ``batch_size > 1`` switches both backends to the batched read-through
 loop: ``get_many`` over the batch, then one ``set_many`` for the
@@ -59,6 +73,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.concurrency.sharding import imbalance_factor
 from repro.service.core import CacheService
+from repro.service.mp import WorkerCrashedError
 from repro.service.sharded import ShardedCacheService
 
 #: Bumped when the report layout changes incompatibly.
@@ -73,7 +88,8 @@ REPORT_KIND = "service-loadgen"
 class _WorkerStats:
     """Per-thread measurement state (merged after the run)."""
 
-    __slots__ = ("latencies_ns", "hits", "misses", "hit_ns", "miss_ns")
+    __slots__ = ("latencies_ns", "hits", "misses", "hit_ns", "miss_ns",
+                 "errors")
 
     def __init__(self) -> None:
         self.latencies_ns = array("q")
@@ -81,6 +97,7 @@ class _WorkerStats:
         self.misses = 0
         self.hit_ns = 0
         self.miss_ns = 0
+        self.errors = 0
 
 
 def _run_closed(service, keys: Sequence[int], value: Any,
@@ -92,15 +109,21 @@ def _run_closed(service, keys: Sequence[int], value: Any,
     barrier.wait()
     for key in keys:
         t0 = clock()
-        if get(key) is None:
-            set_(key, value)
-            t1 = clock()
-            stats.misses += 1
-            stats.miss_ns += t1 - t0
-        else:
-            t1 = clock()
-            stats.hits += 1
-            stats.hit_ns += t1 - t0
+        try:
+            if get(key) is None:
+                set_(key, value)
+                t1 = clock()
+                stats.misses += 1
+                stats.miss_ns += t1 - t0
+            else:
+                t1 = clock()
+                stats.hits += 1
+                stats.hit_ns += t1 - t0
+        except WorkerCrashedError:
+            # The shard died under this op: count it and keep driving
+            # the surviving shards — the run's error_rate reports it.
+            stats.errors += 1
+            continue
         record(t1 - t0)
 
 
@@ -120,15 +143,19 @@ def _run_open(service, keys: Sequence[int], value: Any,
             time.sleep(wait / 1e9)
         # Latency from the *scheduled* arrival: queueing delay behind a
         # slow predecessor is charged to every operation it delays.
-        if get(key) is None:
-            set_(key, value)
-            done = clock()
-            stats.misses += 1
-            stats.miss_ns += done - scheduled
-        else:
-            done = clock()
-            stats.hits += 1
-            stats.hit_ns += done - scheduled
+        try:
+            if get(key) is None:
+                set_(key, value)
+                done = clock()
+                stats.misses += 1
+                stats.miss_ns += done - scheduled
+            else:
+                done = clock()
+                stats.hits += 1
+                stats.hit_ns += done - scheduled
+        except WorkerCrashedError:
+            stats.errors += 1
+            continue
         record(done - scheduled)
 
 
@@ -159,10 +186,14 @@ def _run_closed_batched(service, keys: Sequence[int], value: Any,
     for start in range(0, len(keys), batch_size):
         batch = keys[start:start + batch_size]
         t0 = clock()
-        values = get_many(batch)
-        missed = [k for k, v in zip(batch, values) if v is None]
-        if missed:
-            set_many([(k, value) for k in missed])
+        try:
+            values = get_many(batch)
+            missed = [k for k, v in zip(batch, values) if v is None]
+            if missed:
+                set_many([(k, value) for k in missed])
+        except WorkerCrashedError:
+            stats.errors += len(batch)
+            continue
         elapsed = clock() - t0
         _charge_batch(stats, len(batch), len(missed), elapsed, record)
 
@@ -185,10 +216,14 @@ def _run_open_batched(service, keys: Sequence[int], value: Any,
         wait = scheduled - clock()
         if wait > 0:
             time.sleep(wait / 1e9)
-        values = get_many(batch)
-        missed = [k for k, v in zip(batch, values) if v is None]
-        if missed:
-            set_many([(k, value) for k in missed])
+        try:
+            values = get_many(batch)
+            missed = [k for k, v in zip(batch, values) if v is None]
+            if missed:
+                set_many([(k, value) for k in missed])
+        except WorkerCrashedError:
+            stats.errors += len(batch)
+            continue
         elapsed = clock() - scheduled
         _charge_batch(stats, len(batch), len(missed), elapsed, record)
 
@@ -232,7 +267,12 @@ def _interval_monitor(service, stop: threading.Event, interval_s: float,
     """Append a counters snapshot every ``interval_s`` until stopped."""
     start = time.perf_counter()
     while not stop.wait(interval_s):
-        out.append(counters_snapshot(service, time.perf_counter() - start))
+        try:
+            out.append(
+                counters_snapshot(service, time.perf_counter() - start)
+            )
+        except WorkerCrashedError:
+            continue  # shard died between snapshots; keep monitoring
 
 
 def _percentile(sorted_ns: Sequence[int], q: float) -> float:
@@ -292,6 +332,7 @@ def _build_mp_service(
     start_method: Optional[str],
     checked: bool,
     ttl: Optional[float],
+    fault_plans=None,
 ):
     from repro.service.mp import MPCacheService
 
@@ -302,6 +343,33 @@ def _build_mp_service(
         start_method=start_method,
         checked=checked,
         default_ttl=ttl,
+        fault_plans=fault_plans,
+    )
+
+
+def _build_cluster_service(
+    capacity: int,
+    policy: str,
+    num_nodes: int,
+    replication: int,
+    vnodes: int,
+    start_method: Optional[str],
+    checked: bool,
+    ttl: Optional[float],
+    fault_plans=None,
+):
+    from repro.cluster.service import ClusterCacheService
+
+    return ClusterCacheService(
+        capacity,
+        policy,
+        num_nodes=num_nodes,
+        replication=replication,
+        vnodes=vnodes,
+        start_method=start_method,
+        checked=checked,
+        default_ttl=ttl,
+        fault_plans=fault_plans,
     )
 
 
@@ -323,6 +391,9 @@ def run_scenario(
     backend: str = "thread",
     batch_size: int = 1,
     start_method: Optional[str] = None,
+    replication: int = 2,
+    vnodes: int = 64,
+    fault_plans=None,
 ) -> Dict[str, Any]:
     """Drive one (shards, threads) configuration; returns the report row.
 
@@ -339,7 +410,12 @@ def run_scenario(
     ``backend="mp"`` runs the process-per-shard
     :class:`~repro.service.mp.MPCacheService` with ``num_shards``
     worker processes (torn down before the row returns);
-    ``batch_size > 1`` switches either backend to the batched
+    ``backend="cluster"`` runs the replicated
+    :class:`~repro.cluster.service.ClusterCacheService` with
+    ``num_shards`` node processes, ``replication`` copies per key, and
+    ``vnodes`` ring points per node.  ``fault_plans`` injects
+    deterministic worker crashes on either process backend;
+    ``batch_size > 1`` switches any backend to the batched
     read-through loop (see the module docstring for its latency and
     accounting conventions).
     """
@@ -347,20 +423,29 @@ def run_scenario(
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
-    if backend not in ("thread", "mp"):
-        raise ValueError(f"backend must be 'thread' or 'mp', got {backend!r}")
+    if backend not in ("thread", "mp", "cluster"):
+        raise ValueError(
+            f"backend must be 'thread', 'mp', or 'cluster', got {backend!r}"
+        )
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    if backend == "mp":
+    if backend in ("mp", "cluster"):
         if metrics is not None or tracer is not None or instrument_policy:
             raise ValueError(
                 "metrics/tracer/instrument_policy are in-process hooks and "
                 "cannot cross process boundaries; the mp backend exposes "
                 "MPCacheService.merge_metrics() instead"
             )
-        service = _build_mp_service(
-            capacity, policy, num_shards, start_method, checked, ttl
-        )
+        if backend == "mp":
+            service = _build_mp_service(
+                capacity, policy, num_shards, start_method, checked, ttl,
+                fault_plans,
+            )
+        else:
+            service = _build_cluster_service(
+                capacity, policy, num_shards, replication, vnodes,
+                start_method, checked, ttl, fault_plans,
+            )
     else:
         service = build_service(
             capacity, policy, num_shards,
@@ -442,33 +527,44 @@ def run_scenario(
     if monitor is not None:
         stop_monitor.set()
         monitor.join()
-        intervals.append(counters_snapshot(service, wall))
-
+        try:
+            intervals.append(counters_snapshot(service, wall))
+        except WorkerCrashedError:
+            pass  # the run itself already counted the errors
     merged = array("q")
-    hits = misses = hit_ns = miss_ns = 0
+    hits = misses = hit_ns = miss_ns = errors = 0
     for st in stats:
         merged.extend(st.latencies_ns)
         hits += st.hits
         misses += st.misses
         hit_ns += st.hit_ns
         miss_ns += st.miss_ns
+        errors += st.errors
     ops = len(merged)
-    if hasattr(service, "ops_per_shard"):
-        shard_ops = service.ops_per_shard()
-        imbalance = (
-            round(imbalance_factor(shard_ops), 4) if num_shards > 1 else 1.0
-        )
-    else:
-        shard_ops = [service.counters.gets + service.counters.sets]
+    # A crashed mp worker makes the final bookkeeping round-trips
+    # raise too; report what survives instead of losing the row.
+    try:
+        if hasattr(service, "ops_per_shard"):
+            shard_ops = service.ops_per_shard()
+            imbalance = (
+                round(imbalance_factor(shard_ops), 4)
+                if num_shards > 1 else 1.0
+            )
+        else:
+            shard_ops = [service.counters.gets + service.counters.sets]
+            imbalance = 1.0
+        service_stats = service.stats()
+    except WorkerCrashedError:
+        shard_ops = []
         imbalance = 1.0
-    service_stats = service.stats()
-    if backend == "mp":
+        service_stats = {"evictions": None, "expired": None, "objects": None}
+    if backend in ("mp", "cluster"):
         service.close()
-    return {
+    row = {
         "shards": num_shards,
         "threads": num_threads,
         "backend": backend,
-        "workers": num_shards if backend == "mp" else 0,
+        "workers": num_shards if backend in ("mp", "cluster") else 0,
         "batch_size": batch_size,
         "mode": mode,
         "policy": policy,
@@ -478,6 +574,8 @@ def run_scenario(
         "hit_ratio": round(hits / ops, 6) if ops else 0.0,
         "hits": hits,
         "misses": misses,
+        "errors": errors,
+        "error_rate": round(errors / (ops + errors), 6) if errors else 0.0,
         "latency_us": latency_summary_us(merged),
         "hit_ns_mean": round(hit_ns / hits) if hits else 0,
         "miss_ns_mean": round(miss_ns / misses) if misses else 0,
@@ -488,6 +586,13 @@ def run_scenario(
         "objects": service_stats["objects"],
         **({"intervals": intervals} if snapshot_interval_s is not None else {}),
     }
+    if backend == "cluster":
+        row["replication"] = replication
+        row["vnodes"] = vnodes
+        for field in ("nodes_up", "failovers", "read_repairs",
+                      "degraded_ops"):
+            row[field] = service_stats.get(field)
+    return row
 
 
 def run_loadgen(
@@ -510,6 +615,8 @@ def run_loadgen(
     backend: str = "thread",
     batch_size: int = 1,
     start_method: Optional[str] = None,
+    replication: int = 2,
+    vnodes: int = 64,
 ) -> Dict[str, Any]:
     """The full scenario matrix (shards x threads); returns the report.
 
@@ -553,6 +660,8 @@ def run_loadgen(
                     backend=backend,
                     batch_size=batch_size,
                     start_method=start_method,
+                    replication=replication,
+                    vnodes=vnodes,
                 )
             )
     return {
@@ -572,6 +681,8 @@ def run_loadgen(
             "ttl": ttl,
             "backend": backend,
             "batch_size": batch_size,
+            **({"replication": replication, "vnodes": vnodes}
+               if backend == "cluster" else {}),
         },
         "scenarios": scenarios,
     }
@@ -618,7 +729,7 @@ def format_report(report: Dict[str, Any]) -> str:
         f"({cfg['mode']} loop): {cfg['num_requests']:,} requests, "
         f"{cfg['num_objects']:,} objects, capacity {cfg['capacity']:,}",
         f"{'backend':>7} {'shards':>6} {'threads':>7} {'batch':>5} "
-        f"{'ops/s':>10} {'hit':>7} "
+        f"{'ops/s':>10} {'hit':>7} {'err':>7} "
         f"{'p50us':>8} {'p99us':>8} {'p999us':>8} {'imbal':>6}",
     ]
     for row in report["scenarios"]:
@@ -628,6 +739,7 @@ def format_report(report: Dict[str, Any]) -> str:
             f"{row['shards']:>6} {row['threads']:>7} "
             f"{row.get('batch_size', 1):>5} "
             f"{row['ops_per_sec']:>10,} {row['hit_ratio']:>7.4f} "
+            f"{row.get('error_rate', 0.0):>7.4f} "
             f"{lat['p50']:>8.1f} {lat['p99']:>8.1f} {lat['p999']:>8.1f} "
             f"{row['imbalance']:>6.2f}"
         )

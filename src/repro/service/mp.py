@@ -173,6 +173,13 @@ def _worker_main(
                 result = service.sweep(msg[1])
             elif op == "stats":
                 result = service.stats()
+            elif op == "export":
+                # Cluster rebalancing: ship (key, value, ttl, size)
+                # snapshots; remaining-TTL form survives the clock
+                # change between processes.
+                result = service.export_entries()
+            elif op == "import":
+                result = service.import_entries(msg[1])
             elif op == "check":
                 service.check()
                 result = None

@@ -1,0 +1,31 @@
+"""Tier-1 smoke for the cluster tier.
+
+One fast, deterministic spin-up of a two-node cluster — enough to
+catch import rot, protocol drift, or teardown leaks in the default
+test run.  The full suite (failover, read-repair, membership) carries
+the ``cluster`` marker and runs via ``make cluster``.
+"""
+
+import multiprocessing
+import time
+
+from repro.cluster import ClusterCacheService
+
+
+def test_cluster_smoke_roundtrip():
+    with ClusterCacheService(40, "s3fifo", num_nodes=2,
+                             replication=2, vnodes=16) as svc:
+        items = [(f"k{i}", i) for i in range(10)]
+        assert all(svc.set_many(items))
+        assert svc.get_many([k for k, _ in items]) == [
+            v for _, v in items
+        ]
+        assert svc.get("absent") is None
+        stats = svc.stats()
+        assert stats["backend"] == "cluster"
+        assert stats["nodes_up"] == 2
+        assert stats["failovers"] == 0
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert multiprocessing.active_children() == []

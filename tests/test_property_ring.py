@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the consistent-hash ring.
+
+The three promises the cluster tier leans on, checked over randomised
+node sets and key populations:
+
+* placement is deterministic and reasonably balanced,
+* ``nodes_for`` returns distinct live nodes in a stable failover order,
+* membership change moves a bounded fraction of keys (~R/(N+1) on a
+  join — the consistent-hashing contract that makes rebalancing cheap).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing, key_movement
+
+node_counts = st.sampled_from([2, 4, 8])
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def _keys(seed, count=2_000):
+    return [f"key-{seed}-{i}" for i in range(count)]
+
+
+class TestPlacement:
+    @given(num_nodes=node_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_and_total(self, num_nodes, seed):
+        ring = HashRing(range(num_nodes), vnodes=32)
+        rebuilt = HashRing(range(num_nodes), vnodes=32)
+        for key in _keys(seed, count=200):
+            owner = ring.node_for(key)
+            assert owner in range(num_nodes)
+            assert rebuilt.node_for(key) == owner
+
+    @given(num_nodes=node_counts, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_balance_bounded(self, num_nodes, seed):
+        # With 128 vnodes per node no node should own a grossly outsized
+        # share: the hottest node stays under 2x the fair share.
+        ring = HashRing(range(num_nodes), vnodes=128)
+        spread = ring.spread(_keys(seed))
+        assert sum(spread.values()) == 2_000
+        fair = 2_000 / num_nodes
+        assert max(spread.values()) < 2.0 * fair
+
+
+class TestReplicaSets:
+    @given(
+        num_nodes=node_counts,
+        replication=st.integers(min_value=1, max_value=3),
+        seed=seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_and_prefix_stable(self, num_nodes, replication, seed):
+        replication = min(replication, num_nodes)
+        ring = HashRing(range(num_nodes), vnodes=32)
+        for key in _keys(seed, count=200):
+            owners = ring.nodes_for(key, replication)
+            assert len(owners) == replication
+            assert len(set(owners)) == replication
+            # The R-set extends the (R-1)-set: failover order is a
+            # stable walk, not a reshuffle.
+            if replication > 1:
+                assert owners[: replication - 1] == ring.nodes_for(
+                    key, replication - 1
+                )
+            assert owners[0] == ring.node_for(key)
+
+
+class TestMovementBound:
+    @given(num_nodes=node_counts, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_join_moves_bounded_fraction(self, num_nodes, seed):
+        # Adding one node should pull about 1/(N+1) of primary
+        # ownership to the joiner — never an order of magnitude more.
+        before = HashRing(range(num_nodes), vnodes=128)
+        after = HashRing(range(num_nodes + 1), vnodes=128)
+        keys = _keys(seed)
+        moved = key_movement(before, after, keys, replication=1)
+        ideal = 1.0 / (num_nodes + 1)
+        assert moved <= ideal + 0.1
+        # The joiner actually takes ownership of something.
+        assert moved > 0.0
+
+    @given(num_nodes=node_counts, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_leave_moves_bounded_fraction(self, num_nodes, seed):
+        # Removing a node re-homes only that node's share: survivors'
+        # keys gain a new owner for about 1/N of the population.
+        before = HashRing(range(num_nodes + 1), vnodes=128)
+        after = HashRing(range(num_nodes), vnodes=128)
+        keys = _keys(seed)
+        moved = key_movement(before, after, keys, replication=1)
+        ideal = 1.0 / (num_nodes + 1)
+        assert moved <= ideal + 0.1
+
+    @given(num_nodes=node_counts, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_untouched_keys_keep_owner(self, num_nodes, seed):
+        before = HashRing(range(num_nodes), vnodes=128)
+        after = HashRing(range(num_nodes + 1), vnodes=128)
+        for key in _keys(seed, count=500):
+            old, new = before.node_for(key), after.node_for(key)
+            # A key either stays put or moves to the joiner — joins
+            # never shuffle keys between surviving nodes.
+            assert new == old or new == num_nodes

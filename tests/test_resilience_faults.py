@@ -145,3 +145,57 @@ class TestDeterminism:
 
     def test_different_seed_different_faults(self):
         assert _degraded_run(seed=11) != _degraded_run(seed=12)
+
+
+class TestPlanValidation:
+    def test_unknown_kind_rejected_at_event_construction(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("definitely-not-a-fault", 0, 10)
+
+    def test_unknown_kind_named_in_ctor_error(self):
+        event = FaultEvent(FLASH_READ, 0, 10)
+        event.kind = "mutated-after-the-fact"
+        with pytest.raises(ValueError) as exc_info:
+            FaultPlan([event])
+        assert "mutated-after-the-fact" in str(exc_info.value)
+        assert FLASH_READ in str(exc_info.value)  # known kinds listed
+
+    def test_overlapping_windows_rejected_with_both_windows_named(self):
+        plan = FaultPlan().add(FLASH_READ, 0, 10)
+        with pytest.raises(ValueError) as exc_info:
+            plan.add(FLASH_READ, 5, 15)
+        msg = str(exc_info.value)
+        assert "[0, 10)" in msg and "[5, 15)" in msg
+        assert FLASH_READ in msg
+
+    def test_same_kind_different_targets_do_not_conflict(self):
+        plan = (
+            FaultPlan()
+            .add(FLASH_READ, 0, 10, target=0)
+            .add(FLASH_READ, 5, 15, target=1)
+        )
+        assert len(plan) == 2
+
+    def test_adjacent_windows_do_not_conflict(self):
+        plan = FaultPlan().add(FLASH_READ, 0, 10).add(FLASH_READ, 10, 20)
+        assert len(plan) == 2
+
+    def test_latency_windows_may_overlap(self):
+        plan = (
+            FaultPlan()
+            .add(LATENCY, 0, 10, magnitude=5)
+            .add(LATENCY, 5, 10, magnitude=3)
+        )
+        assert plan.latency(7) == 8
+
+    def test_generate_never_emits_conflicting_windows(self):
+        # A crowded horizon forces redraws; the result must still be
+        # valid, deterministic, and bounded.
+        a = FaultPlan.generate(horizon=50, seed=3, count=30)
+        b = FaultPlan.generate(horizon=50, seed=3, count=30)
+        assert len(a) <= 30
+        assert [(e.kind, e.start, e.stop) for e in a.events] == [
+            (e.kind, e.start, e.stop) for e in b.events
+        ]
+        # Round-trips through the validating constructor.
+        FaultPlan(a.events)

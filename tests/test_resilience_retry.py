@@ -119,3 +119,68 @@ class TestCall:
         policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
         policy.call(flaky, sleep=slept.append)
         assert slept == [0.5, 1.0]
+
+
+class TestElapsedBudget:
+    def test_budget_aborts_before_exceeding(self):
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise OSError("x")
+
+        # Delays without budget would be 1, 2, 4, ... — the budget of 2.5
+        # admits the first retry (1.0) but not the second (1.0 + 2.0).
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, jitter=0.0, max_elapsed=2.5
+        )
+        with pytest.raises(RetryError) as exc_info:
+            policy.call(always_fails, sleep=None)
+        assert len(calls) == 2
+        err = exc_info.value
+        assert err.elapsed == 1.0
+        assert err.budget == 2.5
+        assert "elapsed 1.000 of 2.500 budget" in str(err)
+
+    def test_budget_reports_on_attempt_exhaustion_too(self):
+        def always_fails():
+            raise OSError("x")
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.5, jitter=0.0, max_elapsed=100.0
+        )
+        with pytest.raises(RetryError) as exc_info:
+            policy.call(always_fails, sleep=None)
+        # Both retries ran (0.5 + 1.0); attempts, not the budget, ended it.
+        assert exc_info.value.elapsed == 1.5
+        assert exc_info.value.budget == 100.0
+
+    def test_no_budget_keeps_legacy_message(self):
+        def always_fails():
+            raise OSError("x")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(RetryError) as exc_info:
+            policy.call(always_fails, sleep=None)
+        assert "budget" not in str(exc_info.value)
+        assert exc_info.value.budget is None
+
+    def test_success_within_budget_unaffected(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("x")
+            return "ok"
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, jitter=0.0, max_elapsed=10.0
+        )
+        assert policy.call(flaky, sleep=None) == "ok"
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed=-1.0)

@@ -30,7 +30,8 @@ from repro.service.loadgen import (
 SCENARIO_KEYS = {
     "shards", "threads", "backend", "workers", "batch_size",
     "mode", "policy", "ops", "wall_time_s",
-    "ops_per_sec", "hit_ratio", "hits", "misses", "latency_us",
+    "ops_per_sec", "hit_ratio", "hits", "misses", "errors", "error_rate",
+    "latency_us",
     "hit_ns_mean", "miss_ns_mean", "shard_ops", "imbalance",
     "evictions", "expired", "objects",
 }
