@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen mp cluster cluster-churn fig08-native obs examples experiments all
+.PHONY: install test resilience bench perf loadgen mp shm frontier cluster cluster-churn fig08-native obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,11 +20,18 @@ perf:
 
 loadgen:
 	pytest tests/ -m service --no-header -rN
-	s3fifo-repro loadgen --backend thread,mp \
+	s3fifo-repro loadgen --backend thread,mp --transport pipe,shm \
 	    --out benchmarks/results/BENCH_service.json
 
 mp:
 	pytest tests/ -m mp --no-header -rN
+
+shm:
+	pytest tests/ -m shm --no-header -rN
+
+frontier:
+	python -m repro.experiments.frontier \
+	    --out benchmarks/results/frontier.txt
 
 cluster:
 	pytest tests/ -m cluster --no-header -rN

@@ -1,0 +1,84 @@
+"""Perf guard for the shared-memory transport.
+
+Marked ``perf`` and excluded from tier-1 (see pyproject addopts); run
+via ``pytest benchmarks/perf -m perf``.  Compares a live shm
+``MPCacheService`` run against the recorded pipe-transport mp row in
+``benchmarks/results/BENCH_service.json`` (regenerate with ``make
+loadgen``) and enforces the PR's headline claim: at ``batch_size=1``,
+where every operation pays a full round-trip, shared-memory rings
+clear 1.5x the pipe transport's throughput.
+
+batch_size=1 is deliberate — it is the worst case for pipe (one
+pickle + two syscalls per op) and the case the shm rings were built
+for; batching amortizes the pipe's cost and narrows the gap, which is
+the frontier experiment's story, not this guard's.
+
+Like the mp scaling guard, this one needs hardware to say anything:
+with fewer than 4 usable CPUs the parent and workers time-slice a
+core and the spin/yield wait loops measure the scheduler, not the
+transport, so the test skips (and shm deliberately skips its hot-spin
+phase on 1-CPU hosts).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig08_native import usable_cpus
+from repro.service.loadgen import find_scenario, run_scenario
+from repro.traces.synthetic import zipf_trace
+
+RESULTS_PATH = Path(__file__).parent.parent / "results" / "BENCH_service.json"
+
+MIN_CPUS = 4
+SPEEDUP_FLOOR = 1.5
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    usable_cpus() < MIN_CPUS,
+    reason=f"needs >= {MIN_CPUS} usable CPUs to measure transport cost "
+           f"(host grants {usable_cpus()})",
+)
+def test_shm_beats_recorded_pipe_at_batch_one():
+    if not RESULTS_PATH.exists():
+        pytest.skip("no recorded baseline; run `make loadgen` first")
+    report = json.loads(RESULTS_PATH.read_text())
+    if report.get("schema", 0) < 3:
+        pytest.skip("recorded baseline predates transport rows; "
+                    "rerun `make loadgen`")
+    baseline = find_scenario(
+        report, shards=4, threads=1, backend="mp",
+        batch_size=1, transport="pipe",
+    )
+    if baseline is None:
+        pytest.skip("recorded report has no 4-worker batch-1 pipe row; "
+                    "rerun `make loadgen`")
+
+    cfg = report["config"]
+    trace = zipf_trace(
+        num_objects=cfg["num_objects"],
+        num_requests=cfg["num_requests"],
+        alpha=cfg["alpha"],
+        seed=cfg["seed"],
+    )
+    live = run_scenario(
+        trace,
+        capacity=cfg["capacity"],
+        num_shards=4,
+        num_threads=1,
+        policy=cfg["policy"],
+        backend="mp",
+        batch_size=1,
+        transport="shm",
+    )
+    speedup = live["ops_per_sec"] / baseline["ops_per_sec"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"shm transport is only {speedup:.2f}x the recorded pipe "
+        f"baseline at batch_size=1 ({live['ops_per_sec']:,.0f} vs "
+        f"{baseline['ops_per_sec']:,.0f} ops/s) on a host with "
+        f"{usable_cpus()} usable CPUs "
+        f"(affinity {sorted(os.sched_getaffinity(0))})"
+    )

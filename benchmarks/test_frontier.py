@@ -1,0 +1,45 @@
+"""Bench: throughput-vs-hit-ratio frontier per backend/transport.
+
+Regenerates the frontier sweep (``repro.experiments.frontier``): the
+same seeded Zipf trace replayed at several cache sizes for the thread
+backend and for mp over pipe and shm.  The assertions are shape
+claims, not speed claims — hit ratios must rise with capacity within a
+series, and the two mp transports must agree exactly on the hit-ratio
+axis (the transport may only move throughput).
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.frontier import (
+    DEFAULT_RATIOS,
+    DEFAULT_SERIES,
+    format_chart,
+    format_table,
+    run,
+)
+
+
+def test_frontier(benchmark, save_table):
+    def build():
+        return run(scale=BENCH_SCALE, seed=42)
+
+    rows = run_once(benchmark, build)
+    table = format_table(rows) + "\n\n" + format_chart(rows)
+    save_table("frontier", table)
+    print("\n" + table)
+
+    assert len(rows) == len(DEFAULT_SERIES) * len(DEFAULT_RATIOS)
+    assert all(r["kops"] > 0 for r in rows)
+    by_series = {}
+    for r in rows:
+        by_series.setdefault(r["series"], []).append(r)
+    for series_rows in by_series.values():
+        ratios = [r["hit_ratio"] for r in series_rows]
+        # Bigger cache, same trace: the frontier walks right.
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]
+    # The transport cannot move a point's hit ratio: same trace, same
+    # sharding, same eviction decisions — pipe and shm pin exactly.
+    pipe = {r["cache_ratio"]: r["hit_ratio"] for r in by_series["mp pipe"]}
+    shm = {r["cache_ratio"]: r["hit_ratio"] for r in by_series["mp shm"]}
+    assert pipe == shm

@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "sec63": "repro.experiments.sec63_queue_type",
     "ablations": "repro.experiments.ablations",
     "cluster-churn": "repro.experiments.cluster_churn",
+    "frontier": "repro.experiments.frontier",
 }
 
 
@@ -357,6 +358,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         seed=args.seed,
     )
+    if args.transport != "pipe" and args.backend != "mp":
+        print(f"--transport {args.transport} requires --backend mp",
+              file=sys.stderr)
+        return 2
     if args.backend == "mp":
         from repro.service.mp import MPCacheService
 
@@ -364,6 +369,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         capacity = max(num_shards, int(args.objects * args.cache_ratio))
         service = MPCacheService(
             capacity, args.policy, num_workers=num_shards,
+            transport=args.transport,
             checked=args.checked,
         )
     elif args.backend == "cluster":
@@ -444,7 +450,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.close()
     live_miss = 1.0 - stats["hit_ratio"]
     unit = (
-        "worker process(es)" if args.backend == "mp"
+        f"worker process(es) over {args.transport}" if args.backend == "mp"
         else "node process(es)" if args.backend == "cluster"
         else "shard(s)"
     )
@@ -506,6 +512,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"--backend takes a comma-separated subset of "
               f"thread,mp,cluster; got {args.backend!r}", file=sys.stderr)
         return 2
+    transports = [t.strip() for t in args.transport.split(",")]
+    unknown = set(transports) - {"pipe", "shm"}
+    if unknown or not transports:
+        print(f"--transport takes a comma-separated subset of pipe,shm; "
+              f"got {args.transport!r}", file=sys.stderr)
+        return 2
+    if transports != ["pipe"] and "mp" not in backends:
+        print("--transport is an mp-backend axis; add 'mp' to --backend",
+              file=sys.stderr)
+        return 2
     workload = dict(
         num_objects=args.objects,
         num_requests=args.requests,
@@ -529,14 +545,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ))
         elif backend == "mp":
             # The mp axis scales worker processes under one driver
-            # thread; batches amortize the per-operation pipe cost.
-            reports.append(run_loadgen(
-                shard_counts=worker_counts,
-                thread_counts=(1,),
-                backend="mp",
-                batch_size=args.batch,
-                **workload,
-            ))
+            # thread; batches amortize the per-operation IPC cost and
+            # the transport axis (pipe vs shm rings) attacks the cost
+            # itself — one report per transport.
+            for transport in transports:
+                reports.append(run_loadgen(
+                    shard_counts=worker_counts,
+                    thread_counts=(1,),
+                    backend="mp",
+                    batch_size=args.batch,
+                    transport=transport,
+                    **workload,
+                ))
         else:
             # The cluster axis scales node processes; rows carry the
             # error-rate and node-health columns.
@@ -739,6 +759,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "replicated node processes (see --nodes)")
     serve.add_argument("--workers", type=int, default=2,
                        help="worker process count (mp backend)")
+    serve.add_argument("--transport", choices=("pipe", "shm"),
+                       default="pipe",
+                       help="mp parent<->worker channel: duplex pipes "
+                       "or shared-memory ring buffers")
     serve.add_argument("--nodes", type=int, default=3,
                        help="node process count (cluster backend)")
     serve.add_argument("--replication", type=int, default=2,
@@ -777,6 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--workers", default="1,4",
                     help="comma-separated worker-process counts "
                     "(mp backend)")
+    lg.add_argument("--transport", default="pipe",
+                    help="comma-separated subset of pipe,shm (mp "
+                    "backend); the mp matrix runs once per transport")
     lg.add_argument("--nodes", default="3",
                     help="comma-separated node-process counts "
                     "(cluster backend)")

@@ -131,6 +131,10 @@ def _scaling_rows(
                 r for r in rows
                 if r["threads"] == single["threads"]
                 and r.get("batch_size", 1) == single.get("batch_size", 1)
+                # Never pair a pipe row with a shm row (schema 3): the
+                # transport changes per-op cost, not parallelism.
+                and r.get("transport", "pipe") == single.get("transport",
+                                                             "pipe")
             ]
         multi = max(
             (r for r in rows if r["shards"] > 1),

@@ -5,8 +5,10 @@ in-process cache you can actually run: :class:`CacheService` adds
 values, TTLs, deletion, and a lock; :class:`ShardedCacheService`
 hash-partitions keys across independently-locked shards;
 :class:`MPCacheService` runs each shard in its own *process* for
-native multicore scaling; and :mod:`repro.service.loadgen` measures
-the result under concurrent load.  See ``docs/SERVICE.md``.
+native multicore scaling (over duplex pipes or the
+:mod:`repro.service.shm` shared-memory rings); and
+:mod:`repro.service.loadgen` measures the result under concurrent
+load.  See ``docs/SERVICE.md``.
 """
 
 from repro.service.core import (
@@ -26,6 +28,12 @@ from repro.service.mp import (
     ServiceClosedError,
     WorkerCrashedError,
 )
+from repro.service.transport import (
+    TRANSPORTS,
+    Transport,
+    TransportClosedError,
+    create_transport,
+)
 from repro.service.sharded import (
     ShardedCacheService,
     aggregate_stats,
@@ -41,6 +49,10 @@ __all__ = [
     "MPCacheService",
     "ServiceClosedError",
     "WorkerCrashedError",
+    "TRANSPORTS",
+    "Transport",
+    "TransportClosedError",
+    "create_transport",
     "aggregate_stats",
     "partition_capacity",
     "stable_key_hash",

@@ -79,7 +79,9 @@ from repro.service.sharded import ShardedCacheService
 #: Bumped when the report layout changes incompatibly.
 #: 2: scenario rows and config gained ``backend`` / ``workers`` /
 #: ``batch_size``; percentile convention fixed to true nearest-rank.
-SCHEMA_VERSION = 2
+#: 3: scenario rows and config gained ``transport`` (``inproc`` for the
+#: thread backend, ``pipe``/``shm`` for mp, ``pipe`` for cluster).
+SCHEMA_VERSION = 3
 
 #: Report ``kind`` discriminator (BENCH_service.json vs other reports).
 REPORT_KIND = "service-loadgen"
@@ -313,6 +315,17 @@ def latency_summary_us(latencies_ns: Sequence[int]) -> Dict[str, float]:
     }
 
 
+def _row_transport(backend: str, transport: str) -> str:
+    """What the row's ``transport`` field records (schema 3).
+
+    Only the mp backend has a transport choice; thread rows say
+    ``inproc`` and cluster rows pin ``pipe`` (its nodes speak pipes).
+    """
+    if backend == "mp":
+        return transport
+    return "pipe" if backend == "cluster" else "inproc"
+
+
 def build_service(
     capacity: int,
     policy: str,
@@ -333,6 +346,7 @@ def _build_mp_service(
     checked: bool,
     ttl: Optional[float],
     fault_plans=None,
+    transport: str = "pipe",
 ):
     from repro.service.mp import MPCacheService
 
@@ -340,6 +354,7 @@ def _build_mp_service(
         capacity,
         policy,
         num_workers=num_workers,
+        transport=transport,
         start_method=start_method,
         checked=checked,
         default_ttl=ttl,
@@ -390,6 +405,7 @@ def run_scenario(
     snapshot_interval_s: Optional[float] = None,
     backend: str = "thread",
     batch_size: int = 1,
+    transport: str = "pipe",
     start_method: Optional[str] = None,
     replication: int = 2,
     vnodes: int = 64,
@@ -418,6 +434,12 @@ def run_scenario(
     ``batch_size > 1`` switches any backend to the batched
     read-through loop (see the module docstring for its latency and
     accounting conventions).
+
+    ``transport`` selects the mp backend's parent<->worker channel
+    (``"pipe"`` or ``"shm"``); the other backends have no transport
+    choice, so their rows record it as ``"inproc"`` (thread) or
+    ``"pipe"`` (cluster) and passing ``transport="shm"`` with them is
+    an error.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -429,6 +451,15 @@ def run_scenario(
         )
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if transport not in ("pipe", "shm"):
+        raise ValueError(
+            f"transport must be 'pipe' or 'shm', got {transport!r}"
+        )
+    if transport != "pipe" and backend != "mp":
+        raise ValueError(
+            f"transport={transport!r} requires backend='mp' "
+            f"(got backend={backend!r})"
+        )
     if backend in ("mp", "cluster"):
         if metrics is not None or tracer is not None or instrument_policy:
             raise ValueError(
@@ -439,7 +470,7 @@ def run_scenario(
         if backend == "mp":
             service = _build_mp_service(
                 capacity, policy, num_shards, start_method, checked, ttl,
-                fault_plans,
+                fault_plans, transport,
             )
         else:
             service = _build_cluster_service(
@@ -566,6 +597,7 @@ def run_scenario(
         "backend": backend,
         "workers": num_shards if backend in ("mp", "cluster") else 0,
         "batch_size": batch_size,
+        "transport": _row_transport(backend, transport),
         "mode": mode,
         "policy": policy,
         "ops": ops,
@@ -614,6 +646,7 @@ def run_loadgen(
     snapshot_interval_s: Optional[float] = None,
     backend: str = "thread",
     batch_size: int = 1,
+    transport: str = "pipe",
     start_method: Optional[str] = None,
     replication: int = 2,
     vnodes: int = 64,
@@ -659,6 +692,7 @@ def run_loadgen(
                     snapshot_interval_s=snapshot_interval_s,
                     backend=backend,
                     batch_size=batch_size,
+                    transport=transport,
                     start_method=start_method,
                     replication=replication,
                     vnodes=vnodes,
@@ -681,6 +715,7 @@ def run_loadgen(
             "ttl": ttl,
             "backend": backend,
             "batch_size": batch_size,
+            "transport": _row_transport(backend, transport),
             **({"replication": replication, "vnodes": vnodes}
                if backend == "cluster" else {}),
         },
@@ -706,13 +741,24 @@ def combine_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
             raise ValueError(
                 f"not a loadgen report (kind={report.get('kind')!r})"
             )
-        if report.get("schema") != SCHEMA_VERSION:
-            raise ValueError(
-                f"loadgen report schema {report.get('schema')!r} != "
-                f"{SCHEMA_VERSION}"
-            )
+    schemas = sorted({report.get("schema") for report in reports},
+                     key=repr)
+    if len(schemas) > 1:
+        # Mixing schemas would silently concatenate rows whose fields
+        # mean different things (e.g. pre-transport rows); refuse with
+        # the full set so the caller knows which document to re-run.
+        raise ValueError(
+            f"cannot combine loadgen reports with mixed schemas "
+            f"{schemas}; regenerate the older report(s) at schema "
+            f"{SCHEMA_VERSION}"
+        )
+    if schemas[0] != SCHEMA_VERSION:
+        raise ValueError(
+            f"loadgen report schema {schemas[0]!r} != {SCHEMA_VERSION}"
+        )
     config = dict(reports[0]["config"])
     config["backend"] = [r["config"]["backend"] for r in reports]
+    config["transport"] = [r["config"]["transport"] for r in reports]
     return {
         "schema": SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -728,14 +774,15 @@ def format_report(report: Dict[str, Any]) -> str:
         f"loadgen {cfg['policy']} zipf-{cfg['alpha']:g} "
         f"({cfg['mode']} loop): {cfg['num_requests']:,} requests, "
         f"{cfg['num_objects']:,} objects, capacity {cfg['capacity']:,}",
-        f"{'backend':>7} {'shards':>6} {'threads':>7} {'batch':>5} "
-        f"{'ops/s':>10} {'hit':>7} {'err':>7} "
+        f"{'backend':>7} {'tport':>6} {'shards':>6} {'threads':>7} "
+        f"{'batch':>5} {'ops/s':>10} {'hit':>7} {'err':>7} "
         f"{'p50us':>8} {'p99us':>8} {'p999us':>8} {'imbal':>6}",
     ]
     for row in report["scenarios"]:
         lat = row["latency_us"]
         lines.append(
             f"{row.get('backend', 'thread'):>7} "
+            f"{row.get('transport', 'inproc'):>6} "
             f"{row['shards']:>6} {row['threads']:>7} "
             f"{row.get('batch_size', 1):>5} "
             f"{row['ops_per_sec']:>10,} {row['hit_ratio']:>7.4f} "
@@ -752,19 +799,28 @@ def find_scenario(
     threads: int,
     backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    transport: Optional[str] = None,
 ) -> Optional[Dict[str, Any]]:
     """The first scenario row matching the given axes, if any.
 
-    ``backend`` / ``batch_size`` of ``None`` match any row (schema-1
-    rows, which predate those fields, read as thread/1).
+    ``backend`` / ``batch_size`` / ``transport`` of ``None`` match any
+    row.  Rows predating a field read as its historical value:
+    thread/1 (schema 1), and for ``transport`` (schema 2) whatever
+    :func:`_row_transport` says the row's backend used.
     """
     for row in report["scenarios"]:
         if row["shards"] != shards or row["threads"] != threads:
             continue
-        if backend is not None and row.get("backend", "thread") != backend:
+        row_backend = row.get("backend", "thread")
+        if backend is not None and row_backend != backend:
             continue
         if (batch_size is not None
                 and row.get("batch_size", 1) != batch_size):
             continue
+        if transport is not None:
+            row_tp = row.get("transport",
+                             _row_transport(row_backend, "pipe"))
+            if row_tp != transport:
+                continue
         return row
     return None

@@ -24,18 +24,35 @@ batches.  The load generator's ``--backend mp --batch B`` mode drives
 this path and the measured curves live in
 ``benchmarks/results/fig08_throughput_native.txt``.
 
+Transports
+----------
+
+The parent<->worker channel is pluggable
+(:class:`~repro.service.transport.Transport`): ``transport="pipe"``
+(default) keeps the PR 5 duplex pipes, ``transport="shm"`` switches to
+the :mod:`~repro.service.shm` shared-memory ring buffers — same object
+protocol, same differential stats parity, an order of magnitude less
+per-message cost on multicore hosts.  The worker loop, crash watchdog,
+and metrics merge below are transport-agnostic.
+
 Lifecycle and crash safety
 --------------------------
 
 * Workers are **daemon** processes: a normally-exiting parent never
   leaves them behind.
-* The pipe doubles as a **sentinel watchdog**: a worker blocks in
-  ``recv()``, and when the parent dies — even by SIGKILL, which skips
-  daemon cleanup — the pipe's parent end closes and the worker reads
-  EOF and exits.  No polling, no leaked processes.
+* Each transport has a **watchdog** so a worker never outlives a dead
+  parent: the pipe transport gets it for free (parent death closes the
+  pipe end, the worker's blocking ``recv`` reads EOF), the shm
+  transport polls ``multiprocessing.parent_process().is_alive()`` plus
+  a shutdown word inside every blocking wait and publishes a heartbeat
+  the parent can read.  No leaked processes either way.
 * :meth:`MPCacheService.close` (also ``__exit__`` and a best-effort
-  ``__del__``) closes every channel, joins the workers, and terminates
-  stragglers; it is idempotent and safe after a worker crash.
+  ``__del__``) asks each worker out, joins with a deadline, then
+  terminates — and finally kills — stragglers before releasing the
+  channels; it is idempotent, safe after a worker crash, and never
+  blocks on a channel lock held by a thread stuck on a wedged worker
+  (it signals the transport instead and lets terminate break the
+  deadlock).
 * A worker that dies mid-operation surfaces as
   :class:`WorkerCrashedError` on the operation that touched it, never
   as a hang.  Deterministic crash tests inject the
@@ -49,7 +66,7 @@ Observability across processes
 A worker cannot share the parent's
 :class:`~repro.obs.metrics.MetricsRegistry` (callback-backed gauges
 don't pickle), so each worker owns a private registry labelled
-``worker=<i>`` and the parent pulls *snapshots*
+``worker=<i>, transport=<pipe|shm>`` and the parent pulls *snapshots*
 (:func:`~repro.obs.exporters.export_dict`) at collect time, merging
 them with :func:`~repro.obs.exporters.merge_export_dict` — repeated
 collects replace each worker's series rather than double-count.  See
@@ -69,6 +86,19 @@ from repro.service.sharded import (
     partition_capacity,
     stable_key_hash,
 )
+from repro.service.transport import (
+    TRANSPORTS,
+    Transport,
+    TransportClosedError,
+    create_transport,
+)
+
+__all__ = [
+    "MPCacheService",
+    "ServiceClosedError",
+    "TransportClosedError",
+    "WorkerCrashedError",
+]
 
 _UNSET = object()
 
@@ -106,12 +136,16 @@ def _worker_main(
     service_kwargs: Dict[str, Any],
     collect_metrics: bool,
     fault_plan,
+    transport: str = "pipe",
 ) -> None:
-    """Worker process body: host one CacheService, serve the pipe.
+    """Worker process body: host one CacheService, serve the channel.
 
-    The loop exits on a ``close`` message *or* on EOF — the latter is
-    the sentinel watchdog: if the parent dies (even SIGKILL), its pipe
-    end closes and ``recv`` raises, so the worker never outlives it.
+    ``conn`` is whatever the parent's transport handed out — a pipe
+    ``Connection`` or a :class:`~repro.service.shm.ShmWorkerChannel`;
+    both expose ``recv``/``send``/``close`` and both raise
+    ``EOFError``/``OSError`` when the parent is gone (pipe EOF, or the
+    shm liveness poll), so the loop exits either way and the worker
+    never outlives its parent.
     """
     from repro.service.core import CacheService
 
@@ -126,7 +160,8 @@ def _worker_main(
             policy,
             metrics=registry,
             metrics_labels=(
-                {"worker": str(worker_id)} if registry is not None else None
+                {"worker": str(worker_id), "transport": transport}
+                if registry is not None else None
             ),
             shard_id=worker_id,
             **service_kwargs,
@@ -233,6 +268,14 @@ class MPCacheService:
     Parameters mirror ``ShardedCacheService`` where they can; the
     differences are inherent to processes:
 
+    * ``transport`` — ``"pipe"`` (default: pickled tuples over a
+      duplex pipe) or ``"shm"`` (shared-memory ring buffers, see
+      :mod:`repro.service.shm`).  Both speak the identical object
+      protocol; the differential tests pin their ``stats()``
+      byte-identical.
+    * ``transport_options`` — forwarded to the transport constructor
+      (shm accepts ``slots``, ``slot_size``, ``arena_size``; the edge
+      case tests use tiny rings to force backpressure).
     * ``start_method`` — multiprocessing start method (default:
       ``fork`` when the platform has it, else ``spawn``).
     * ``collect_metrics`` — give each worker a private
@@ -262,38 +305,50 @@ class MPCacheService:
         policy: str = "s3fifo",
         num_workers: int = 2,
         *,
+        transport: str = "pipe",
+        transport_options: Optional[Dict[str, Any]] = None,
         start_method: Optional[str] = None,
         collect_metrics: bool = False,
         fault_plans: Optional[Dict[int, Any]] = None,
         **service_kwargs: Any,
     ) -> None:
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown mp transport {transport!r}; "
+                f"expected one of {TRANSPORTS}"
+            )
         capacities = partition_capacity(capacity, num_workers)
         self.capacity = capacity
         self.num_workers = num_workers
+        self.transport = transport
         self.collect_metrics = collect_metrics
         self._closed = False
         ctx = multiprocessing.get_context(
             start_method or _default_start_method()
         )
-        self._conns: List[Any] = []
+        self._channels: List[Transport] = []
         self._procs: List[Any] = []
         self._locks = [threading.Lock() for _ in range(num_workers)]
         try:
             for i, cap in enumerate(capacities):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child_conn, i, cap, policy, dict(service_kwargs),
-                        collect_metrics,
-                        (fault_plans or {}).get(i),
-                    ),
-                    name=f"mp-cache-worker-{i}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()  # the worker holds the only child end
-                self._conns.append(parent_conn)
+                chan = create_transport(transport, ctx, transport_options)
+                try:
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            chan.worker_endpoint(), i, cap, policy,
+                            dict(service_kwargs), collect_metrics,
+                            (fault_plans or {}).get(i), transport,
+                        ),
+                        name=f"mp-cache-worker-{i}",
+                        daemon=True,
+                    )
+                    proc.start()
+                except BaseException:
+                    chan.close()  # never orphan a shm segment
+                    raise
+                chan.after_start(proc)
+                self._channels.append(chan)
                 self._procs.append(proc)
             # Startup handshake doubles as constructor error propagation.
             infos = [self._recv(i) for i in range(num_workers)]
@@ -329,13 +384,21 @@ class MPCacheService:
 
     def _crashed(self, worker: int) -> WorkerCrashedError:
         proc = self._procs[worker]
-        proc.join(timeout=1.0)
-        return WorkerCrashedError(worker, proc.pid, proc.exitcode)
+        try:
+            proc.join(timeout=1.0)
+            pid, exitcode = proc.pid, proc.exitcode
+        except ValueError:
+            # The Process handle was already released by a concurrent
+            # teardown; fall back to the handshake-recorded pid.
+            pids = getattr(self, "worker_pids", None)
+            pid = pids[worker] if pids else None
+            exitcode = None
+        return WorkerCrashedError(worker, pid, exitcode)
 
     def _recv(self, worker: int) -> Any:
         """One raw reply from ``worker``; raises remote errors/crashes."""
         try:
-            tag, payload = self._conns[worker].recv()
+            tag, payload = self._channels[worker].recv()
         except (EOFError, OSError) as exc:
             raise self._crashed(worker) from exc
         if tag == "err":
@@ -362,7 +425,7 @@ class MPCacheService:
             results: Dict[int, Any] = {}
             for w in idxs:
                 try:
-                    self._conns[w].send(msgs[w])
+                    self._channels[w].send(msgs[w])
                 except (OSError, ValueError) as exc:
                     if crash is None:
                         crash = self._crashed(w)
@@ -544,9 +607,14 @@ class MPCacheService:
     def close(self, timeout: float = 5.0) -> None:
         """Stop every worker; idempotent, safe after crashes.
 
-        Asks each live worker to exit, closes the parent pipe ends
-        (which is itself a kill signal — workers exit on EOF), joins,
-        and terminates anything still alive at the deadline.
+        Asks each live worker to exit, joins to a deadline, then
+        terminates — and as a last resort kills — anything still
+        alive, and only then releases the channels and Process
+        handles.  A channel whose lock is held by a thread stuck on a
+        wedged worker is *signalled*, not waited on: teardown must not
+        inherit the wedge, and terminating the worker is what breaks
+        the stuck thread out (its blocking read fails over to
+        :class:`WorkerCrashedError`).
         """
         if self._closed:
             return
@@ -554,17 +622,24 @@ class MPCacheService:
         self._teardown(timeout)
 
     def _teardown(self, timeout: float = 5.0) -> None:
-        for w, conn in enumerate(self._conns):
-            with self._locks[w]:
-                try:
-                    conn.send(("close",))
-                except (OSError, ValueError, BrokenPipeError):
-                    pass  # already dead or channel gone
-                try:
-                    conn.close()
-                except OSError:
-                    pass
         deadline = time.monotonic() + timeout
+        # Phase 1: ask every worker out.  The channel lock may be held
+        # by a thread blocked on a worker that will never reply — use
+        # a bounded acquire and fall back to the transport's
+        # non-blocking close signal rather than deadlocking here.
+        for w, chan in enumerate(self._channels):
+            if self._locks[w].acquire(timeout=0.1):
+                try:
+                    chan.request_close()
+                    chan.signal_close()
+                finally:
+                    self._locks[w].release()
+            else:
+                chan.signal_close()
+        # Phase 2: join politely, then escalate.  terminate() (SIGTERM)
+        # also breaks any parent thread blocked on that worker's
+        # channel: the pipe delivers EOF, the shm wait notices the
+        # death on its next liveness poll.
         for proc in self._procs:
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
         for proc in self._procs:
@@ -572,12 +647,23 @@ class MPCacheService:
                 proc.terminate()
                 proc.join(timeout=1.0)
         for proc in self._procs:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        # Phase 3: release channel resources (for shm this unlinks the
+        # segment) and the Process handles.
+        for chan in self._channels:
+            try:
+                chan.close()
+            except OSError:
+                pass
+        for proc in self._procs:
             # Release the Process object's pipe/sentinel resources now
             # rather than at GC time (no leaked fds or semaphores).
             try:
                 proc.close()
             except ValueError:
-                pass  # still alive after terminate: give up quietly
+                pass  # still alive after kill: give up quietly
 
     def __enter__(self) -> "MPCacheService":
         return self

@@ -1,0 +1,730 @@
+"""Shared-memory ring-buffer transport for the mp cache backend.
+
+The pipe transport pays pickle + syscall per message; fig08-native
+shows batching only amortizes that cost.  This module removes it:
+parent and worker share one ``multiprocessing.shared_memory`` segment
+per worker holding two fixed-slot SPSC ring buffers (request and
+response) plus a byte arena, so a cache value moves through shared
+memory as raw bytes — no pickling on the hot path, no file descriptor
+in the loop.
+
+Segment layout (one per worker)::
+
+    [ 64B header | request ring | response ring | value arena ]
+
+    header:   heartbeat u64 @0 (worker bumps it while waiting/serving),
+              shutdown  u64 @8 (parent sets 1 to ask the worker out)
+    ring:     ``slots`` fixed slots of ``slot_size`` bytes; each slot is
+              [ seq u64 | length u32 | last u8 | pad[3] | payload ]
+    arena:    bump-allocated scratch for large values, reset per message
+
+**Rings.** Each ring is single-producer/single-consumer with
+seqlock-style per-slot sequence numbers (the Vyukov bounded-queue
+scheme): slot ``i`` starts with ``seq = i``; the producer of logical
+position ``pos`` waits for ``seq == pos``, writes payload then length,
+and publishes with ``seq = pos + 1``; the consumer waits for
+``seq == pos + 1``, copies the payload out, and recycles the slot with
+``seq = pos + slots``.  Messages larger than one slot fragment across
+consecutive slots (``last`` marks the final fragment), which is also
+the backpressure story: a burst larger than the ring simply waits for
+the consumer to drain slots — bounded memory, no loss, no overwrite.
+Publication order relies on aligned 8-byte stores being atomic and on
+total-store-order visibility (true on x86-64; CPython's interpreter
+overhead makes reordering unobservable in practice elsewhere).
+
+**Arena.** Values (bytes/str ≥ 64 B) are written into the arena and
+travel as ``(offset, length)`` references; both sides copy out before
+the next message, and strict request/response ping-pong (enforced by
+the per-worker channel lock in ``MPCacheService``) means the arena can
+be a trivial bump allocator reset at each message.  Values that don't
+fit a full arena inline into ring slots instead — oversized values
+degrade to the slower path deterministically, they never corrupt a
+neighbor.
+
+**Encoding.** Hot ops (``get_many``/``set_many``/``delete_many`` and
+their list replies) use struct-packed headers with per-object tags
+(None/bool/int64/float/bytes/str inline or arena); anything else —
+control ops, exceptions, exotic types — falls back to pickle, either
+per-object or whole-message.  The fallback is what keeps shm
+byte-identical with pipe on the ``stats()`` differential suite.
+
+**Liveness.** Shared memory has no EOF, so every blocking wait runs an
+adaptive spin → ``sched_yield`` → sleep loop that periodically polls
+the peer: the parent checks ``Process.is_alive()`` (plus a shutdown
+latch), the worker checks ``multiprocessing.parent_process()`` and the
+shutdown word, and bumps the heartbeat so a live-but-stuck worker is
+distinguishable from a dead one.  A dead peer surfaces as
+:class:`~repro.service.transport.TransportClosedError` — an
+``OSError`` — which the mp layer converts to ``WorkerCrashedError``
+exactly like pipe EOF.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Tuple
+
+from repro.service.transport import Transport, TransportClosedError
+
+# ----------------------------------------------------------------------
+# Geometry
+# ----------------------------------------------------------------------
+
+DEFAULT_SLOTS = 64
+DEFAULT_SLOT_SIZE = 4096
+DEFAULT_ARENA_SIZE = 1 << 20
+
+_HEADER_SIZE = 64
+_HB_OFF = 0
+_SHUTDOWN_OFF = 8
+_SLOT_HDR = 16  # seq u64 | length u32 | last u8 | pad[3]
+
+_SEQ = struct.Struct("<Q")
+_LEN = struct.Struct("<IB")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_REF = struct.Struct("<II")  # arena (offset, length)
+
+# Wait-loop tuning: spin hot, then yield the CPU (essential on hosts
+# with fewer cores than workers), then sleep, polling peer liveness
+# roughly every 50 ms.  On a single-CPU host hot-spinning only steals
+# cycles from the peer we are waiting on, so skip straight to yield.
+_SPIN_HOT = 100 if (os.cpu_count() or 1) > 1 else 0
+_SPIN_YIELD = 400
+_SLEEP_S = 0.0002
+_POLL_SLEEPS = 250
+
+_yield = getattr(os, "sched_yield", None) or (lambda: time.sleep(0))
+
+
+class _Layout:
+    """Byte offsets of the rings and arena within one segment."""
+
+    __slots__ = ("slots", "slot_size", "arena_size",
+                 "req_off", "resp_off", "arena_off", "total")
+
+    def __init__(self, slots: int, slot_size: int, arena_size: int) -> None:
+        if slots < 2:
+            raise ValueError(f"shm ring needs >= 2 slots, got {slots}")
+        if slot_size < _SLOT_HDR + 48:
+            raise ValueError(
+                f"shm slot_size must be >= {_SLOT_HDR + 48}, got {slot_size}"
+            )
+        if arena_size < 0:
+            raise ValueError(f"arena_size must be >= 0, got {arena_size}")
+        self.slots = slots
+        self.slot_size = slot_size
+        self.arena_size = arena_size
+        ring_bytes = slots * slot_size
+        self.req_off = _HEADER_SIZE
+        self.resp_off = _HEADER_SIZE + ring_bytes
+        self.arena_off = _HEADER_SIZE + 2 * ring_bytes
+        self.total = self.arena_off + arena_size
+
+
+# ----------------------------------------------------------------------
+# Arena + rings
+# ----------------------------------------------------------------------
+
+
+class _Arena:
+    """Per-message bump allocator over a shared-memory slice.
+
+    Safe only because the channel is strict ping-pong: each side fully
+    materializes (copies out) the incoming message before encoding the
+    next outgoing one, so ``reset()`` at encode time cannot clobber
+    live data.
+    """
+
+    __slots__ = ("view", "_pos")
+
+    def __init__(self, view) -> None:
+        self.view = view
+        self._pos = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def alloc(self, n: int) -> int:
+        """Reserve ``n`` bytes; returns the offset or -1 when full."""
+        pos = self._pos
+        if self.view is None or pos + n > len(self.view):
+            return -1
+        self._pos = pos + n
+        return pos
+
+    def release(self) -> None:
+        view, self.view = self.view, None
+        if view is not None:
+            view.release()
+
+
+class _Ring:
+    """One direction of the channel: an SPSC bounded slot ring.
+
+    Each side holds either the producer or the consumer role for a
+    given ring and tracks its own logical position locally; the only
+    shared state is the per-slot seq words (see module docstring).
+    """
+
+    __slots__ = ("_buf", "_base", "_slots", "_slot_size", "_cap", "_pos")
+
+    def __init__(self, buf, base: int, slots: int, slot_size: int) -> None:
+        self._buf = buf
+        self._base = base
+        self._slots = slots
+        self._slot_size = slot_size
+        self._cap = slot_size - _SLOT_HDR
+        self._pos = 0
+
+    def init_slots(self) -> None:
+        """Creator-side: mark every slot free for round 0."""
+        for i in range(self._slots):
+            _SEQ.pack_into(self._buf, self._base + i * self._slot_size, i)
+
+    def free_slots(self) -> int:
+        """Immediately-writable slots (producer side, non-blocking)."""
+        n = 0
+        while n < self._slots:
+            pos = self._pos + n
+            base = self._base + (pos % self._slots) * self._slot_size
+            if _SEQ.unpack_from(self._buf, base)[0] != pos:
+                break
+            n += 1
+        return n
+
+    def slots_needed(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self._cap))
+
+    def write(self, payload, wait_seq) -> None:
+        """Produce one message, fragmenting across slots as needed."""
+        buf = self._buf
+        cap = self._cap
+        data = memoryview(payload)
+        n = len(data)
+        sent = 0
+        while True:
+            pos = self._pos
+            base = self._base + (pos % self._slots) * self._slot_size
+            wait_seq(base, pos)  # slot free for this round?
+            chunk = n - sent
+            last = 1
+            if chunk > cap:
+                chunk, last = cap, 0
+            start = base + _SLOT_HDR
+            buf[start:start + chunk] = data[sent:sent + chunk]
+            _LEN.pack_into(buf, base + 8, chunk, last)
+            _SEQ.pack_into(buf, base, pos + 1)  # publish
+            self._pos = pos + 1
+            sent += chunk
+            if last:
+                return
+
+    def read(self, wait_seq) -> bytearray:
+        """Consume one full message (all fragments), recycling slots."""
+        buf = self._buf
+        out = bytearray()
+        while True:
+            pos = self._pos
+            base = self._base + (pos % self._slots) * self._slot_size
+            wait_seq(base, pos + 1)  # published?
+            chunk, last = _LEN.unpack_from(buf, base + 8)
+            start = base + _SLOT_HDR
+            out += buf[start:start + chunk]
+            _SEQ.pack_into(buf, base, pos + self._slots)  # recycle
+            self._pos = pos + 1
+            if last:
+                return out
+
+
+# ----------------------------------------------------------------------
+# Message codec
+# ----------------------------------------------------------------------
+
+_OP_PICKLE = 0x00
+_OP_GET_MANY = 0x01
+_OP_SET_MANY = 0x02
+_OP_DELETE_MANY = 0x03
+
+_REPLY_PICKLE = 0x00
+_REPLY_VALUES = 0x01
+_REPLY_BOOLS = 0x02
+
+_T_NONE = ord("N")
+_T_TRUE = ord("T")
+_T_FALSE = ord("F")
+_T_INT = ord("i")
+_T_FLOAT = ord("f")
+_T_BYTES = ord("b")
+_T_BYTES_ARENA = ord("B")
+_T_STR = ord("s")
+_T_STR_ARENA = ord("S")
+_T_PICKLE = ord("p")
+
+_ARENA_MIN = 64  # below this, inlining beats the extra bookkeeping
+
+
+def _pickled(code: int, obj: Any) -> bytearray:
+    out = bytearray((code,))
+    out += pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return out
+
+
+def _enc_blob(out: bytearray, data, arena: Optional[_Arena],
+              tag_arena: int, tag_inline: int) -> None:
+    n = len(data)
+    if arena is not None and n >= _ARENA_MIN:
+        off = arena.alloc(n)
+        if off >= 0:
+            arena.view[off:off + n] = data
+            out.append(tag_arena)
+            out += _REF.pack(off, n)
+            return
+    # Arena full (or too small to bother): inline into ring slots —
+    # slower, never corrupting.
+    out.append(tag_inline)
+    out += _U32.pack(n)
+    out += data
+
+
+def _enc_obj(out: bytearray, obj: Any, arena: Optional[_Arena]) -> None:
+    """Append one tagged object.  Exact-type checks only: subclasses
+    (incl. bool-vs-int) take the pickle tag so types round-trip
+    faithfully, matching what a pipe would deliver."""
+    t = type(obj)
+    if obj is None:
+        out.append(_T_NONE)
+    elif t is bool:
+        out.append(_T_TRUE if obj else _T_FALSE)
+    elif t is int:
+        if -(1 << 63) <= obj < (1 << 63):
+            out.append(_T_INT)
+            out += _I64.pack(obj)
+        else:
+            data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            out.append(_T_PICKLE)
+            out += _U32.pack(len(data))
+            out += data
+    elif t is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(obj)
+    elif t is bytes:
+        _enc_blob(out, obj, arena, _T_BYTES_ARENA, _T_BYTES)
+    elif t is str:
+        _enc_blob(out, obj.encode("utf-8"), arena, _T_STR_ARENA, _T_STR)
+    else:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append(_T_PICKLE)
+        out += _U32.pack(len(data))
+        out += data
+
+
+def _dec_obj(buf, pos: int, arena) -> Tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_BYTES:
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return bytes(buf[pos:pos + n]), pos + n
+    if tag == _T_BYTES_ARENA:
+        off, n = _REF.unpack_from(buf, pos)
+        return bytes(arena[off:off + n]), pos + 8
+    if tag == _T_STR:
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return bytes(buf[pos:pos + n]).decode("utf-8"), pos + n
+    if tag == _T_STR_ARENA:
+        off, n = _REF.unpack_from(buf, pos)
+        return bytes(arena[off:off + n]).decode("utf-8"), pos + 8
+    if tag == _T_PICKLE:
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return pickle.loads(bytes(buf[pos:pos + n])), pos + n
+    raise ValueError(f"bad shm object tag {tag!r}")
+
+
+def encode_request(msg: tuple, arena: _Arena) -> bytearray:
+    """Parent-side: op tuple -> wire bytes (struct fast path for the
+    hot batched ops, whole-message pickle for everything else)."""
+    try:
+        op = msg[0]
+        if op == "get_many" and len(msg) == 3:
+            out = bytearray((_OP_GET_MANY,))
+            _enc_obj(out, msg[2], None)  # default
+            keys = msg[1]
+            out += _U32.pack(len(keys))
+            for key in keys:
+                _enc_obj(out, key, None)
+            return out
+        if op == "set_many" and len(msg) == 5:
+            has_ttl, ttl, size, items = msg[1], msg[2], msg[3], msg[4]
+            arena.reset()
+            out = bytearray((_OP_SET_MANY, 1 if has_ttl else 0))
+            _enc_obj(out, ttl, None)
+            _enc_obj(out, size, None)
+            out += _U32.pack(len(items))
+            for key, value in items:
+                _enc_obj(out, key, None)
+                _enc_obj(out, value, arena)
+            return out
+        if op == "delete_many" and len(msg) == 2:
+            out = bytearray((_OP_DELETE_MANY,))
+            keys = msg[1]
+            out += _U32.pack(len(keys))
+            for key in keys:
+                _enc_obj(out, key, None)
+            return out
+    except Exception:
+        pass  # escape hatch below
+    return _pickled(_OP_PICKLE, msg)
+
+
+def decode_request(data, arena) -> tuple:
+    op = data[0]
+    if op == _OP_PICKLE:
+        return pickle.loads(bytes(data[1:]))
+    buf = memoryview(data)
+    try:
+        if op == _OP_GET_MANY:
+            default, pos = _dec_obj(buf, 1, arena)
+            (n,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            keys: List[Any] = []
+            for _ in range(n):
+                key, pos = _dec_obj(buf, pos, arena)
+                keys.append(key)
+            return ("get_many", keys, default)
+        if op == _OP_SET_MANY:
+            has_ttl = bool(data[1])
+            ttl, pos = _dec_obj(buf, 2, arena)
+            size, pos = _dec_obj(buf, pos, arena)
+            (n,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            items: List[Tuple[Any, Any]] = []
+            for _ in range(n):
+                key, pos = _dec_obj(buf, pos, arena)
+                value, pos = _dec_obj(buf, pos, arena)
+                items.append((key, value))
+            return ("set_many", has_ttl, ttl, size, items)
+        if op == _OP_DELETE_MANY:
+            (n,) = _U32.unpack_from(buf, 1)
+            pos = 5
+            keys = []
+            for _ in range(n):
+                key, pos = _dec_obj(buf, pos, arena)
+                keys.append(key)
+            return ("delete_many", keys)
+        raise ValueError(f"bad shm request opcode {op!r}")
+    finally:
+        buf.release()
+
+
+def encode_reply(msg: Any, arena: _Arena) -> bytearray:
+    """Worker-side: reply -> wire bytes.  ``("ok", [bools])`` packs to
+    a bitset, ``("ok", [values])`` to tagged objects (values through
+    the arena); anything else — errors, dict payloads — pickles."""
+    try:
+        if type(msg) is tuple and len(msg) == 2 and msg[0] == "ok":
+            payload = msg[1]
+            if type(payload) is list:
+                n = len(payload)
+                if n and all(type(v) is bool for v in payload):
+                    out = bytearray((_REPLY_BOOLS,))
+                    out += _U32.pack(n)
+                    bits = bytearray((n + 7) >> 3)
+                    for i, v in enumerate(payload):
+                        if v:
+                            bits[i >> 3] |= 1 << (i & 7)
+                    out += bits
+                    return out
+                arena.reset()
+                out = bytearray((_REPLY_VALUES,))
+                out += _U32.pack(n)
+                for v in payload:
+                    _enc_obj(out, v, arena)
+                return out
+    except Exception:
+        pass
+    return _pickled(_REPLY_PICKLE, msg)
+
+
+def decode_reply(data, arena) -> Any:
+    code = data[0]
+    if code == _REPLY_PICKLE:
+        return pickle.loads(bytes(data[1:]))
+    buf = memoryview(data)
+    try:
+        (n,) = _U32.unpack_from(buf, 1)
+        if code == _REPLY_BOOLS:
+            values: List[Any] = []
+            for i in range(n):
+                values.append(bool(buf[5 + (i >> 3)] & (1 << (i & 7))))
+            return ("ok", values)
+        if code == _REPLY_VALUES:
+            pos = 5
+            values = []
+            for _ in range(n):
+                value, pos = _dec_obj(buf, pos, arena)
+                values.append(value)
+            return ("ok", values)
+        raise ValueError(f"bad shm reply code {code!r}")
+    finally:
+        buf.release()
+
+
+# ----------------------------------------------------------------------
+# Endpoints
+# ----------------------------------------------------------------------
+
+
+class ShmTransport(Transport):
+    """Parent-side endpoint: creates and owns the shared segment."""
+
+    name = "shm"
+
+    def __init__(self, ctx=None, *, slots: int = DEFAULT_SLOTS,
+                 slot_size: int = DEFAULT_SLOT_SIZE,
+                 arena_size: int = DEFAULT_ARENA_SIZE) -> None:
+        layout = _Layout(slots, slot_size, arena_size)
+        self._layout = layout
+        self._shm = shared_memory.SharedMemory(create=True, size=layout.total)
+        self._buf = self._shm.buf
+        self._buf[:_HEADER_SIZE] = bytes(_HEADER_SIZE)
+        self._req = _Ring(self._buf, layout.req_off, slots, slot_size)
+        self._resp = _Ring(self._buf, layout.resp_off, slots, slot_size)
+        self._req.init_slots()
+        self._resp.init_slots()
+        self._arena = _Arena(
+            self._buf[layout.arena_off:layout.arena_off + layout.arena_size]
+        )
+        self._proc = None
+        self._closed = False
+
+    def worker_endpoint(self) -> "ShmWorkerChannel":
+        layout = self._layout
+        return ShmWorkerChannel(self._shm.name, layout.slots,
+                                layout.slot_size, layout.arena_size)
+
+    def after_start(self, process: Any) -> None:
+        self._proc = process  # liveness: is_alive() inside every wait
+
+    # -- liveness -------------------------------------------------------
+    def _poll(self) -> None:
+        if self._closed:
+            raise TransportClosedError("shm transport closed")
+        proc = self._proc
+        if proc is not None:
+            try:
+                alive = proc.is_alive()
+            except ValueError:  # Process handle already closed
+                alive = False
+            if not alive:
+                raise TransportClosedError(
+                    "shm worker process died (no heartbeat possible)"
+                )
+
+    def _wait_seq(self, base: int, expected: int) -> None:
+        buf = self._buf
+        unpack = _SEQ.unpack_from
+        spin = 0
+        sleeps = 0
+        while unpack(buf, base)[0] != expected:
+            spin += 1
+            if spin <= _SPIN_HOT:
+                continue
+            if spin <= _SPIN_HOT + _SPIN_YIELD:
+                _yield()
+                continue
+            time.sleep(_SLEEP_S)
+            sleeps += 1
+            if sleeps >= _POLL_SLEEPS:
+                sleeps = 0
+                self._poll()
+
+    def heartbeat(self) -> int:
+        """The worker's liveness counter (monotone while it breathes)."""
+        return _SEQ.unpack_from(self._buf, _HB_OFF)[0]
+
+    # -- Transport ------------------------------------------------------
+    def send(self, msg: Any) -> None:
+        if self._closed:
+            raise TransportClosedError("shm transport closed")
+        req, arena = self._req, self._arena
+        if req is None or arena is None:
+            raise TransportClosedError("shm transport closed")
+        try:
+            req.write(encode_request(msg, arena), self._wait_seq)
+        except ValueError as exc:  # buffer released under us mid-close
+            raise TransportClosedError(str(exc)) from exc
+
+    def recv(self) -> Any:
+        if self._closed:
+            raise TransportClosedError("shm transport closed")
+        resp, arena = self._resp, self._arena
+        if resp is None or arena is None:
+            raise TransportClosedError("shm transport closed")
+        try:
+            data = resp.read(self._wait_seq)
+            return decode_reply(data, arena.view)
+        except ValueError as exc:
+            raise TransportClosedError(str(exc)) from exc
+
+    def request_close(self) -> None:
+        """Ask the worker out — but never block teardown: only write
+        when the ring has room right now (ping-pong guarantees it does
+        unless the worker is already wedged, and then ``signal_close``
+        + terminate handle it)."""
+        req = self._req
+        if self._closed or req is None:
+            return
+        try:
+            payload = encode_request(("close",), self._arena)
+            if req.free_slots() >= req.slots_needed(len(payload)):
+                req.write(payload, self._wait_seq)
+        except (OSError, ValueError):
+            pass
+
+    def signal_close(self) -> None:
+        try:
+            _SEQ.pack_into(self._buf, _SHUTDOWN_OFF, 1)
+        except (TypeError, ValueError):
+            pass  # segment already torn down
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.signal_close()
+        self._req = self._resp = None
+        arena, self._arena = self._arena, None
+        if arena is not None:
+            arena.release()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A thread still blocked in a wait holds a view; it will
+            # exit via _poll() (we set _closed) and GC finishes the job.
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmWorkerChannel:
+    """Worker-side endpoint.
+
+    Carries only plain segment geometry across the process boundary
+    (safe under both ``fork`` and ``spawn``) and attaches lazily inside
+    the worker.  Exposes the same ``recv``/``send``/``close`` surface
+    as a ``Connection``, so ``_worker_main`` needs no transport
+    branches.
+    """
+
+    def __init__(self, name: str, slots: int, slot_size: int,
+                 arena_size: int) -> None:
+        self._name = name
+        self._slots = slots
+        self._slot_size = slot_size
+        self._arena_size = arena_size
+        self._shm = None
+        self._req = None
+        self._resp = None
+        self._arena = None
+        self._parent = None
+        self._hb = 0
+
+    def _attach(self) -> None:
+        if self._shm is not None:
+            return
+        layout = _Layout(self._slots, self._slot_size, self._arena_size)
+        self._shm = shared_memory.SharedMemory(name=self._name)
+        buf = self._shm.buf
+        self._buf = buf
+        self._req = _Ring(buf, layout.req_off, layout.slots,
+                          layout.slot_size)
+        self._resp = _Ring(buf, layout.resp_off, layout.slots,
+                           layout.slot_size)
+        self._arena = _Arena(
+            buf[layout.arena_off:layout.arena_off + layout.arena_size]
+        )
+        self._parent = multiprocessing.parent_process()
+
+    # -- liveness -------------------------------------------------------
+    def _beat(self) -> None:
+        self._hb += 1
+        _SEQ.pack_into(self._buf, _HB_OFF, self._hb)
+
+    def _poll(self) -> None:
+        if _SEQ.unpack_from(self._buf, _SHUTDOWN_OFF)[0]:
+            raise TransportClosedError("parent signalled shutdown")
+        parent = self._parent
+        if parent is not None and not parent.is_alive():
+            raise TransportClosedError("parent process died")
+
+    def _wait_seq(self, base: int, expected: int) -> None:
+        buf = self._buf
+        unpack = _SEQ.unpack_from
+        spin = 0
+        sleeps = 0
+        while unpack(buf, base)[0] != expected:
+            spin += 1
+            if spin <= _SPIN_HOT:
+                continue
+            if spin <= _SPIN_HOT + _SPIN_YIELD:
+                _yield()
+                continue
+            time.sleep(_SLEEP_S)
+            sleeps += 1
+            self._beat()  # heartbeat: waiting-but-alive
+            if sleeps >= _POLL_SLEEPS:
+                sleeps = 0
+                self._poll()
+
+    # -- Connection-shaped surface -------------------------------------
+    def recv(self) -> Any:
+        self._attach()
+        try:
+            data = self._req.read(self._wait_seq)
+        except ValueError as exc:
+            raise TransportClosedError(str(exc)) from exc
+        self._beat()
+        return decode_request(data, self._arena.view)
+
+    def send(self, obj: Any) -> None:
+        self._attach()
+        try:
+            self._resp.write(encode_reply(obj, self._arena),
+                             self._wait_seq)
+        except ValueError as exc:
+            raise TransportClosedError(str(exc)) from exc
+        self._beat()
+
+    def close(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self._req = self._resp = None
+        arena, self._arena = self._arena, None
+        if arena is not None:
+            arena.release()
+        try:
+            shm.close()
+        except BufferError:
+            pass

@@ -189,14 +189,24 @@ class TestServiceCommands:
         import json
 
         report = json.loads(out_path.read_text())
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert report["kind"] == "service-loadgen"
         assert len(report["scenarios"]) == 4
         assert all(row["backend"] == "thread" for row in report["scenarios"])
+        assert all(row["transport"] == "inproc" for row in report["scenarios"])
         assert "calibration" in report
 
     def test_loadgen_rejects_bad_shards(self, capsys):
         assert main(["loadgen", "--shards", "one"]) == 2
+
+    def test_loadgen_rejects_shm_without_mp(self, capsys):
+        # shm is an mp-only transport; asking for it with the thread
+        # backend alone must fail fast, not silently run inproc.
+        assert main(["loadgen", "--transport", "shm"]) == 2
+        assert main(["loadgen", "--transport", "sideways"]) == 2
+
+    def test_serve_rejects_shm_without_mp(self, capsys):
+        assert main(["serve", "--transport", "shm"]) == 2
 
 
 class TestResilienceCommand:

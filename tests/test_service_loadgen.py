@@ -28,7 +28,7 @@ from repro.service.loadgen import (
 #: Keys every BENCH_service.json consumer relies on; bump
 #: loadgen.SCHEMA_VERSION when changing them.
 SCENARIO_KEYS = {
-    "shards", "threads", "backend", "workers", "batch_size",
+    "shards", "threads", "backend", "workers", "batch_size", "transport",
     "mode", "policy", "ops", "wall_time_s",
     "ops_per_sec", "hit_ratio", "hits", "misses", "errors", "error_rate",
     "latency_us",
@@ -53,11 +53,12 @@ def tiny_report(**kwargs):
 class TestReportSchema:
     def test_schema_pinned(self):
         report = tiny_report()
-        assert report["schema"] == SCHEMA_VERSION == 2
+        assert report["schema"] == SCHEMA_VERSION == 3
         assert report["kind"] == REPORT_KIND == "service-loadgen"
         assert set(report["config"]) >= {
             "num_objects", "num_requests", "alpha", "cache_ratio",
             "capacity", "seed", "policy", "mode", "backend", "batch_size",
+            "transport",
         }
         assert len(report["scenarios"]) == 4
         for row in report["scenarios"]:
@@ -194,6 +195,48 @@ class TestCombineReports:
         with pytest.raises(ValueError):
             combine_reports([{"kind": REPORT_KIND, "schema": 1,
                               "config": {}, "scenarios": []}])
+
+    def test_combine_rejects_mixed_schemas(self):
+        """A schema-2 document (pre-transport rows) must not be
+        silently concatenated with a schema-3 one — the older rows
+        would masquerade as current under consumers' defaults."""
+        from repro.service.loadgen import combine_reports
+
+        current = tiny_report(shard_counts=(1,), thread_counts=(1,))
+        stale = {"kind": REPORT_KIND, "schema": 2,
+                 "config": {}, "scenarios": []}
+        with pytest.raises(ValueError, match="mixed schemas"):
+            combine_reports([current, stale])
+        with pytest.raises(ValueError, match="mixed schemas"):
+            combine_reports([stale, current])
+
+    def test_find_scenario_transport_filter(self):
+        """Transport filtering, including the legacy default: rows
+        predating the field read as the transport their backend used
+        (mp => pipe, thread => inproc)."""
+        def row(backend, transport=None):
+            r = {"shards": 1, "threads": 1, "backend": backend,
+                 "batch_size": 1, "ops_per_sec": 1.0}
+            if transport is not None:
+                r["transport"] = transport
+            return r
+
+        report = {
+            "schema": SCHEMA_VERSION, "kind": REPORT_KIND, "config": {},
+            "scenarios": [
+                row("mp", "shm"),
+                row("mp", "pipe"),
+                row("mp"),          # legacy schema-2 row: reads as pipe
+                row("thread"),      # legacy row: reads as inproc
+            ],
+        }
+        assert find_scenario(report, 1, 1, transport="shm")["transport"] == "shm"
+        pipe = find_scenario(report, 1, 1, backend="mp", transport="pipe")
+        assert pipe["transport"] == "pipe"
+        legacy = find_scenario(report, 1, 1, backend="thread",
+                               transport="inproc")
+        assert legacy is not None and "transport" not in legacy
+        assert find_scenario(report, 1, 1, transport="rdma") is None
 
 
 class TestConcurrentHammer:

@@ -200,6 +200,47 @@ class TestLifecycle:
                 assert proc.daemon
 
 
+class _Stall:
+    """A payload whose *deserialization* blocks for 30 s in the worker,
+    wedging the request/response ping-pong mid-exchange."""
+
+    def __reduce__(self):
+        return (time.sleep, (30.0,))
+
+
+class TestWedgedWorker:
+    """Regression: close() once waited on a worker that would never
+    reply — the join had no deadline and the zombie leaked."""
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_close_terminates_wedged_worker(self, transport):
+        import threading
+
+        svc = MPCacheService(32, "s3fifo", num_workers=2,
+                             transport=transport)
+        svc.set("a", 1)
+
+        def wedge():
+            try:
+                svc.set("stall", _Stall())
+            except Exception:
+                pass  # teardown surfaces as a crash/closed error here
+
+        t = threading.Thread(target=wedge, daemon=True)
+        t.start()
+        time.sleep(0.3)  # let the worker start sleeping inside loads()
+        start = time.monotonic()
+        svc.close(timeout=1.0)
+        elapsed = time.monotonic() - start
+        # Bounded: lock acquire 0.1s + join 1s + terminate grace, never
+        # the worker's 30s nap.
+        assert elapsed < 10.0
+        svc.close()  # still idempotent after the hard path
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert_no_orphans()
+
+
 class TestCrashSafety:
     def crash_plan(self, at=3):
         return FaultPlan().add(WORKER_CRASH, at, at + 1)
@@ -274,9 +315,13 @@ class TestMetricsMerge:
             assert merged_first == merged_again > 0  # replace, not double
             text = to_prometheus(registry)
             assert 'worker="0"' in text and 'worker="1"' in text
+            # Worker series are also labelled by the transport that
+            # carried them, so pipe and shm runs never collide.
+            assert 'transport="pipe"' in text
             gets = sum(
                 registry.get(
-                    "repro_service_gets", {"worker": str(i)}
+                    "repro_service_gets",
+                    {"worker": str(i), "transport": "pipe"},
                 ).collect_value()
                 for i in range(2)
             )
