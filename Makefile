@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen mp shm frontier cluster cluster-churn fig08-native obs examples experiments all
+.PHONY: install test resilience bench perf loadgen mp shm net frontier net-frontier cluster cluster-churn fig08-native obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,7 @@ perf:
 loadgen:
 	pytest tests/ -m service --no-header -rN
 	s3fifo-repro loadgen --backend thread,mp --transport pipe,shm \
+	    --frontend inproc,resp --connections 2 --pipeline 1,16 \
 	    --out benchmarks/results/BENCH_service.json
 
 mp:
@@ -29,9 +30,16 @@ mp:
 shm:
 	pytest tests/ -m shm --no-header -rN
 
+net:
+	pytest tests/ -m net --no-header -rN
+
 frontier:
 	python -m repro.experiments.frontier \
 	    --out benchmarks/results/frontier.txt
+
+net-frontier:
+	python -m repro.experiments.net_frontier \
+	    --out benchmarks/results/net_frontier.txt
 
 cluster:
 	pytest tests/ -m cluster --no-header -rN

@@ -1,0 +1,93 @@
+"""Perf guard for the network front-end over the mp+shm backend.
+
+Marked ``perf`` and excluded from tier-1 (see pyproject addopts); run
+via ``pytest benchmarks/perf -m perf``.  Replays the recorded
+pipelined RESP-over-mp+shm socket row from
+``benchmarks/results/BENCH_service.json`` (regenerate with ``make
+loadgen``) live and enforces a regression floor: the socket path must
+still reach ``THROUGHPUT_FLOOR`` of the recorded throughput.  This is
+the full stack the PR adds — event loop parsing RESP, GET-run fusion
+into ``get_many``, shm rings to worker processes — so a regression in
+any layer (parser, pipeliner, transport) trips it.
+
+The floor is deliberately a fraction rather than 1.0: socket
+throughput is the noisiest number this repo records (scheduler,
+loopback stack, and CPU-frequency state all move it), and the guard
+exists to catch structural regressions (an accidental
+write-per-reply, a lost pipelining batch), which cost integer
+factors, not percents.
+
+Like the other mp guards, this one needs hardware to say anything:
+with fewer than 4 usable CPUs the event loop, client threads, and
+worker processes time-slice one core and the measurement is of the
+scheduler, so the test skips.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig08_native import usable_cpus
+from repro.service.loadgen import find_scenario, run_scenario
+from repro.traces.synthetic import zipf_trace
+
+RESULTS_PATH = Path(__file__).parent.parent / "results" / "BENCH_service.json"
+
+MIN_CPUS = 4
+THROUGHPUT_FLOOR = 0.5
+
+# The row `make loadgen` records for the socket matrix over mp+shm:
+# resp frontend, 2 connections (driver threads), depth-16 pipelining,
+# 4 worker processes.
+BASELINE_AXES = dict(
+    shards=4, threads=2, backend="mp", transport="shm",
+    frontend="resp", connections=2, pipeline_depth=16,
+)
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    usable_cpus() < MIN_CPUS,
+    reason=f"needs >= {MIN_CPUS} usable CPUs to measure the socket path "
+           f"(host grants {usable_cpus()})",
+)
+def test_socket_loadgen_reaches_recorded_shm_floor():
+    if not RESULTS_PATH.exists():
+        pytest.skip("no recorded baseline; run `make loadgen` first")
+    report = json.loads(RESULTS_PATH.read_text())
+    if report.get("schema", 0) < 4:
+        pytest.skip("recorded baseline predates socket rows; "
+                    "rerun `make loadgen`")
+    baseline = find_scenario(report, **BASELINE_AXES)
+    if baseline is None:
+        pytest.skip("recorded report has no resp/mp+shm socket row; "
+                    "rerun `make loadgen`")
+
+    cfg = report["config"]
+    trace = zipf_trace(
+        num_objects=cfg["num_objects"],
+        num_requests=cfg["num_requests"],
+        alpha=cfg["alpha"],
+        seed=cfg["seed"],
+    )
+    live = run_scenario(
+        trace,
+        capacity=cfg["capacity"],
+        policy=cfg["policy"],
+        num_shards=BASELINE_AXES["shards"],
+        backend="mp",
+        transport="shm",
+        frontend="resp",
+        connections=BASELINE_AXES["connections"],
+        pipeline_depth=BASELINE_AXES["pipeline_depth"],
+    )
+    ratio = live["ops_per_sec"] / baseline["ops_per_sec"]
+    assert ratio >= THROUGHPUT_FLOOR, (
+        f"socket loadgen over mp+shm reached only {ratio:.2f}x the "
+        f"recorded baseline ({live['ops_per_sec']:,.0f} vs "
+        f"{baseline['ops_per_sec']:,.0f} ops/s) on a host with "
+        f"{usable_cpus()} usable CPUs "
+        f"(affinity {sorted(os.sched_getaffinity(0))})"
+    )

@@ -1,0 +1,62 @@
+"""Bench: the throughput-vs-hit-ratio frontier through the socket path.
+
+Regenerates the ``repro.experiments.net_frontier`` sweep: the frontier
+trace replayed in-process and through the network front-end (RESP with
+and without pipelining, memcached text).  The assertions are shape
+claims, not speed claims — hit ratios must rise with capacity within a
+series, the wire protocol must not move the hit-ratio axis, and the
+two structural throughput facts must hold in either direction of the
+hardware lottery: going over a socket costs throughput, and
+pipelining buys part of it back.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.net_frontier import (
+    DEFAULT_RATIOS,
+    DEFAULT_SERIES,
+    format_chart,
+    format_table,
+    run,
+)
+
+
+def test_net_frontier(benchmark, save_table):
+    def build():
+        return run(scale=BENCH_SCALE, seed=42)
+
+    rows = run_once(benchmark, build)
+    table = format_table(rows) + "\n\n" + format_chart(rows)
+    save_table("net_frontier", table)
+    print("\n" + table)
+
+    assert len(rows) == len(DEFAULT_SERIES) * len(DEFAULT_RATIOS)
+    assert all(r["kops"] > 0 for r in rows)
+    by_series = {}
+    for r in rows:
+        by_series.setdefault(r["series"], []).append(r)
+    for series_rows in by_series.values():
+        ratios = [r["hit_ratio"] for r in series_rows]
+        # Bigger cache, same trace: the frontier walks right.
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]
+    # The wire protocol cannot move a point's hit ratio: same trace,
+    # same policy, same capacity.  Connection interleaving wiggles the
+    # request order slightly (like thread slicing in-process), so the
+    # pin is a tight band rather than exact equality.
+    for i in range(len(DEFAULT_RATIOS)):
+        hits = [series_rows[i]["hit_ratio"]
+                for series_rows in by_series.values()]
+        assert max(hits) - min(hits) < 0.03, (
+            f"hit ratios diverged across series at ratio index {i}: {hits}"
+        )
+
+    def mean_kops(label):
+        series_rows = by_series[label]
+        return sum(r["kops"] for r in series_rows) / len(series_rows)
+
+    # The network tax is real: one command per round-trip cannot match
+    # an in-process call...
+    assert mean_kops("inproc") > mean_kops("resp p1")
+    # ...and pipelining refunds part of it.
+    assert mean_kops("resp p16") > mean_kops("resp p1")

@@ -35,6 +35,7 @@ EXPERIMENTS = {
     "ablations": "repro.experiments.ablations",
     "cluster-churn": "repro.experiments.cluster_churn",
     "frontier": "repro.experiments.frontier",
+    "net-frontier": "repro.experiments.net_frontier",
 }
 
 
@@ -341,9 +342,81 @@ def _cmd_walkthrough(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_network(args: argparse.Namespace, service) -> int:
+    """Network-server mode of ``serve``: listen until SIGINT/SIGTERM,
+    then drain gracefully (stop accepting, answer accepted in-flight
+    commands, bounded deadline) and tear the backend down.
+
+    Exits 0 on a clean drain; a bind failure prints one line to stderr
+    and exits 2 — no traceback, so supervisors and shell scripts get a
+    parseable failure.
+    """
+    import asyncio
+    import signal
+
+    from repro.netsrv.server import CacheServer
+    from repro.obs import MetricsRegistry
+
+    server = CacheServer(
+        service,
+        host=args.host,
+        resp_port=args.resp_port,
+        memcached_port=args.memcached_port,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+        metrics=MetricsRegistry(),
+    )
+
+    async def _run() -> int:
+        try:
+            await server.start()
+        except OSError as exc:
+            ports = [
+                f"{proto} port {port}"
+                for proto, port in (("resp", args.resp_port),
+                                    ("memcached", args.memcached_port))
+                if port is not None
+            ]
+            print(
+                f"error: cannot bind {args.host} "
+                f"({', '.join(ports)}): {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        if server.resp_port is not None:
+            print(f"resp: listening on {args.host}:{server.resp_port}",
+                  flush=True)
+        if server.memcached_port is not None:
+            print(
+                f"memcached: listening on "
+                f"{args.host}:{server.memcached_port}",
+                flush=True,
+            )
+        await stop.wait()
+        print("draining: accepting no new connections, finishing "
+              "in-flight commands...", flush=True)
+        await server.drain(timeout=args.drain_timeout)
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    finally:
+        # The server never owns the backend: the phased mp/cluster
+        # teardown (and the plain close for thread backends) runs
+        # here, after the drain has answered everything accepted.
+        if hasattr(service, "close"):
+            service.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Live service demo: replay a Zipf stream read-through and compare
-    the service's miss ratio against the offline simulator's."""
+    the service's miss ratio against the offline simulator's.  With
+    ``--resp-port``/``--memcached-port``, serve the backend over real
+    sockets instead (see :func:`_serve_network`)."""
     import threading
     import time
 
@@ -352,12 +425,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.simulator import simulate
     from repro.traces.synthetic import zipf_trace
 
-    trace = zipf_trace(
-        num_objects=args.objects,
-        num_requests=args.requests,
-        alpha=args.alpha,
-        seed=args.seed,
-    )
+    network = (args.resp_port is not None
+               or args.memcached_port is not None)
+    if not network:
+        trace = zipf_trace(
+            num_objects=args.objects,
+            num_requests=args.requests,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
     if args.transport != "pipe" and args.backend != "mp":
         print(f"--transport {args.transport} requires --backend mp",
               file=sys.stderr)
@@ -388,6 +464,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = build_service(
             capacity, args.policy, num_shards, checked=args.checked
         )
+    if network:
+        return _serve_network(args, service)
     ttl = args.ttl
     stop_watch = threading.Event()
     watcher = None
@@ -495,6 +573,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         combine_reports,
         format_report,
         run_loadgen,
+        run_net_loadgen,
     )
 
     try:
@@ -502,9 +581,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         thread_counts = [int(t) for t in args.threads.split(",")]
         worker_counts = [int(w) for w in args.workers.split(",")]
         node_counts = [int(n) for n in args.nodes.split(",")]
+        connection_counts = [int(c) for c in args.connections.split(",")]
+        pipeline_depths = [int(p) for p in args.pipeline.split(",")]
     except ValueError:
-        print("--shards/--threads/--workers/--nodes take comma-separated "
-              "integers", file=sys.stderr)
+        print("--shards/--threads/--workers/--nodes/--connections/"
+              "--pipeline take comma-separated integers", file=sys.stderr)
         return 2
     backends = [b.strip() for b in args.backend.split(",")]
     unknown = set(backends) - {"thread", "mp", "cluster"}
@@ -522,6 +603,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print("--transport is an mp-backend axis; add 'mp' to --backend",
               file=sys.stderr)
         return 2
+    frontends = [f.strip() for f in args.frontend.split(",")]
+    unknown = set(frontends) - {"inproc", "resp", "memcached"}
+    if unknown or not frontends:
+        print(f"--frontend takes a comma-separated subset of "
+              f"inproc,resp,memcached; got {args.frontend!r}",
+              file=sys.stderr)
+        return 2
+    socket_frontends = [f for f in frontends if f != "inproc"]
     workload = dict(
         num_objects=args.objects,
         num_requests=args.requests,
@@ -536,6 +625,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     reports = []
     for backend in backends:
+        if "inproc" not in frontends:
+            break  # socket-only run: skip the in-process matrices
         if backend == "thread":
             reports.append(run_loadgen(
                 shard_counts=shard_counts,
@@ -569,6 +660,44 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 vnodes=args.vnodes,
                 **workload,
             ))
+    if socket_frontends:
+        # The socket matrix (frontends x connections x pipeline depths)
+        # runs once per backend at that backend's largest worker axis,
+        # so socket rows are comparable to the best in-process rows.
+        net_workload = dict(
+            num_objects=args.objects,
+            num_requests=args.requests,
+            alpha=args.alpha,
+            cache_ratio=args.cache_ratio,
+            seed=args.seed,
+            policy=args.policy,
+            checked=args.checked,
+            ttl=args.ttl,
+            connection_counts=connection_counts,
+            pipeline_depths=pipeline_depths,
+            frontends=socket_frontends,
+        )
+        for backend in backends:
+            if backend == "thread":
+                reports.append(run_net_loadgen(
+                    num_shards=max(shard_counts), **net_workload,
+                ))
+            elif backend == "mp":
+                for transport in transports:
+                    reports.append(run_net_loadgen(
+                        backend="mp",
+                        num_shards=max(worker_counts),
+                        transport=transport,
+                        **net_workload,
+                    ))
+            else:
+                reports.append(run_net_loadgen(
+                    backend="cluster",
+                    num_shards=max(node_counts),
+                    replication=args.replication,
+                    vnodes=args.vnodes,
+                    **net_workload,
+                ))
     report = reports[0] if len(reports) == 1 else combine_reports(reports)
     try:
         report["calibration"] = calibration_summary(
@@ -784,6 +913,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a one-line stats snapshot every SECS "
                        "seconds while the replay runs")
     serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--resp-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve the backend over the Redis RESP2 "
+                       "protocol on this port (0 = ephemeral) instead "
+                       "of running the replay demo")
+    serve.add_argument("--memcached-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve the memcached text protocol on this "
+                       "port (0 = ephemeral); combines with --resp-port")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for the network server")
+    serve.add_argument("--max-connections", type=int, default=1024,
+                       help="accept limit across both protocols")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="close connections idle for SECS seconds")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       metavar="SECS",
+                       help="graceful-shutdown deadline: in-flight "
+                       "commands get this long before force-close")
 
     lg = sub.add_parser(
         "loadgen",
@@ -813,6 +962,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="ring points per node (cluster backend)")
     lg.add_argument("--batch", type=int, default=1,
                     help="get_many/set_many batch size (1 = per-key ops)")
+    lg.add_argument("--frontend", default="inproc",
+                    help="comma-separated subset of inproc,resp,"
+                    "memcached; socket frontends drive the backend "
+                    "through a real CacheServer on ephemeral ports")
+    lg.add_argument("--connections", default="1,4",
+                    help="comma-separated client connection counts "
+                    "(socket frontends)")
+    lg.add_argument("--pipeline", default="1,16",
+                    help="comma-separated pipeline depths: commands "
+                    "written per socket round-trip (socket frontends)")
     lg.add_argument("--objects", type=int, default=10_000)
     lg.add_argument("--requests", type=int, default=100_000)
     lg.add_argument("--alpha", type=float, default=1.0)

@@ -100,13 +100,17 @@ def _scaling_rows(
     highest-worker ``mp``-backend rows at the *same* driver thread
     count and batch size (the one axis that must vary is the worker
     count).  Rows from schema-1 reports, which predate the ``backend``
-    field, read as in-process.
+    field, read as in-process.  Socket-frontend rows (schema 4) are
+    excluded on both axes: their per-op cost includes protocol and
+    socket time, which is not what the analytic model's in-process
+    cost profile describes.
     """
     if axis == "threads":
         rows = [
             r for r in report["scenarios"]
             if r["shards"] == shards
             and r.get("backend", "thread") == "thread"
+            and r.get("frontend", "inproc") == "inproc"
         ]
         single = next((r for r in rows if r["threads"] == 1), None)
         multi = max(
@@ -124,6 +128,7 @@ def _scaling_rows(
         rows: List[Dict[str, Any]] = [
             r for r in report["scenarios"]
             if r.get("backend", "thread") == "mp"
+            and r.get("frontend", "inproc") == "inproc"
         ]
         single = next((r for r in rows if r["shards"] == 1), None)
         if single is not None:

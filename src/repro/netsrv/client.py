@@ -1,0 +1,286 @@
+"""Minimal blocking clients for both wire protocols.
+
+The repo cannot assume ``redis-py`` or ``pymemcache`` exist in the
+environment (no new dependencies), and the conformance suite *wants*
+raw sockets anyway — goldens are byte-for-byte, so a client library's
+niceties would only get in the way.  These clients are therefore
+deliberately small: a socket, a receive buffer, and exact framing.
+
+They serve two masters:
+
+* the protocol conformance tests (``tests/test_netsrv_server.py``),
+  which mostly speak raw bytes but use these for multi-step flows;
+* the load generator's socket mode (loadgen schema 4), which needs
+  **pipelining**: :meth:`RespClient.pipeline` writes a whole batch of
+  commands in one ``sendall`` and then reads the batch of replies —
+  the per-round-trip amortization that the ``pipeline_depth`` axis
+  measures.
+
+Error replies (``-ERR ...`` / ``SERVER_ERROR ...``) are returned as
+:class:`RespError` / :class:`McError` *values* from pipeline calls so
+a batch keeps its positional alignment, and raised from the scalar
+convenience methods where there is no alignment to preserve.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["RespClient", "RespError", "McClient", "McError"]
+
+Arg = Union[bytes, str, int, float]
+
+
+class RespError(Exception):
+    """A ``-...`` error reply from the server."""
+
+
+class McError(Exception):
+    """An ``ERROR``/``CLIENT_ERROR``/``SERVER_ERROR`` memcached reply."""
+
+
+def _to_bytes(arg: Arg) -> bytes:
+    if isinstance(arg, bytes):
+        return arg
+    return str(arg).encode("utf-8", "surrogateescape")
+
+
+class _SocketReader:
+    """A socket plus a receive buffer with exact line/byte reads."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buf = bytearray()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def send(self, payload: bytes) -> None:
+        self.sock.sendall(payload)
+
+    def read_line(self) -> bytes:
+        """One line without its CRLF; raises on EOF mid-line."""
+        while True:
+            idx = self._buf.find(b"\r\n")
+            if idx >= 0:
+                line = bytes(self._buf[:idx])
+                del self._buf[:idx + 2]
+                return line
+            self._fill()
+
+    def read_exact(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            self._fill()
+        out = bytes(self._buf[:n])
+        del self._buf[:n]
+        return out
+
+    def _fill(self) -> None:
+        chunk = self.sock.recv(1 << 16)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        self._buf += chunk
+
+
+class RespClient:
+    """A blocking RESP2 client: ``execute`` one command or ``pipeline`` many.
+
+    Replies decode to Python values: simple strings -> ``str``,
+    integers -> ``int``, bulk strings -> ``bytes`` (``None`` for the
+    null bulk), arrays -> ``list``, errors -> :class:`RespError`
+    (returned from :meth:`pipeline`, raised from :meth:`execute`).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+        self._io = _SocketReader(host, port, timeout)
+
+    def close(self) -> None:
+        self._io.close()
+
+    def __enter__(self) -> "RespClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def encode_command(args: Sequence[Arg]) -> bytes:
+        parts = [_to_bytes(a) for a in args]
+        out = bytearray(b"*" + str(len(parts)).encode() + b"\r\n")
+        for part in parts:
+            out += b"$" + str(len(part)).encode() + b"\r\n" + part + b"\r\n"
+        return bytes(out)
+
+    def execute(self, *args: Arg) -> Any:
+        """One command, one reply; error replies raise."""
+        self._io.send(self.encode_command(args))
+        reply = self._read_reply()
+        if isinstance(reply, RespError):
+            raise reply
+        return reply
+
+    def pipeline(self, commands: Sequence[Sequence[Arg]]) -> List[Any]:
+        """Write every command in one syscall, then read every reply."""
+        payload = b"".join(self.encode_command(c) for c in commands)
+        self._io.send(payload)
+        return [self._read_reply() for _ in commands]
+
+    # Convenience wrappers used by tests and the loadgen closed loop.
+    def ping(self) -> str:
+        return self.execute("PING")
+
+    def get(self, key: Arg) -> Optional[bytes]:
+        return self.execute("GET", key)
+
+    def set(self, key: Arg, value: Arg,
+            ex: Optional[int] = None) -> str:
+        if ex is None:
+            return self.execute("SET", key, value)
+        return self.execute("SET", key, value, "EX", ex)
+
+    def delete(self, *keys: Arg) -> int:
+        return self.execute("DEL", *keys)
+
+    def info(self) -> Dict[str, str]:
+        raw = self.execute("INFO")
+        out: Dict[str, str] = {}
+        for line in raw.decode().splitlines():
+            if line and not line.startswith("#") and ":" in line:
+                name, _, value = line.partition(":")
+                out[name] = value
+        return out
+
+    # ------------------------------------------------------------------
+    def _read_reply(self) -> Any:
+        line = self._io.read_line()
+        if not line:
+            raise RespError("empty reply line")
+        lead, body = line[:1], line[1:]
+        if lead == b"+":
+            return body.decode("utf-8", "surrogateescape")
+        if lead == b"-":
+            return RespError(body.decode("utf-8", "surrogateescape"))
+        if lead == b":":
+            return int(body)
+        if lead == b"$":
+            length = int(body)
+            if length == -1:
+                return None
+            return self._io.read_exact(length + 2)[:-2]
+        if lead == b"*":
+            count = int(body)
+            if count == -1:
+                return None
+            return [self._read_reply() for _ in range(count)]
+        raise RespError(f"unknown reply type {lead!r}")
+
+
+class McClient:
+    """A blocking memcached text client (the subset the server speaks)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+        self._io = _SocketReader(host, port, timeout)
+
+    def close(self) -> None:
+        self._io.close()
+
+    def __enter__(self) -> "McClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        values = self.get_many([key])
+        hit = values.get(key)
+        return hit[1] if hit is not None else None
+
+    def get_many(self, keys: Sequence[str],
+                 with_cas: bool = False) -> Dict[str, Tuple]:
+        """Multi-key get -> ``{key: (flags, data[, cas])}`` for hits."""
+        verb = "gets" if with_cas else "get"
+        self._io.send(f"{verb} {' '.join(keys)}\r\n".encode())
+        return self._read_values()
+
+    def set(self, key: str, data: bytes, flags: int = 0,
+            exptime: int = 0, noreply: bool = False) -> bool:
+        self._io.send(
+            f"set {key} {flags} {exptime} {len(data)}"
+            f"{' noreply' if noreply else ''}\r\n".encode()
+            + data + b"\r\n"
+        )
+        if noreply:
+            return True
+        return self._storage_reply() == "STORED"
+
+    def set_many(self, items: Iterable[Tuple[str, bytes]]) -> int:
+        """Pipelined sets (one write, then all replies); returns stored."""
+        payload = bytearray()
+        count = 0
+        for key, data in items:
+            payload += f"set {key} 0 0 {len(data)}\r\n".encode()
+            payload += data + b"\r\n"
+            count += 1
+        self._io.send(bytes(payload))
+        return sum(self._storage_reply() == "STORED" for _ in range(count))
+
+    def delete(self, key: str) -> bool:
+        self._io.send(f"delete {key}\r\n".encode())
+        return self._storage_reply() == "DELETED"
+
+    def stats(self) -> Dict[str, str]:
+        self._io.send(b"stats\r\n")
+        out: Dict[str, str] = {}
+        while True:
+            line = self._io.read_line().decode()
+            if line == "END":
+                return out
+            if line.startswith("STAT "):
+                _, name, value = line.split(" ", 2)
+                out[name] = value
+            else:
+                raise McError(line)
+
+    def version(self) -> str:
+        self._io.send(b"version\r\n")
+        line = self._io.read_line().decode()
+        if not line.startswith("VERSION "):
+            raise McError(line)
+        return line[len("VERSION "):]
+
+    def quit(self) -> None:
+        try:
+            self._io.send(b"quit\r\n")
+        except OSError:
+            pass
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _storage_reply(self) -> str:
+        line = self._io.read_line().decode()
+        if line.startswith(("ERROR", "CLIENT_ERROR", "SERVER_ERROR")):
+            raise McError(line)
+        return line
+
+    def _read_values(self) -> Dict[str, Tuple]:
+        out: Dict[str, Tuple] = {}
+        while True:
+            line = self._io.read_line().decode("utf-8", "surrogateescape")
+            if line == "END":
+                return out
+            if not line.startswith("VALUE "):
+                raise McError(line)
+            parts = line.split(" ")
+            key, flags, nbytes = parts[1], int(parts[2]), int(parts[3])
+            data = self._io.read_exact(nbytes + 2)[:-2]
+            if len(parts) == 5:  # gets: trailing cas token
+                out[key] = (flags, data, int(parts[4]))
+            else:
+                out[key] = (flags, data)

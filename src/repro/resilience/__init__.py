@@ -15,12 +15,14 @@ a production-bound reproduction needs the same discipline in miniature:
 """
 
 from repro.resilience.faults import (
+    CONN_RESET,
     CRASH,
     FAULT_KINDS,
     FLASH_READ,
     FLASH_WRITE,
     LATENCY,
     LEVEL_OUTAGE,
+    SLOW_CLIENT,
     TRACE_CORRUPTION,
     WORKER_CRASH,
     FaultEvent,
@@ -55,6 +57,8 @@ __all__ = [
     "LEVEL_OUTAGE",
     "CRASH",
     "WORKER_CRASH",
+    "CONN_RESET",
+    "SLOW_CLIENT",
     "RetryError",
     "RetryPolicy",
     "CheckedPolicy",

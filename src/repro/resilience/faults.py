@@ -28,6 +28,15 @@ Fault kinds:
   cache backend (:class:`~repro.service.mp.MPCacheService`) hard-exits
   mid-operation, exercising the parent's crash detection and clean
   shutdown of the surviving workers.
+* ``conn-reset`` — the network front-end
+  (:class:`~repro.netsrv.server.CacheServer`) abruptly closes a client
+  connection while serving the command at the covering clock,
+  exercising client reconnect paths and the server's own accounting.
+  The clock is the server-wide accepted-command sequence number.
+* ``slow-client`` — the front-end stalls before writing a reply
+  (``magnitude`` seconds per command, default 1.0), simulating a
+  client that drains its socket too slowly; exercises drain deadlines
+  and idle-timeout interplay.  Same command clock as ``conn-reset``.
 """
 
 from __future__ import annotations
@@ -43,10 +52,12 @@ TRACE_CORRUPTION = "trace-corruption"
 LEVEL_OUTAGE = "level-outage"
 CRASH = "crash"
 WORKER_CRASH = "worker-crash"
+CONN_RESET = "conn-reset"
+SLOW_CLIENT = "slow-client"
 
 FAULT_KINDS = frozenset(
     {FLASH_READ, FLASH_WRITE, LATENCY, TRACE_CORRUPTION, LEVEL_OUTAGE,
-     CRASH, WORKER_CRASH}
+     CRASH, WORKER_CRASH, CONN_RESET, SLOW_CLIENT}
 )
 
 # Kinds whose overlapping windows compose (latency magnitudes sum — a

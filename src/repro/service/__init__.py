@@ -21,6 +21,7 @@ from repro.service.loadgen import (
     format_report,
     latency_summary_us,
     run_loadgen,
+    run_net_loadgen,
     run_scenario,
 )
 from repro.service.mp import (
@@ -57,6 +58,7 @@ __all__ = [
     "partition_capacity",
     "stable_key_hash",
     "run_loadgen",
+    "run_net_loadgen",
     "run_scenario",
     "combine_reports",
     "latency_summary_us",

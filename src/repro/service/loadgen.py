@@ -61,6 +61,19 @@ batch cost split evenly across its operations.  Note the batched
 workload is not operation-identical to the unbatched one: duplicate
 keys inside one batch all miss together (the unbatched loop would hit
 from the second occurrence on).
+
+Since schema 4 the driving side has a **frontend** axis too:
+``frontend="inproc"`` (the default, everything above) calls the
+service in-process, while ``frontend="resp"`` / ``"memcached"`` stand
+up a :class:`~repro.netsrv.server.CacheServer` over the backend and
+drive it through real sockets with the blocking clients in
+:mod:`repro.netsrv.client` — one client thread per ``connections``,
+each issuing closed-loop read-through windows of ``pipeline_depth``
+pipelined GETs (then pipelined SETs for the misses).  Socket rows
+reuse the batch accounting conventions: an operation's latency is its
+*window's* latency.  A connection the server drops (an injected
+``conn-reset``, a crashed backend) counts its window in ``errors``
+and reconnects, mirroring the ``WorkerCrashedError`` discipline.
 """
 
 from __future__ import annotations
@@ -81,7 +94,10 @@ from repro.service.sharded import ShardedCacheService
 #: ``batch_size``; percentile convention fixed to true nearest-rank.
 #: 3: scenario rows and config gained ``transport`` (``inproc`` for the
 #: thread backend, ``pipe``/``shm`` for mp, ``pipe`` for cluster).
-SCHEMA_VERSION = 3
+#: 4: scenario rows and config gained ``frontend`` (``inproc``,
+#: ``resp``, ``memcached``), ``connections``, and ``pipeline_depth``
+#: (socket-mode axes; in-process rows record 0 for both).
+SCHEMA_VERSION = 4
 
 #: Report ``kind`` discriminator (BENCH_service.json vs other reports).
 REPORT_KIND = "service-loadgen"
@@ -228,6 +244,72 @@ def _run_open_batched(service, keys: Sequence[int], value: Any,
             continue
         elapsed = clock() - scheduled
         _charge_batch(stats, len(batch), len(missed), elapsed, record)
+
+
+def _run_net(frontend: str, host: str, port: int, keys: Sequence[int],
+             value: bytes, stats: _WorkerStats, barrier: threading.Barrier,
+             depth: int, timeout: float = 30.0) -> None:
+    """One socket connection's closed loop: windows of ``depth``
+    pipelined GETs, then pipelined SETs for the misses.
+
+    Window accounting matches :func:`_charge_batch` (per-op latency is
+    the window latency).  Error replies inside a window count in
+    ``errors`` without charging latency; a dead connection charges the
+    whole window to ``errors`` and reconnects for the next one, so an
+    injected ``conn-reset`` shows up as a blip, not a dead thread.
+    """
+    from repro.netsrv.client import McClient, McError, RespClient, RespError
+
+    def connect():
+        if frontend == "resp":
+            return RespClient(host, port, timeout=timeout)
+        return McClient(host, port, timeout=timeout)
+
+    try:
+        client = connect()
+    except OSError:
+        client = None
+    record = stats.latencies_ns.append
+    clock = time.perf_counter_ns
+    barrier.wait()
+    for start in range(0, len(keys), depth):
+        window = [str(k) for k in keys[start:start + depth]]
+        if client is None:
+            try:
+                client = connect()
+            except OSError:
+                stats.errors += len(window)
+                continue
+        t0 = clock()
+        try:
+            if frontend == "resp":
+                replies = client.pipeline([("GET", k) for k in window])
+                missed = [k for k, r in zip(window, replies) if r is None]
+                errors = sum(isinstance(r, RespError) for r in replies)
+                if missed:
+                    stored = client.pipeline(
+                        [("SET", k, value) for k in missed]
+                    )
+                    errors += sum(isinstance(r, RespError) for r in stored)
+            else:
+                found = client.get_many(window)
+                missed = [k for k in window if k not in found]
+                errors = 0
+                if missed:
+                    client.set_many([(k, value) for k in missed])
+        except (ConnectionError, OSError, McError):
+            stats.errors += len(window)
+            client.close()
+            client = None
+            continue
+        elapsed = clock() - t0
+        stats.errors += errors
+        counted = len(window) - errors
+        if counted:
+            _charge_batch(stats, counted, min(len(missed), counted),
+                          elapsed, record)
+    if client is not None:
+        client.close()
 
 
 def counters_snapshot(service, t_s: float) -> Dict[str, Any]:
@@ -410,6 +492,9 @@ def run_scenario(
     replication: int = 2,
     vnodes: int = 64,
     fault_plans=None,
+    frontend: str = "inproc",
+    connections: int = 1,
+    pipeline_depth: int = 1,
 ) -> Dict[str, Any]:
     """Drive one (shards, threads) configuration; returns the report row.
 
@@ -440,11 +525,51 @@ def run_scenario(
     choice, so their rows record it as ``"inproc"`` (thread) or
     ``"pipe"`` (cluster) and passing ``transport="shm"`` with them is
     an error.
+
+    ``frontend="resp"`` / ``"memcached"`` (schema 4) drives the same
+    backend through a real socket: a
+    :class:`~repro.netsrv.server.CacheServer` is stood up on an
+    ephemeral port and ``connections`` client threads replay the trace
+    in closed-loop windows of ``pipeline_depth`` pipelined commands.
+    The socket path reuses the batch accounting conventions (window
+    latency per op) and is closed-loop only; ``num_threads``,
+    ``batch_size``, ``mode="open"``, and the in-process hooks
+    (``metrics``/``tracer``/``instrument_policy``) don't apply and
+    must stay at their defaults.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    if frontend not in ("inproc", "resp", "memcached"):
+        raise ValueError(
+            f"frontend must be 'inproc', 'resp', or 'memcached', "
+            f"got {frontend!r}"
+        )
+    if frontend != "inproc":
+        if connections < 1:
+            raise ValueError(
+                f"connections must be >= 1, got {connections}"
+            )
+        if pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
+        if mode != "closed":
+            raise ValueError(
+                "socket frontends are closed-loop only (mode='closed')"
+            )
+        if num_threads != 1 or batch_size != 1:
+            raise ValueError(
+                "socket frontends drive with connections/pipeline_depth; "
+                "leave num_threads and batch_size at 1"
+            )
+        if metrics is not None or tracer is not None or instrument_policy:
+            raise ValueError(
+                "metrics/tracer/instrument_policy are in-process hooks; "
+                "the network server wires its own repro_net_* metrics "
+                "(see repro.netsrv.server)"
+            )
     if backend not in ("thread", "mp", "cluster"):
         raise ValueError(
             f"backend must be 'thread', 'mp', or 'cluster', got {backend!r}"
@@ -486,13 +611,36 @@ def run_scenario(
             tracer=tracer,
             instrument_policy=instrument_policy,
         )
-    per_thread = len(trace) // num_threads
+    drivers = connections if frontend != "inproc" else num_threads
+    per_thread = len(trace) // drivers
     slices = [
-        trace[i * per_thread:(i + 1) * per_thread] for i in range(num_threads)
+        trace[i * per_thread:(i + 1) * per_thread] for i in range(drivers)
     ]
-    stats = [_WorkerStats() for _ in range(num_threads)]
-    barrier = threading.Barrier(num_threads + 1)
-    if mode == "closed":
+    stats = [_WorkerStats() for _ in range(drivers)]
+    barrier = threading.Barrier(drivers + 1)
+    net_server = None
+    if frontend != "inproc":
+        from repro.netsrv.server import ServerThread
+
+        port_kw = ({"resp_port": 0} if frontend == "resp"
+                   else {"memcached_port": 0})
+        net_server = ServerThread(
+            service, max_connections=connections + 1, **port_kw
+        ).start()
+        port = (net_server.resp_port if frontend == "resp"
+                else net_server.memcached_port)
+        wire_value = (value if isinstance(value, bytes)
+                      else str(value).encode())
+        workers = [
+            threading.Thread(
+                target=_run_net,
+                args=(frontend, net_server.server.host, port, s,
+                      wire_value, st, barrier, pipeline_depth),
+                name=f"loadgen-{i}", daemon=True,
+            )
+            for i, (s, st) in enumerate(zip(slices, stats))
+        ]
+    elif mode == "closed":
         if batch_size > 1:
             thread_args = [
                 (service, s, value, st, barrier, batch_size)
@@ -562,6 +710,8 @@ def run_scenario(
             intervals.append(counters_snapshot(service, wall))
         except WorkerCrashedError:
             pass  # the run itself already counted the errors
+    if net_server is not None:
+        net_server.stop()
     merged = array("q")
     hits = misses = hit_ns = miss_ns = errors = 0
     for st in stats:
@@ -593,11 +743,14 @@ def run_scenario(
         service.close()
     row = {
         "shards": num_shards,
-        "threads": num_threads,
+        "threads": drivers,
         "backend": backend,
         "workers": num_shards if backend in ("mp", "cluster") else 0,
         "batch_size": batch_size,
         "transport": _row_transport(backend, transport),
+        "frontend": frontend,
+        "connections": connections if frontend != "inproc" else 0,
+        "pipeline_depth": pipeline_depth if frontend != "inproc" else 0,
         "mode": mode,
         "policy": policy,
         "ops": ops,
@@ -716,6 +869,9 @@ def run_loadgen(
             "backend": backend,
             "batch_size": batch_size,
             "transport": _row_transport(backend, transport),
+            "frontend": "inproc",
+            "connections": 0,
+            "pipeline_depth": 0,
             **({"replication": replication, "vnodes": vnodes}
                if backend == "cluster" else {}),
         },
@@ -723,7 +879,97 @@ def run_loadgen(
     }
 
 
-def combine_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+def run_net_loadgen(
+    frontends: Sequence[str] = ("resp",),
+    connection_counts: Sequence[int] = (1, 4),
+    pipeline_depths: Sequence[int] = (1, 16),
+    num_shards: int = 1,
+    num_objects: int = 10_000,
+    num_requests: int = 100_000,
+    alpha: float = 1.0,
+    cache_ratio: float = 0.1,
+    seed: int = 42,
+    policy: str = "s3fifo",
+    checked: bool = False,
+    ttl: Optional[float] = None,
+    backend: str = "thread",
+    transport: str = "pipe",
+    start_method: Optional[str] = None,
+    replication: int = 2,
+    vnodes: int = 64,
+) -> Dict[str, Any]:
+    """The socket-mode scenario matrix (frontends x connections x
+    pipeline depths) over one backend configuration; returns the report.
+
+    The workload is the same seeded Zipf trace as :func:`run_loadgen`,
+    so socket rows are directly comparable to in-process rows on the
+    same axes — the gap *is* the protocol + socket cost, which is the
+    number the ``net_frontier`` experiment reports.  Join with
+    in-process reports via :func:`combine_reports`.
+    """
+    from repro.traces.synthetic import zipf_trace
+
+    trace = zipf_trace(
+        num_objects=num_objects,
+        num_requests=num_requests,
+        alpha=alpha,
+        seed=seed,
+    )
+    capacity = max(1, int(num_objects * cache_ratio))
+    scenarios: List[Dict[str, Any]] = []
+    for frontend in frontends:
+        for conns in connection_counts:
+            for depth in pipeline_depths:
+                scenarios.append(
+                    run_scenario(
+                        trace,
+                        capacity=capacity,
+                        policy=policy,
+                        num_shards=num_shards,
+                        checked=checked,
+                        ttl=ttl,
+                        backend=backend,
+                        transport=transport,
+                        start_method=start_method,
+                        replication=replication,
+                        vnodes=vnodes,
+                        frontend=frontend,
+                        connections=conns,
+                        pipeline_depth=depth,
+                    )
+                )
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "config": {
+            "num_objects": num_objects,
+            "num_requests": num_requests,
+            "alpha": alpha,
+            "cache_ratio": cache_ratio,
+            "capacity": capacity,
+            "seed": seed,
+            "policy": policy,
+            "mode": "closed",
+            "open_rate": None,
+            "checked": checked,
+            "ttl": ttl,
+            "backend": backend,
+            "batch_size": 1,
+            "transport": _row_transport(backend, transport),
+            "frontend": list(frontends),
+            "connections": list(connection_counts),
+            "pipeline_depth": list(pipeline_depths),
+            **({"replication": replication, "vnodes": vnodes}
+               if backend == "cluster" else {}),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def combine_reports(
+    reports: Sequence[Dict[str, Any]],
+    sources: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
     """Join several :func:`run_loadgen` reports into one document.
 
     Used by the CLI's comma-separated ``--backend thread,mp`` form:
@@ -733,23 +979,40 @@ def combine_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     ``batch_size``), so consumers filter rows, not documents.  The
     combined config is the first report's, with ``backend`` replaced
     by the list of contributing backends.
+
+    ``sources`` optionally names each report (file paths, when the
+    caller loaded them from disk) so validation errors say *which*
+    document is the odd one out instead of making the caller bisect.
     """
     if not reports:
         raise ValueError("combine_reports needs at least one report")
-    for report in reports:
+    if sources is not None and len(sources) != len(reports):
+        raise ValueError(
+            f"sources must name every report: got {len(sources)} "
+            f"names for {len(reports)} reports"
+        )
+    labels = (list(sources) if sources is not None
+              else [f"reports[{i}]" for i in range(len(reports))])
+    for label, report in zip(labels, reports):
         if report.get("kind") != REPORT_KIND:
             raise ValueError(
-                f"not a loadgen report (kind={report.get('kind')!r})"
+                f"{label} is not a loadgen report "
+                f"(kind={report.get('kind')!r})"
             )
     schemas = sorted({report.get("schema") for report in reports},
                      key=repr)
     if len(schemas) > 1:
         # Mixing schemas would silently concatenate rows whose fields
-        # mean different things (e.g. pre-transport rows); refuse with
-        # the full set so the caller knows which document to re-run.
+        # mean different things (e.g. pre-frontend rows); refuse and
+        # name each (source, schema) pair so the caller knows exactly
+        # which document to re-run.
+        offenders = ", ".join(
+            f"{label} (schema {report.get('schema')!r})"
+            for label, report in zip(labels, reports)
+        )
         raise ValueError(
-            f"cannot combine loadgen reports with mixed schemas "
-            f"{schemas}; regenerate the older report(s) at schema "
+            f"cannot combine loadgen reports with mixed schemas: "
+            f"{offenders}; regenerate the older report(s) at schema "
             f"{SCHEMA_VERSION}"
         )
     if schemas[0] != SCHEMA_VERSION:
@@ -759,6 +1022,8 @@ def combine_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     config = dict(reports[0]["config"])
     config["backend"] = [r["config"]["backend"] for r in reports]
     config["transport"] = [r["config"]["transport"] for r in reports]
+    config["frontend"] = [r["config"].get("frontend", "inproc")
+                          for r in reports]
     return {
         "schema": SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -774,8 +1039,9 @@ def format_report(report: Dict[str, Any]) -> str:
         f"loadgen {cfg['policy']} zipf-{cfg['alpha']:g} "
         f"({cfg['mode']} loop): {cfg['num_requests']:,} requests, "
         f"{cfg['num_objects']:,} objects, capacity {cfg['capacity']:,}",
-        f"{'backend':>7} {'tport':>6} {'shards':>6} {'threads':>7} "
-        f"{'batch':>5} {'ops/s':>10} {'hit':>7} {'err':>7} "
+        f"{'backend':>7} {'tport':>6} {'front':>9} {'shards':>6} "
+        f"{'threads':>7} {'batch':>5} {'pdepth':>6} {'ops/s':>10} "
+        f"{'hit':>7} {'err':>7} "
         f"{'p50us':>8} {'p99us':>8} {'p999us':>8} {'imbal':>6}",
     ]
     for row in report["scenarios"]:
@@ -783,8 +1049,10 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"{row.get('backend', 'thread'):>7} "
             f"{row.get('transport', 'inproc'):>6} "
+            f"{row.get('frontend', 'inproc'):>9} "
             f"{row['shards']:>6} {row['threads']:>7} "
             f"{row.get('batch_size', 1):>5} "
+            f"{row.get('pipeline_depth', 0):>6} "
             f"{row['ops_per_sec']:>10,} {row['hit_ratio']:>7.4f} "
             f"{row.get('error_rate', 0.0):>7.4f} "
             f"{lat['p50']:>8.1f} {lat['p99']:>8.1f} {lat['p999']:>8.1f} "
@@ -800,13 +1068,18 @@ def find_scenario(
     backend: Optional[str] = None,
     batch_size: Optional[int] = None,
     transport: Optional[str] = None,
+    frontend: Optional[str] = None,
+    connections: Optional[int] = None,
+    pipeline_depth: Optional[int] = None,
 ) -> Optional[Dict[str, Any]]:
     """The first scenario row matching the given axes, if any.
 
-    ``backend`` / ``batch_size`` / ``transport`` of ``None`` match any
-    row.  Rows predating a field read as its historical value:
-    thread/1 (schema 1), and for ``transport`` (schema 2) whatever
-    :func:`_row_transport` says the row's backend used.
+    ``backend`` / ``batch_size`` / ``transport`` / ``frontend`` /
+    ``connections`` / ``pipeline_depth`` of ``None`` match any row.
+    Rows predating a field read as its historical value: thread/1
+    (schema 1), for ``transport`` (schema 2) whatever
+    :func:`_row_transport` says the row's backend used, and for the
+    schema-4 socket axes ``inproc``/0/0.
     """
     for row in report["scenarios"]:
         if row["shards"] != shards or row["threads"] != threads:
@@ -822,5 +1095,14 @@ def find_scenario(
                              _row_transport(row_backend, "pipe"))
             if row_tp != transport:
                 continue
+        if (frontend is not None
+                and row.get("frontend", "inproc") != frontend):
+            continue
+        if (connections is not None
+                and row.get("connections", 0) != connections):
+            continue
+        if (pipeline_depth is not None
+                and row.get("pipeline_depth", 0) != pipeline_depth):
+            continue
         return row
     return None

@@ -189,7 +189,7 @@ class TestServiceCommands:
         import json
 
         report = json.loads(out_path.read_text())
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["kind"] == "service-loadgen"
         assert len(report["scenarios"]) == 4
         assert all(row["backend"] == "thread" for row in report["scenarios"])

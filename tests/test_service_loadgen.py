@@ -29,6 +29,7 @@ from repro.service.loadgen import (
 #: loadgen.SCHEMA_VERSION when changing them.
 SCENARIO_KEYS = {
     "shards", "threads", "backend", "workers", "batch_size", "transport",
+    "frontend", "connections", "pipeline_depth",
     "mode", "policy", "ops", "wall_time_s",
     "ops_per_sec", "hit_ratio", "hits", "misses", "errors", "error_rate",
     "latency_us",
@@ -53,12 +54,12 @@ def tiny_report(**kwargs):
 class TestReportSchema:
     def test_schema_pinned(self):
         report = tiny_report()
-        assert report["schema"] == SCHEMA_VERSION == 3
+        assert report["schema"] == SCHEMA_VERSION == 4
         assert report["kind"] == REPORT_KIND == "service-loadgen"
         assert set(report["config"]) >= {
             "num_objects", "num_requests", "alpha", "cache_ratio",
             "capacity", "seed", "policy", "mode", "backend", "batch_size",
-            "transport",
+            "transport", "frontend", "connections", "pipeline_depth",
         }
         assert len(report["scenarios"]) == 4
         for row in report["scenarios"]:
@@ -210,6 +211,32 @@ class TestCombineReports:
         with pytest.raises(ValueError, match="mixed schemas"):
             combine_reports([stale, current])
 
+    def test_combine_error_names_offending_sources(self):
+        """The mixed-schema refusal must say WHICH file carries which
+        schema — a regression test for the error that used to print
+        only the schema set and left the caller bisecting documents."""
+        from repro.service.loadgen import combine_reports
+
+        current = tiny_report(shard_counts=(1,), thread_counts=(1,))
+        stale = {"kind": REPORT_KIND, "schema": 3,
+                 "config": {}, "scenarios": []}
+        with pytest.raises(ValueError) as excinfo:
+            combine_reports([current, stale],
+                            sources=["new.json", "old.json"])
+        message = str(excinfo.value)
+        assert "old.json" in message and "schema 3" in message
+        assert "new.json" in message and f"schema {SCHEMA_VERSION}" in message
+        # Unnamed reports still get positional labels.
+        with pytest.raises(ValueError, match=r"reports\[1\]"):
+            combine_reports([current, stale])
+        # The kind check names its source too.
+        with pytest.raises(ValueError, match="bogus.json"):
+            combine_reports([{"kind": "metrics-export"}],
+                            sources=["bogus.json"])
+        # sources must cover every report.
+        with pytest.raises(ValueError, match="sources"):
+            combine_reports([current, stale], sources=["only-one.json"])
+
     def test_find_scenario_transport_filter(self):
         """Transport filtering, including the legacy default: rows
         predating the field read as the transport their backend used
@@ -237,6 +264,107 @@ class TestCombineReports:
                                transport="inproc")
         assert legacy is not None and "transport" not in legacy
         assert find_scenario(report, 1, 1, transport="rdma") is None
+
+
+class TestNetRows:
+    """Schema-4 socket-mode rows (the full matrix lives behind the
+    ``net`` marker in tests/test_netsrv_server.py; these pin the
+    report plumbing on one tiny run per concern)."""
+
+    def test_socket_row_axes_and_accounting(self):
+        from repro.service.loadgen import run_net_loadgen
+
+        report = run_net_loadgen(
+            frontends=("resp",), connection_counts=(2,),
+            pipeline_depths=(8,), num_objects=200, num_requests=2000,
+        )
+        assert report["schema"] == SCHEMA_VERSION
+        assert report["config"]["frontend"] == ["resp"]
+        row = report["scenarios"][0]
+        assert set(row) == SCENARIO_KEYS
+        assert row["frontend"] == "resp"
+        assert row["connections"] == 2 and row["pipeline_depth"] == 8
+        assert row["threads"] == 2  # one driver thread per connection
+        assert row["backend"] == "thread" and row["transport"] == "inproc"
+        assert row["ops"] == 2000 and row["errors"] == 0
+        assert row["ops"] == row["hits"] + row["misses"]
+        assert row["latency_us"]["p50"] > 0
+
+    def test_inproc_rows_record_zero_net_axes(self):
+        row = tiny_report(shard_counts=(1,),
+                          thread_counts=(1,))["scenarios"][0]
+        assert row["frontend"] == "inproc"
+        assert row["connections"] == 0 and row["pipeline_depth"] == 0
+
+    def test_find_scenario_net_filters(self):
+        def row(frontend=None, connections=None, depth=None):
+            r = {"shards": 1, "threads": 1, "backend": "thread"}
+            if frontend is not None:
+                r.update(frontend=frontend, connections=connections,
+                         pipeline_depth=depth)
+            return r
+
+        report = {
+            "schema": SCHEMA_VERSION, "kind": REPORT_KIND, "config": {},
+            "scenarios": [
+                row("resp", 4, 16),
+                row("memcached", 4, 1),
+                row(),  # legacy schema-3 row: reads as inproc/0/0
+            ],
+        }
+        hit = find_scenario(report, 1, 1, frontend="resp",
+                            connections=4, pipeline_depth=16)
+        assert hit is not None and hit["frontend"] == "resp"
+        assert find_scenario(report, 1, 1, frontend="resp",
+                             pipeline_depth=1) is None
+        legacy = find_scenario(report, 1, 1, frontend="inproc",
+                               connections=0, pipeline_depth=0)
+        assert legacy is not None and "frontend" not in legacy
+
+    def test_socket_frontend_validation(self):
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="http")
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="resp",
+                         connections=0)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="resp",
+                         pipeline_depth=0)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="resp",
+                         mode="open")
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="resp",
+                         num_threads=2)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="resp",
+                         batch_size=8)
+        with pytest.raises(ValueError):
+            run_scenario([1, 2, 3], capacity=10, frontend="resp",
+                         instrument_policy=True)
+
+    def test_calibration_ignores_socket_rows(self):
+        """A socket row at the same (shards, threads) axes must not be
+        picked as a scaling endpoint — its per-op cost includes the
+        protocol stack."""
+        def row(threads, frontend="inproc", ops_per_sec=100_000):
+            return {
+                "shards": 1, "threads": threads, "backend": "thread",
+                "frontend": frontend, "ops_per_sec": ops_per_sec,
+                "hit_ratio": 0.8, "hit_ns_mean": 2000,
+                "miss_ns_mean": 5000, "batch_size": 1,
+            }
+
+        report = {
+            "schema": SCHEMA_VERSION, "kind": REPORT_KIND,
+            "config": {"policy": "s3fifo"},
+            "scenarios": [row(1), row(4, ops_per_sec=150_000),
+                          row(8, frontend="resp", ops_per_sec=10_000)],
+        }
+        from repro.concurrency.calibrate import _scaling_rows
+
+        single, multi, n = _scaling_rows(report, shards=1, axis="threads")
+        assert multi["threads"] == 4 and n == 4  # not the resp row
 
 
 class TestConcurrentHammer:
