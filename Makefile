@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen mp shm net frontier net-frontier cluster cluster-churn fig08-native obs examples experiments all
+.PHONY: install test resilience bench perf loadgen mp shm net frontier net-frontier cluster cluster-churn fig08-native mrc-fast obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -51,6 +51,12 @@ cluster-churn:
 fig08-native:
 	python -m repro.experiments.fig08_native \
 	    --out benchmarks/results/fig08_throughput_native.txt
+
+mrc-fast:
+	pytest tests/ -m mrc --no-header -rN
+	python -m repro.experiments.mrc_fast \
+	    --out benchmarks/results/mrc_fast.txt
+	pytest benchmarks/perf/test_mrc_guard.py -m perf --no-header -rN
 
 obs:
 	pytest tests/test_obs_overhead.py -m perf --no-header -rN -s

@@ -1,0 +1,20 @@
+"""Bench: single-pass multi-size MRC vs per-size re-simulation."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import mrc_fast
+
+
+def test_mrc_fast(benchmark, save_table):
+    rows = run_once(benchmark, lambda: mrc_fast.run(scale=BENCH_SCALE))
+    table = mrc_fast.format_table(rows)
+    save_table("mrc_fast", table)
+    print("\n" + table)
+    # Every row re-verified its per-size miss counts against the
+    # single pass; the table must say so.
+    assert all(row["exact"] == "yes" for row in rows)
+    # The single pass must win on every dataset for plain FIFO, even
+    # against the array-backed fast twin re-simulating per size.
+    fifo_rows = [row for row in rows if row["policy"] == "fifo"]
+    assert fifo_rows
+    assert all(row["speedup"] > 1.0 for row in fifo_rows)

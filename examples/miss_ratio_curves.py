@@ -13,7 +13,10 @@ Run:  python examples/miss_ratio_curves.py
 
 import time
 
-from repro.sim.mrc import lru_mrc, mrc_error, sampled_mrc
+from repro.cache.registry import create_policy
+from repro.sim.mrc import fifo_mrc, lru_mrc, mrc_error, sampled_mrc
+from repro.sim.simulator import simulate
+from repro.traces.compiled import compile_trace
 from repro.traces.synthetic import zipf_trace
 
 
@@ -34,6 +37,22 @@ def main() -> None:
     exact = lru_mrc(trace, sizes=sizes)
     exact_time = time.time() - t0
     ascii_curve(f"computed in {exact_time:.2f}s", exact)
+
+    print("\n--- exact FIFO MRC (single-pass multi-size, one pass) ---")
+    ct = compile_trace(trace)
+    t0 = time.time()
+    fifo_curve = fifo_mrc(ct, sizes=sizes)
+    single_time = time.time() - t0
+    t0 = time.time()
+    for size in sizes:
+        simulate(create_policy("fifo-fast", capacity=size), ct)
+    per_size_time = time.time() - t0
+    ascii_curve(
+        f"computed in {single_time:.2f}s "
+        f"(per-size re-simulation: {per_size_time:.2f}s, "
+        f"{per_size_time / single_time:.1f}x slower)",
+        fifo_curve,
+    )
 
     print("\n--- SHARDS mini-simulation (15% sample, 3 ensembles) ---")
     t0 = time.time()

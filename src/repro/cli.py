@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "cluster-churn": "repro.experiments.cluster_churn",
     "frontier": "repro.experiments.frontier",
     "net-frontier": "repro.experiments.net_frontier",
+    "mrc-fast": "repro.experiments.mrc_fast",
 }
 
 
@@ -163,8 +164,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_mrc(args: argparse.Namespace) -> int:
-    """Miss-ratio curve: exact for LRU, sampled for everything else."""
-    from repro.sim.mrc import lru_mrc, sampled_mrc
+    """Miss-ratio curve: exact for LRU and the FIFO family (one pass),
+    sampled for everything else."""
+    from repro.sim.mrc import fifo_mrc, lru_mrc, s3fifo_mrc, sampled_mrc
+    from repro.sim.multisim import MULTISIM_POLICIES
     from repro.traces.datasets import generate_dataset_trace
     from repro.traces.synthetic import zipf_trace
 
@@ -181,9 +184,54 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
         max(1, int(footprint * frac))
         for frac in (0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
     ]
-    if args.policy == "lru" and args.rate >= 1.0:
+    method_arg = args.method
+    if method_arg == "auto":
+        # An explicit --rate < 1 asks for sampling; otherwise the
+        # cheapest exact method wins where one exists.
+        if args.policy == "lru" and args.rate >= 1.0:
+            method_arg = "exact"
+        elif args.policy in MULTISIM_POLICIES and args.rate >= 1.0:
+            method_arg = "single-pass"
+        else:
+            method_arg = "sampled"
+    if method_arg == "exact" and args.policy in MULTISIM_POLICIES:
+        method_arg = "single-pass"  # the FIFO family's exact method
+    if method_arg == "exact":
+        if args.policy != "lru":
+            print(
+                f"error: no exact MRC method for {args.policy!r} "
+                f"(exact covers lru via Mattson and {MULTISIM_POLICIES} "
+                "via --method single-pass); use --method sampled",
+                file=sys.stderr,
+            )
+            return 2
         curve = lru_mrc(trace, sizes=sizes)
         method = "exact (Mattson)"
+    elif method_arg == "single-pass":
+        if args.policy in MULTISIM_POLICIES:
+            curve = fifo_mrc(trace, sizes=sizes, policy=args.policy)
+            method = "single-pass (exact)"
+        elif args.policy == "s3fifo":
+            curve = s3fifo_mrc(
+                trace,
+                sizes,
+                rate=min(args.rate, 1.0) if args.rate < 1.0 else 0.25,
+                seed=args.seed,
+                ensembles=args.ensembles,
+            )
+            method = (
+                f"single-pass sampled (rate="
+                f"{min(args.rate, 1.0) if args.rate < 1.0 else 0.25}, "
+                f"ensembles={args.ensembles})"
+            )
+        else:
+            print(
+                f"error: --method single-pass covers {MULTISIM_POLICIES} "
+                "(exact) and s3fifo (sampled); use --method sampled for "
+                f"{args.policy!r}",
+                file=sys.stderr,
+            )
+            return 2
     else:
         curve = sampled_mrc(
             args.policy,
@@ -835,6 +883,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     mrc = sub.add_parser("mrc", help="miss-ratio curve for one policy")
     mrc.add_argument("--policy", default="lru")
+    mrc.add_argument(
+        "--method",
+        choices=("auto", "exact", "sampled", "single-pass"),
+        default="auto",
+        help="auto picks the cheapest exact method (Mattson for lru, "
+        "single-pass for the FIFO family) and falls back to sampled",
+    )
     mrc.add_argument("--dataset", default=None)
     mrc.add_argument("--trace-index", type=int, default=0)
     mrc.add_argument("--objects", type=int, default=10_000)

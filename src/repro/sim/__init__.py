@@ -28,6 +28,14 @@ __all__ = [
     "FailureSummary",
     "run_sweep",
     "shutdown_pool",
+    "MultiSizeSweepJob",
+    "coalesce_jobs",
+    "run_multisize_sweep",
+    "MultiSimResult",
+    "multisim",
+    "fifo_multisim",
+    "sfifo_multisim",
+    "s3fifo_multisim_sampled",
 ]
 
 _LAZY = {
@@ -43,6 +51,14 @@ _LAZY = {
     "FailureSummary": "repro.sim.runner",
     "run_sweep": "repro.sim.runner",
     "shutdown_pool": "repro.sim.runner",
+    "MultiSizeSweepJob": "repro.sim.runner",
+    "coalesce_jobs": "repro.sim.runner",
+    "run_multisize_sweep": "repro.sim.runner",
+    "MultiSimResult": "repro.sim.multisim",
+    "multisim": "repro.sim.multisim",
+    "fifo_multisim": "repro.sim.multisim",
+    "sfifo_multisim": "repro.sim.multisim",
+    "s3fifo_multisim_sampled": "repro.sim.multisim",
 }
 
 

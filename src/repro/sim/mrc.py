@@ -7,6 +7,11 @@ parameters to "downsized simulations using spatial sampling"
 * :func:`lru_mrc` — the exact LRU miss-ratio curve in one pass via
   Mattson's stack algorithm (reuse distances with a Fenwick tree,
   O(N log N)).
+* :func:`fifo_mrc` — the exact FIFO / S-FIFO miss-ratio curve in one
+  pass via the single-pass multi-size engine
+  (:mod:`repro.sim.multisim`), replacing per-size re-simulation.
+* :func:`s3fifo_mrc` — the *approximate* S3-FIFO curve from one pass
+  over a spatial sample, error-bounded against exact re-simulation.
 * :func:`sampled_mrc` — SHARDS-style spatial sampling for *arbitrary*
   policies: keep the keys whose hash falls under the sampling
   threshold, simulate at a proportionally downsized cache, and read
@@ -39,6 +44,11 @@ class MissRatioCurve:
     def at(self, size: int) -> float:
         """Miss ratio at ``size`` (largest measured size <= requested;
         the curve left of the first point is 1.0-ish conservative)."""
+        if size < self.sizes[0]:
+            # Nothing was measured down there; a cache smaller than the
+            # smallest measured one can only miss as much or more, so
+            # 1.0 is the only safe (conservative) answer.
+            return 1.0
         result = self.miss_ratios[0]
         for s, mr in zip(self.sizes, self.miss_ratios):
             if s <= size:
@@ -121,13 +131,77 @@ def lru_mrc(
         else:
             histogram[d] = histogram.get(d, 0) + 1
     total = len(distances)
-    # Cumulative hits for increasing cache size.
+    # One cumulative sweep over the sorted histogram: both the sizes
+    # and the distances are visited in ascending order, so each
+    # distance bucket is added exactly once — O(|sizes| + |distances|)
+    # instead of re-summing the histogram per requested size.
+    sorted_sizes = sorted(sizes)
     sorted_dists = sorted(histogram)
+    num_dists = len(sorted_dists)
     miss_ratios = []
-    for size in sorted(sizes):
-        hits = sum(histogram[d] for d in sorted_dists if d <= size)
+    hits = 0
+    di = 0
+    for size in sorted_sizes:
+        while di < num_dists and sorted_dists[di] <= size:
+            hits += histogram[sorted_dists[di]]
+            di += 1
         miss_ratios.append((total - hits) / total)
-    return MissRatioCurve(sorted(sizes), miss_ratios)
+    return MissRatioCurve(sorted_sizes, miss_ratios)
+
+
+def fifo_mrc(
+    trace: Sequence[Hashable],
+    sizes: Optional[Sequence[int]] = None,
+    policy: str = "fifo",
+    **policy_kwargs,
+) -> MissRatioCurve:
+    """Exact FIFO-family miss-ratio curve in one pass over the trace.
+
+    The sibling of :func:`lru_mrc` for ``fifo`` (or its bit-identical
+    ``fifo-fast`` twin) and ``sfifo``: instead of Mattson's stack
+    algorithm — FIFO is not a stack algorithm, Belady's anomaly is its
+    counterexample — the curve comes from the single-pass multi-size
+    engine (:func:`repro.sim.multisim.multisim`), which is pinned
+    bit-identical to per-size :func:`~repro.sim.simulate` runs.  With
+    ``sizes`` omitted, a power-of-two ladder up to the trace footprint
+    is used, mirroring :func:`lru_mrc`.
+    """
+    from repro.sim.multisim import multisim
+
+    compiled = compile_trace(trace)
+    if len(compiled) == 0:
+        raise ValueError("cannot build an MRC from an empty trace")
+    if sizes is None:
+        sizes = _default_sizes(compiled.num_objects)
+    result = multisim(policy, compiled, sizes, **policy_kwargs)
+    return result.to_curve()
+
+
+def s3fifo_mrc(
+    trace: Sequence[Hashable],
+    sizes: Sequence[int],
+    rate: float = 0.25,
+    seed: int = 0,
+    ensembles: int = 3,
+    **policy_kwargs,
+) -> MissRatioCurve:
+    """Approximate S3-FIFO miss-ratio curve from one sampled pass.
+
+    One pass over a SHARDS spatial sample advances a downsized S3-FIFO
+    per requested size simultaneously (see
+    :func:`repro.sim.multisim.s3fifo_multisim_sampled`).  At the
+    defaults the mean absolute error against exact per-size
+    re-simulation is bounded by
+    :data:`repro.sim.multisim.S3FIFO_MRC_ERROR_BOUND` on the synthetic
+    workloads.
+    """
+    from repro.sim.multisim import s3fifo_multisim_sampled
+
+    result = s3fifo_multisim_sampled(
+        trace, sizes, rate=rate, seed=seed, ensembles=ensembles,
+        **policy_kwargs,
+    )
+    return result.to_curve()
 
 
 def _default_sizes(max_distance: int) -> List[int]:

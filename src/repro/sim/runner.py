@@ -301,6 +301,174 @@ def _execute_indexed(item):
     return idx, execute_job(job)
 
 
+class MultiSizeSweepJob:
+    """N same-trace, same-policy :class:`SweepJob`\\ s collapsed into
+    one single-pass multi-size simulation.
+
+    Only the FIFO family qualifies (see
+    :data:`repro.sim.multisim.MULTISIM_POLICIES`); build these with
+    :func:`coalesce_jobs` rather than by hand so the grouping rules
+    stay in one place.  ``cache_sizes`` and ``tags_per_size`` align
+    with the original jobs, duplicates included — the single pass
+    simulates each distinct size once and fans the result back out.
+    """
+
+    __slots__ = (
+        "trace_name",
+        "trace_factory",
+        "trace_kwargs",
+        "policy",
+        "policy_kwargs",
+        "cache_sizes",
+        "tags_per_size",
+    )
+
+    def __init__(
+        self,
+        trace_name: str,
+        trace_factory: TraceFactory,
+        trace_kwargs: Dict[str, Any],
+        policy: str,
+        cache_sizes: Sequence[int],
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+        tags_per_size: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> None:
+        self.trace_name = trace_name
+        self.trace_factory = trace_factory
+        self.trace_kwargs = dict(trace_kwargs)
+        self.policy = policy
+        self.policy_kwargs = dict(policy_kwargs or {})
+        self.cache_sizes = list(cache_sizes)
+        if tags_per_size is None:
+            tags_per_size = [{} for _ in self.cache_sizes]
+        if len(tags_per_size) != len(self.cache_sizes):
+            raise ValueError("tags_per_size must align with cache_sizes")
+        self.tags_per_size = [dict(t) for t in tags_per_size]
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiSizeSweepJob({self.trace_name}, {self.policy}, "
+            f"sizes={self.cache_sizes})"
+        )
+
+
+def _group_key(job: SweepJob):
+    """Coalescing identity of a job (None when kwargs are unhashable)."""
+    try:
+        return (
+            job.trace_name,
+            tuple(sorted(job.trace_kwargs.items())),
+            job.policy,
+            tuple(sorted(job.policy_kwargs.items())),
+        )
+    except TypeError:
+        return None
+
+
+def coalesce_jobs(jobs: Sequence[SweepJob]):
+    """Split jobs into multi-size groups and uncoalescible leftovers.
+
+    Returns ``(groups, singles)``: ``groups`` is a list of
+    ``(original_indices, MultiSizeSweepJob)`` pairs — FIFO-family jobs
+    sharing trace, policy, and kwargs, two or more of them — and
+    ``singles`` the remaining ``(index, job)`` pairs in input order.
+    Each group replaces N per-size passes with one.
+    """
+    from repro.sim.multisim import MULTISIM_POLICIES
+
+    buckets: Dict[Any, List[int]] = {}
+    singles: List[Any] = []
+    for idx, job in enumerate(jobs):
+        key = _group_key(job) if job.policy in MULTISIM_POLICIES else None
+        if key is None:
+            singles.append((idx, job))
+            continue
+        buckets.setdefault(key, []).append(idx)
+    groups = []
+    for indices in buckets.values():
+        if len(indices) < 2:
+            singles.extend((idx, jobs[idx]) for idx in indices)
+            continue
+        first = jobs[indices[0]]
+        groups.append(
+            (
+                list(indices),
+                MultiSizeSweepJob(
+                    trace_name=first.trace_name,
+                    trace_factory=first.trace_factory,
+                    trace_kwargs=first.trace_kwargs,
+                    policy=first.policy,
+                    cache_sizes=[jobs[i].cache_size for i in indices],
+                    policy_kwargs=first.policy_kwargs,
+                    tags_per_size=[jobs[i].tags for i in indices],
+                ),
+            )
+        )
+    singles.sort(key=lambda pair: pair[0])
+    return groups, singles
+
+
+def execute_multi_job(mjob: MultiSizeSweepJob) -> List[SweepResult]:
+    """Run one multi-size job; returns a result per requested size.
+
+    One single-pass simulation answers every size; each result carries
+    its original job's tags plus ``coalesced`` (the number of distinct
+    sizes the shared pass computed).  ``wall_time`` is the *shared*
+    pass time, recorded identically on every result — sum them per
+    pass, not per row.  Failures mirror :func:`execute_job`: the whole
+    group lands in per-size error results instead of raising.
+    """
+    from repro.sim.multisim import multisim
+
+    start = time.perf_counter()
+    try:
+        trace = _materialize_trace(mjob)
+        result = multisim(
+            mjob.policy, trace, mjob.cache_sizes, **mjob.policy_kwargs
+        )
+        wall = time.perf_counter() - start
+        rss = _peak_rss_kb()
+        out = []
+        for size, tags in zip(mjob.cache_sizes, mjob.tags_per_size):
+            per_size = result.result_for(size)
+            out.append(
+                SweepResult(
+                    trace_name=mjob.trace_name,
+                    policy=mjob.policy,
+                    cache_size=size,
+                    miss_ratio=per_size.miss_ratio,
+                    byte_miss_ratio=per_size.byte_miss_ratio,
+                    requests=per_size.requests,
+                    wall_time=wall,
+                    peak_rss_kb=rss,
+                    tags={**tags, "coalesced": len(result.sizes)},
+                )
+            )
+        return out
+    except Exception:  # noqa: BLE001 - fault tolerance, as execute_job
+        error = traceback.format_exc()
+        wall = time.perf_counter() - start
+        rss = _peak_rss_kb()
+        return [
+            SweepResult(
+                trace_name=mjob.trace_name,
+                policy=mjob.policy,
+                cache_size=size,
+                wall_time=wall,
+                peak_rss_kb=rss,
+                tags=dict(tags),
+                error=error,
+            )
+            for size, tags in zip(mjob.cache_sizes, mjob.tags_per_size)
+        ]
+
+
+def _execute_multi_indexed(item):
+    """Pool worker shim: ``(indices, mjob) -> (indices, results)``."""
+    indices, mjob = item
+    return indices, execute_multi_job(mjob)
+
+
 def _timeout_result(
     job: SweepJob, timeout: float, attempt: int
 ) -> SweepResult:
@@ -510,6 +678,70 @@ def run_sweep(
             if not result.ok:
                 failed.append((idx, job))
         pending = failed
+    report.extend(results[idx] for idx in sorted(results))
+    report.log_failures()
+    if metrics is not None:
+        _record_sweep_metrics(metrics, report)
+    return report
+
+
+def run_multisize_sweep(
+    jobs: Iterable[SweepJob],
+    processes: Optional[int] = None,
+    metrics=None,
+) -> SweepReport:
+    """Like :func:`run_sweep`, but FIFO-family jobs that differ only in
+    cache size collapse into single-pass multi-size simulations.
+
+    An MRC-style sweep — one trace, one policy, N sizes — becomes one
+    pass over the trace instead of N (see :mod:`repro.sim.multisim`);
+    everything else (other policies, lone sizes, unhashable kwargs)
+    runs through the ordinary :func:`run_sweep` machinery.  Results
+    come back in input order with miss ratios bit-identical to the
+    uncoalesced sweep; coalesced rows carry a ``coalesced`` tag.
+    Retry/timeout semantics are not offered here — multi-size groups
+    are the fast path; use :func:`run_sweep` when you need them.
+    """
+    job_list = list(jobs)
+    report = SweepReport()
+    if not job_list:
+        return report
+    groups, singles = coalesce_jobs(job_list)
+    if not groups:
+        return run_sweep(job_list, processes=processes, metrics=metrics)
+    if processes is None:
+        processes = min(
+            len(groups) + len(singles), multiprocessing.cpu_count()
+        )
+
+    results: Dict[int, SweepResult] = {}
+
+    def _place(indices: Sequence[int], group_results) -> None:
+        for idx, result in zip(indices, group_results):
+            result.tags["attempts"] = 1
+            results[idx] = result
+
+    pending_groups = list(groups)
+    if processes > 1 and len(pending_groups) > 1:
+        try:
+            pool = _get_pool(processes)
+            for indices, group_results in pool.imap_unordered(
+                _execute_multi_indexed, pending_groups
+            ):
+                _place(indices, group_results)
+            pending_groups = []
+        except (OSError, pickle.PicklingError, AttributeError):
+            # Same degradation as run_sweep: no fork / unpicklable
+            # factory falls back to in-process execution.
+            shutdown_pool()
+    for indices, mjob in pending_groups:
+        _place(indices, execute_multi_job(mjob))
+    if singles:
+        singles_report = run_sweep(
+            [job for _, job in singles], processes=processes
+        )
+        for (idx, _), result in zip(singles, singles_report):
+            results[idx] = result
     report.extend(results[idx] for idx in sorted(results))
     report.log_failures()
     if metrics is not None:

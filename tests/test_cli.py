@@ -130,6 +130,48 @@ class TestCommands:
         assert code == 0
         assert "sampled" in capsys.readouterr().out
 
+    def test_mrc_single_pass_fifo(self, capsys):
+        """FIFO defaults to the exact single-pass multi-size engine."""
+        code = main(
+            [
+                "mrc",
+                "--policy", "fifo",
+                "--objects", "500",
+                "--requests", "8000",
+            ]
+        )
+        assert code == 0
+        assert "single-pass (exact)" in capsys.readouterr().out
+
+    def test_mrc_single_pass_s3fifo_sampled(self, capsys):
+        """--method single-pass on s3fifo runs the sampled one-pass MRC."""
+        code = main(
+            [
+                "mrc",
+                "--policy", "s3fifo",
+                "--method", "single-pass",
+                "--objects", "2000",
+                "--requests", "20000",
+                "--rate", "0.4",
+                "--ensembles", "2",
+            ]
+        )
+        assert code == 0
+        assert "single-pass sampled" in capsys.readouterr().out
+
+    def test_mrc_single_pass_rejects_other_policies(self, capsys):
+        code = main(
+            [
+                "mrc",
+                "--policy", "lru",
+                "--method", "single-pass",
+                "--objects", "200",
+                "--requests", "1000",
+            ]
+        )
+        assert code == 2
+        assert "single-pass" in capsys.readouterr().err
+
     def test_walkthrough_demo(self, capsys):
         assert main(["walkthrough"]) == 0
         out = capsys.readouterr().out

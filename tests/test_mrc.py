@@ -103,11 +103,41 @@ class TestLruMrc:
 
     def test_at_interpolation(self):
         curve = MissRatioCurve([10, 100], [0.5, 0.2])
-        assert curve.at(5) == 0.5
         assert curve.at(10) == 0.5
         assert curve.at(50) == 0.5
         assert curve.at(100) == 0.2
         assert curve.at(1000) == 0.2
+
+    def test_at_below_first_point_is_conservative(self):
+        """Regression: sizes left of the first measured point used to
+        return that point's (optimistic) miss ratio; the docstring
+        always promised conservative, i.e. 1.0."""
+        curve = MissRatioCurve([10, 100], [0.5, 0.2])
+        assert curve.at(5) == 1.0
+        assert curve.at(9) == 1.0
+        assert curve.at(0) == 1.0
+
+    def test_cumulative_sweep_matches_quadratic_golden(self):
+        """Regression: lru_mrc's one cumulative histogram sweep must be
+        byte-identical to the old per-size re-summing on a golden
+        trace — same integer sums feed the same float divisions."""
+        trace = zipf_trace(400, 8000, alpha=1.0, seed=7)
+        sizes = [1, 3, 17, 64, 64, 200, 399, 1000]
+        curve = lru_mrc(trace, sizes=sizes)
+        # The pre-fix implementation, inlined.
+        distances = reuse_distances(trace)
+        histogram = {}
+        for d in distances:
+            if d is not None:
+                histogram[d] = histogram.get(d, 0) + 1
+        total = len(distances)
+        expected = [
+            (total - sum(c for d, c in histogram.items() if d <= size))
+            / total
+            for size in sorted(sizes)
+        ]
+        assert curve.sizes == sorted(sizes)
+        assert curve.miss_ratios == expected  # ==, not approx: bytes
 
     def test_empty_trace_raises(self):
         with pytest.raises(ValueError):
