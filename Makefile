@@ -1,6 +1,6 @@
 # Convenience targets for the S3-FIFO reproduction.
 
-.PHONY: install test resilience bench perf loadgen mp shm net frontier net-frontier cluster cluster-churn fig08-native mrc-fast obs examples experiments all
+.PHONY: install test resilience bench perf clean-trace-cache loadgen mp shm net frontier net-frontier cluster cluster-churn fig08-native mrc-fast obs examples experiments all
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,11 @@ bench:
 
 perf:
 	pytest benchmarks/perf/ -m perf --no-header -rN
+
+# The compiled-trace disk cache (repro.traces.store) is eviction-free
+# by design; this reclaims the space wholesale.
+clean-trace-cache:
+	rm -rf benchmarks/results/.trace-cache
 
 loadgen:
 	pytest tests/ -m service --no-header -rN

@@ -8,6 +8,7 @@ reference's requests/second on a 1M-request Zipf(1.0) trace at 10%
 cache size.
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -26,6 +27,15 @@ def test_perf_bench_full():
         cache_ratio=0.1,
         seed=42,
     )
+    # The vector guard (test_vector_guard.py) owns the "vector"
+    # section; keep whichever run wrote it last, regardless of order.
+    if RESULTS_PATH.is_file():
+        try:
+            prior = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            prior = {}
+        if isinstance(prior, dict) and "vector" in prior:
+            report["vector"] = prior["vector"]
     write_report(report, RESULTS_PATH)
     by_name = {
         (row["policy"], row["impl"]): row for row in report["results"]

@@ -1,0 +1,71 @@
+"""Vector-engine perf guard: NumPy batch engine vs. scalar fast twins.
+
+Marked ``perf`` and excluded from tier-1 (see pyproject addopts); run
+via ``make perf`` or ``pytest benchmarks/perf -m perf``.  Enforces the
+vectorized hit-run claim: on a 1M-request high-skew Zipf trace whose
+hit ratio exceeds 0.9, the vector engine (:mod:`repro.sim.vector`)
+sustains at least 2.5x ``fifo-fast`` and 2x ``s3fifo-fast`` — the
+scalar compiled-trace paths that were themselves the previous perf
+tentpole.  Both engines are timed best-of-3 because single-shot walls
+on small shared machines carry more noise than the asserted margin.
+
+Merges its measurements into ``benchmarks/results/BENCH_perf.json``
+as the ``"vector"`` section (test_perf_bench.py owns the rest).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (
+    VECTOR_BENCH_TARGETS,
+    env_block,
+    run_vector_bench,
+    write_report,
+)
+
+RESULTS_PATH = Path(__file__).parent.parent / "results" / "BENCH_perf.json"
+
+
+@pytest.mark.perf
+def test_vector_engine_guard():
+    section = run_vector_bench(
+        num_objects=100_000,
+        num_requests=1_000_000,
+        alpha=1.4,
+        cache_ratio=0.1,
+        seed=42,
+        repeats=3,
+    )
+
+    # Attach to the canonical report if the full bench already wrote
+    # one; otherwise start a stub so the section is never lost.
+    if RESULTS_PATH.is_file():
+        try:
+            report = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            report = {}
+    else:
+        report = {}
+    if not isinstance(report, dict) or "results" not in report:
+        report = {"env": env_block()}
+    report["vector"] = section
+    write_report(report, RESULTS_PATH)
+
+    # The workload must actually exercise lazy promotion: the guard
+    # is a claim about hit-run dominance, not about miss-heavy traces.
+    for name, _ in VECTOR_BENCH_TARGETS:
+        hit = section["hit_ratios"][name]
+        assert hit >= 0.9, (
+            f"{name} guard workload hit ratio {hit:.4f} < 0.9 — "
+            "the acceptance trace no longer stresses hit runs"
+        )
+
+    for name, target in VECTOR_BENCH_TARGETS:
+        speedup = section["speedups"][name]
+        assert speedup >= target, (
+            f"vector engine is only {speedup:.2f}x {name} "
+            f"(target {target:.1f}x); walls: "
+            f"{[r['all_walls_s'] for r in section['results'] if r['policy'] == name]}"
+        )

@@ -60,6 +60,12 @@ class FastFifoCache(FastPolicyBase):
         self._count -= 1
         self._notify_evict_slot(slot, self._freq[slot])
 
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only)."""
+        if type(self) is not FastFifoCache:
+            return None
+        return {"kind": "fifo"}
+
     # ------------------------------------------------------------------
     # Batch path
     # ------------------------------------------------------------------

@@ -78,6 +78,12 @@ class FastSieveCache(SlabListMixin, FastPolicyBase):
         self._count -= 1
         self._notify_evict_slot(slot, self._freq[slot])
 
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only)."""
+        if type(self) is not FastSieveCache:
+            return None
+        return {"kind": "sieve"}
+
     # ------------------------------------------------------------------
     # Batch path
     # ------------------------------------------------------------------

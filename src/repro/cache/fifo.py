@@ -51,6 +51,13 @@ class FifoCache(EvictionPolicy):
         self.used -= entry.size
         return True
 
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only —
+        subclasses with different behaviour must not inherit it)."""
+        if type(self) is not FifoCache:
+            return None
+        return {"kind": "fifo"}
+
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 

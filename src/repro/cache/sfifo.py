@@ -76,3 +76,9 @@ class SegmentedFifoCache(EvictionPolicy):
 
     def __len__(self) -> int:
         return len(self._primary) + len(self._secondary)
+
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only)."""
+        if type(self) is not SegmentedFifoCache:
+            return None
+        return {"kind": "sfifo", "primary_cap": self._primary_cap}

@@ -76,3 +76,9 @@ class SieveCache(EvictionPolicy):
 
     def __len__(self) -> int:
         return len(self._nodes)
+
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only)."""
+        if type(self) is not SieveCache:
+            return None
+        return {"kind": "sieve"}

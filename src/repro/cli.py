@@ -60,6 +60,7 @@ def _cmd_list_policies(_args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.cache.registry import create_policy
     from repro.sim.simulator import simulate
+    from repro.traces.compiled import compile_trace
     from repro.traces.datasets import generate_dataset_trace
     from repro.traces.synthetic import zipf_trace
 
@@ -74,15 +75,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             alpha=args.alpha,
             seed=args.seed,
         )
-    footprint = len(set(trace))
+    # Compile so --engine applies (engines only run on compiled traces).
+    compiled = compile_trace(trace)
+    footprint = compiled.num_objects
     capacity = args.cache_size or max(10, int(footprint * args.cache_ratio))
     policy = create_policy(args.policy, capacity=capacity)
-    result = simulate(policy, trace)
+    result = simulate(policy, compiled, engine=args.engine)
     print(f"trace:          {args.dataset or f'zipf-{args.alpha}'}")
     print(f"requests:       {result.requests}")
     print(f"footprint:      {footprint} objects")
     print(f"cache size:     {capacity}")
     print(f"policy:         {args.policy}")
+    print(f"engine:         {args.engine}")
     print(f"miss ratio:     {result.miss_ratio:.4f}")
     print(f"evictions:      {result.evictions}")
     return 0
@@ -192,6 +196,10 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
             method_arg = "exact"
         elif args.policy in MULTISIM_POLICIES and args.rate >= 1.0:
             method_arg = "single-pass"
+        elif args.policy == "s3fifo" and args.engine == "vector":
+            # An explicit vector request picks the exact per-size
+            # vector path over the default sampled estimate.
+            method_arg = "single-pass"
         else:
             method_arg = "sampled"
     if method_arg == "exact" and args.policy in MULTISIM_POLICIES:
@@ -209,21 +217,29 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
         method = "exact (Mattson)"
     elif method_arg == "single-pass":
         if args.policy in MULTISIM_POLICIES:
-            curve = fifo_mrc(trace, sizes=sizes, policy=args.policy)
-            method = "single-pass (exact)"
+            fifo_engine = "vector" if args.engine == "vector" else "auto"
+            curve = fifo_mrc(
+                trace, sizes=sizes, policy=args.policy, engine=fifo_engine
+            )
+            method = f"single-pass (exact, {fifo_engine})"
         elif args.policy == "s3fifo":
-            curve = s3fifo_mrc(
-                trace,
-                sizes,
-                rate=min(args.rate, 1.0) if args.rate < 1.0 else 0.25,
-                seed=args.seed,
-                ensembles=args.ensembles,
-            )
-            method = (
-                f"single-pass sampled (rate="
-                f"{min(args.rate, 1.0) if args.rate < 1.0 else 0.25}, "
-                f"ensembles={args.ensembles})"
-            )
+            if args.engine == "vector":
+                # Per-size vector passes: the exact curve, no sampling.
+                curve = s3fifo_mrc(trace, sizes, engine="vector")
+                method = "per-size vector (exact)"
+            else:
+                curve = s3fifo_mrc(
+                    trace,
+                    sizes,
+                    rate=min(args.rate, 1.0) if args.rate < 1.0 else 0.25,
+                    seed=args.seed,
+                    ensembles=args.ensembles,
+                )
+                method = (
+                    f"single-pass sampled (rate="
+                    f"{min(args.rate, 1.0) if args.rate < 1.0 else 0.25}, "
+                    f"ensembles={args.ensembles})"
+                )
         else:
             print(
                 f"error: --method single-pass covers {MULTISIM_POLICIES} "
@@ -240,6 +256,7 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
             rate=min(args.rate, 1.0),
             seed=args.seed,
             ensembles=args.ensembles,
+            engine=args.engine,
         )
         method = f"sampled (rate={args.rate}, ensembles={args.ensembles})"
     print(f"policy: {args.policy}   method: {method}")
@@ -855,6 +872,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--cache-size", type=int, default=None)
     sim.add_argument("--scale", type=float, default=1.0)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "vector"),
+        default="auto",
+        help="compiled-trace engine: auto routes the FIFO family to "
+        "the vectorized hit-run engine, scalar forces the per-request "
+        "paths, vector requires vector eligibility",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -900,6 +925,15 @@ def build_parser() -> argparse.ArgumentParser:
     mrc.add_argument("--ensembles", type=int, default=3)
     mrc.add_argument("--scale", type=float, default=1.0)
     mrc.add_argument("--seed", type=int, default=0)
+    mrc.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "vector"),
+        default="auto",
+        help="per-size simulation engine; --engine vector makes the "
+        "s3fifo single-pass method exact (per-size vector passes) "
+        "and switches the FIFO family from multisim to per-size "
+        "vector passes",
+    )
 
     res = sub.add_parser(
         "resilience",

@@ -215,6 +215,21 @@ class S3FifoCache(EvictionPolicy):
         self.used -= entry.size
         return True
 
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only —
+        the adaptive subclass overrides eviction hooks and opts out)."""
+        if type(self) is not S3FifoCache:
+            return None
+        return {
+            "kind": "s3fifo",
+            "s_cap": self._s_cap,
+            "m_cap": self._m_cap,
+            "freq_cap": self._freq_cap,
+            "threshold": self._threshold,
+            "ghost_dynamic": self._ghost_dynamic,
+            "ghost_cap": self._ghost.capacity,
+        }
+
     # ------------------------------------------------------------------
     # Hooks for the adaptive variant (S3-FIFO-D)
     # ------------------------------------------------------------------

@@ -132,6 +132,20 @@ class FastS3FifoCache(FastPolicyBase):
     def ghost_capacity(self) -> int:
         return self._g_cap
 
+    def vector_spec(self):
+        """Kernel config for :mod:`repro.sim.vector` (exact type only)."""
+        if type(self) is not FastS3FifoCache:
+            return None
+        return {
+            "kind": "s3fifo",
+            "s_cap": self._s_cap,
+            "m_cap": self._m_cap,
+            "freq_cap": self._freq_cap,
+            "threshold": self._threshold,
+            "ghost_dynamic": self._ghost_dynamic,
+            "ghost_cap": self._g_cap,
+        }
+
     def in_small(self, key: Hashable) -> bool:
         slot = self._ids.get(key)
         return slot is not None and self._loc[slot] >> 2 == 1

@@ -1,4 +1,4 @@
-"""Measure reference vs. fast policy throughput on synthetic traces.
+"""Measure reference vs. fast vs. vector policy throughput.
 
 One benchmark run builds a seeded Zipf trace, then times every
 (reference, fast) policy pair on it:
@@ -8,11 +8,21 @@ One benchmark run builds a seeded Zipf trace, then times every
   this repo paid before the fast path existed;
 * the **fast** policy consumes the compiled trace
   (:func:`repro.traces.compiled.compile_trace`), which routes through
-  the batched ``run_compiled`` loop.
+  the batched ``run_compiled`` loop;
+* for FIFO-family pairs a third **vector** row runs the same compiled
+  trace through the NumPy batch engine (:mod:`repro.sim.vector`).
 
 Trace compilation is timed separately and reported once in the config
 block: it is paid once per trace, not per policy/size combination, so
 folding it into a single policy's wall time would misattribute it.
+Compiled traces are cached on disk between runs
+(:mod:`repro.traces.store`), so on warm runs ``compile_time_s``
+reflects the ``.npz`` load rather than a full re-intern.
+
+:func:`run_vector_bench` adds the vector-engine acceptance workload: a
+high-skew Zipf trace whose hit ratio exceeds 0.9, where lazy promotion
+lets the vector engine consume hit runs wholesale.  Both engines are
+timed best-of-``repeats`` to damp scheduler noise on small machines.
 
 ``peak_rss`` is the process high-water RSS (KiB, from ``getrusage``)
 sampled after each measurement.  It is monotone over the process
@@ -23,6 +33,8 @@ per-policy footprints.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import resource
 import sys
 import time
@@ -37,8 +49,41 @@ DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("s3fifo", "s3fifo-fast"),
 )
 
+#: Fast policies the vector-engine acceptance workload times, with the
+#: minimum speedup the guard test enforces against each scalar twin.
+VECTOR_BENCH_TARGETS: Tuple[Tuple[str, float], ...] = (
+    ("fifo-fast", 2.5),
+    ("s3fifo-fast", 2.0),
+)
+
 #: Bumped when the report layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: added ``env`` block, per-pair ``vector`` rows, and the
+#: ``vector`` acceptance-workload section.
+SCHEMA_VERSION = 2
+
+
+def env_block() -> Dict:
+    """Provenance for perf numbers: interpreter, numpy, host shape.
+
+    Throughput figures are meaningless without knowing what produced
+    them; this block is embedded in every benchmark report (and the
+    loadgen reports) so archived JSON stays interpretable.
+    """
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    else:
+        numpy_version = numpy.__version__
+    return {
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "python_build": " ".join(platform.python_build()),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
 
 
 def _peak_rss_kb() -> int:
@@ -52,13 +97,14 @@ def _peak_rss_kb() -> int:
 
 
 def _measure(policy_name: str, impl: str, reference: str, trace,
-             capacity: int, trace_label: str, seed: int) -> Dict:
+             capacity: int, trace_label: str, seed: int,
+             engine: str = "auto") -> Dict:
     from repro.cache.registry import create_policy
     from repro.sim.simulator import simulate
 
     policy = create_policy(policy_name, capacity=capacity)
     start = time.perf_counter()
-    result = simulate(policy, trace)
+    result = simulate(policy, trace, engine=engine)
     wall = time.perf_counter() - start
     return {
         "policy": policy_name,
@@ -75,6 +121,27 @@ def _measure(policy_name: str, impl: str, reference: str, trace,
     }
 
 
+def _zipf_compiled(num_objects: int, num_requests: int, alpha: float,
+                   seed: int, label: str):
+    """Compiled Zipf trace via the content-addressed disk cache."""
+    from repro.traces.store import cached_compile
+    from repro.traces.synthetic import zipf_trace
+
+    spec = (
+        f"zipf-a{alpha:g}-o{num_objects}-n{num_requests}-s{seed}"
+    )
+    return cached_compile(
+        spec,
+        lambda: zipf_trace(
+            num_objects=num_objects,
+            num_requests=num_requests,
+            alpha=alpha,
+            seed=seed,
+        ),
+        name=label,
+    )
+
+
 def run_perf_bench(
     pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
     num_objects: int = 100_000,
@@ -87,26 +154,21 @@ def run_perf_bench(
 
     The default workload is the acceptance configuration: a 1M-request
     Zipf(1.0) trace over 100k objects at 10% cache size.  Every fast
-    measurement's miss count is asserted equal to its reference's —
-    a fast policy that got fast by being wrong fails the benchmark.
+    (and vector) measurement's miss count is asserted equal to its
+    reference's — an engine that got fast by being wrong fails the
+    benchmark.
     """
-    from repro.traces.compiled import compile_trace
-    from repro.traces.synthetic import zipf_trace
+    from repro.sim.vector import VECTOR_POLICIES
 
-    items = list(
-        zipf_trace(
-            num_objects=num_objects,
-            num_requests=num_requests,
-            alpha=alpha,
-            seed=seed,
-        )
-    )
     capacity = max(1, int(num_objects * cache_ratio))
     trace_label = f"zipf-{alpha:g}"
     start = time.perf_counter()
-    compiled = compile_trace(items, name=trace_label)
+    compiled = _zipf_compiled(
+        num_objects, num_requests, alpha, seed, trace_label
+    )
     compiled.key_ids()
     compile_time = time.perf_counter() - start
+    items = list(compiled)  # raw keys for the reference stream path
 
     results: List[Dict] = []
     speedups: Dict[str, float] = {}
@@ -115,9 +177,12 @@ def run_perf_bench(
             ref_name, "reference", ref_name, items,
             capacity, trace_label, seed,
         )
+        # Pin the scalar engine: with "auto", a vector-eligible policy
+        # on a compiled trace would silently route to the vector
+        # engine and this row would stop measuring run_compiled.
         fast_entry = _measure(
             fast_name, "fast", ref_name, compiled,
-            capacity, trace_label, seed,
+            capacity, trace_label, seed, engine="scalar",
         )
         if fast_entry["miss_ratio"] != ref_entry["miss_ratio"]:
             raise AssertionError(
@@ -129,10 +194,28 @@ def run_perf_bench(
                 ref_entry["wall_time_s"] / fast_entry["wall_time_s"], 2
             )
         results.extend((ref_entry, fast_entry))
+        if fast_name in VECTOR_POLICIES:
+            vec_entry = _measure(
+                fast_name, "vector", ref_name, compiled,
+                capacity, trace_label, seed, engine="vector",
+            )
+            if vec_entry["miss_ratio"] != ref_entry["miss_ratio"]:
+                raise AssertionError(
+                    f"{fast_name} vector engine diverged from "
+                    f"{ref_name}: miss ratio {vec_entry['miss_ratio']}"
+                    f" != {ref_entry['miss_ratio']}"
+                )
+            if vec_entry["wall_time_s"]:
+                speedups[f"{fast_name}-vector"] = round(
+                    ref_entry["wall_time_s"] / vec_entry["wall_time_s"],
+                    2,
+                )
+            results.append(vec_entry)
     return {
         "schema": SCHEMA_VERSION,
         "trace": trace_label,
         "seed": seed,
+        "env": env_block(),
         "config": {
             "num_objects": num_objects,
             "num_requests": num_requests,
@@ -142,6 +225,82 @@ def run_perf_bench(
             "compile_time_s": round(compile_time, 6),
         },
         "results": results,
+        "speedups": speedups,
+    }
+
+
+def run_vector_bench(
+    targets: Sequence[Tuple[str, float]] = VECTOR_BENCH_TARGETS,
+    num_objects: int = 100_000,
+    num_requests: int = 1_000_000,
+    alpha: float = 1.4,
+    cache_ratio: float = 0.1,
+    seed: int = 42,
+    repeats: int = 3,
+) -> Dict:
+    """Time the vector engine against the scalar fast twins.
+
+    The acceptance workload is deliberately high-skew (Zipf 1.4): the
+    resulting hit ratio above 0.9 is where lazy promotion pays — long
+    hit runs collapse into single NumPy probes.  Each engine is timed
+    ``repeats`` times and the *best* wall is kept: on small shared
+    machines scheduler noise easily exceeds the margin the guard
+    asserts, and min-of-N is the standard estimator for the
+    noise-free cost.
+    """
+    capacity = max(1, int(num_objects * cache_ratio))
+    trace_label = f"zipf-{alpha:g}"
+    compiled = _zipf_compiled(
+        num_objects, num_requests, alpha, seed, trace_label
+    )
+    compiled.key_ids()
+    compiled.occurrence_index()
+
+    rows: List[Dict] = []
+    speedups: Dict[str, float] = {}
+    hit_ratios: Dict[str, float] = {}
+    for fast_name, target in targets:
+        best: Dict[str, Optional[Dict]] = {"scalar": None, "vector": None}
+        walls: Dict[str, List[float]] = {"scalar": [], "vector": []}
+        for _ in range(max(1, repeats)):
+            for engine in ("scalar", "vector"):
+                entry = _measure(
+                    fast_name, engine, fast_name, compiled,
+                    capacity, trace_label, seed, engine=engine,
+                )
+                walls[engine].append(entry["wall_time_s"])
+                prev = best[engine]
+                if prev is None or entry["wall_time_s"] < prev["wall_time_s"]:
+                    best[engine] = entry
+        scalar, vector = best["scalar"], best["vector"]
+        assert scalar is not None and vector is not None
+        if vector["miss_ratio"] != scalar["miss_ratio"]:
+            raise AssertionError(
+                f"{fast_name} vector engine diverged from scalar: miss "
+                f"ratio {vector['miss_ratio']} != {scalar['miss_ratio']}"
+            )
+        scalar["all_walls_s"] = walls["scalar"]
+        vector["all_walls_s"] = walls["vector"]
+        rows.extend((scalar, vector))
+        hit_ratios[fast_name] = round(1.0 - scalar["miss_ratio"], 6)
+        if vector["wall_time_s"]:
+            speedups[fast_name] = round(
+                scalar["wall_time_s"] / vector["wall_time_s"], 2
+            )
+    return {
+        "trace": trace_label,
+        "seed": seed,
+        "config": {
+            "num_objects": num_objects,
+            "num_requests": num_requests,
+            "alpha": alpha,
+            "cache_ratio": cache_ratio,
+            "capacity": capacity,
+            "repeats": repeats,
+        },
+        "targets": {name: target for name, target in targets},
+        "hit_ratios": hit_ratios,
+        "results": rows,
         "speedups": speedups,
     }
 
@@ -173,4 +332,26 @@ def format_report(report: Dict) -> str:
         )
     for name, ratio in report["speedups"].items():
         lines.append(f"speedup {name}: {ratio:.2f}x")
+    vector = report.get("vector")
+    if vector:
+        cfg = vector["config"]
+        lines.append(
+            f"vector workload {vector['trace']}: "
+            f"{cfg['num_requests']:,} requests, best of "
+            f"{cfg['repeats']} repeats"
+        )
+        for row in vector["results"]:
+            lines.append(
+                f"{row['policy']:<14} {row['impl']:<10} "
+                f"{row['requests_per_sec']:>12,} "
+                f"{row['wall_time_s']:>8.3f} "
+                f"{row['miss_ratio']:>7.4f} {row['peak_rss'] / 1024:>8.0f}"
+            )
+        for name, ratio in vector["speedups"].items():
+            hit = vector["hit_ratios"].get(name, 0.0)
+            lines.append(
+                f"vector speedup {name}: {ratio:.2f}x "
+                f"(hit ratio {hit:.4f}, target "
+                f"{vector['targets'].get(name, 0):.1f}x)"
+            )
     return "\n".join(lines)

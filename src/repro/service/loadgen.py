@@ -97,6 +97,9 @@ from repro.service.sharded import ShardedCacheService
 #: 4: scenario rows and config gained ``frontend`` (``inproc``,
 #: ``resp``, ``memcached``), ``connections``, and ``pipeline_depth``
 #: (socket-mode axes; in-process rows record 0 for both).
+#: (Reports additionally carry a top-level ``env`` provenance block —
+#: interpreter, numpy, host shape — from :func:`repro.perf.bench.env_block`;
+#: additive, so no schema bump.)
 SCHEMA_VERSION = 4
 
 #: Report ``kind`` discriminator (BENCH_service.json vs other reports).
@@ -851,9 +854,12 @@ def run_loadgen(
                     vnodes=vnodes,
                 )
             )
+    from repro.perf.bench import env_block
+
     return {
         "schema": SCHEMA_VERSION,
         "kind": REPORT_KIND,
+        "env": env_block(),
         "config": {
             "num_objects": num_objects,
             "num_requests": num_requests,
@@ -938,9 +944,12 @@ def run_net_loadgen(
                         pipeline_depth=depth,
                     )
                 )
+    from repro.perf.bench import env_block
+
     return {
         "schema": SCHEMA_VERSION,
         "kind": REPORT_KIND,
+        "env": env_block(),
         "config": {
             "num_objects": num_objects,
             "num_requests": num_requests,
@@ -1019,6 +1028,8 @@ def combine_reports(
         raise ValueError(
             f"loadgen report schema {schemas[0]!r} != {SCHEMA_VERSION}"
         )
+    from repro.perf.bench import env_block
+
     config = dict(reports[0]["config"])
     config["backend"] = [r["config"]["backend"] for r in reports]
     config["transport"] = [r["config"]["transport"] for r in reports]
@@ -1027,6 +1038,9 @@ def combine_reports(
     return {
         "schema": SCHEMA_VERSION,
         "kind": REPORT_KIND,
+        # First report's env when present (all contributors ran on the
+        # same host in practice); freshly sampled otherwise.
+        "env": reports[0].get("env") or env_block(),
         "config": config,
         "scenarios": [row for r in reports for row in r["scenarios"]],
     }

@@ -20,6 +20,7 @@ parameters to "downsized simulations using spatial sampling"
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.cache.registry import create_policy
@@ -153,26 +154,49 @@ def fifo_mrc(
     trace: Sequence[Hashable],
     sizes: Optional[Sequence[int]] = None,
     policy: str = "fifo",
+    engine: str = "auto",
     **policy_kwargs,
 ) -> MissRatioCurve:
-    """Exact FIFO-family miss-ratio curve in one pass over the trace.
+    """Exact FIFO-family miss-ratio curve over the trace.
 
     The sibling of :func:`lru_mrc` for ``fifo`` (or its bit-identical
     ``fifo-fast`` twin) and ``sfifo``: instead of Mattson's stack
     algorithm — FIFO is not a stack algorithm, Belady's anomaly is its
-    counterexample — the curve comes from the single-pass multi-size
-    engine (:func:`repro.sim.multisim.multisim`), which is pinned
+    counterexample — the curve comes from an exact engine pinned
     bit-identical to per-size :func:`~repro.sim.simulate` runs.  With
     ``sizes`` omitted, a power-of-two ladder up to the trace footprint
     is used, mirroring :func:`lru_mrc`.
-    """
-    from repro.sim.multisim import multisim
 
+    ``engine`` selects how the per-size points are computed, all
+    bit-identical:
+
+    * ``"auto"`` / ``"multisim"`` — one single pass over the trace
+      answers every size at once (:func:`repro.sim.multisim.multisim`).
+      Cheapest when many sizes are requested.
+    * ``"vector"`` — one vectorized hit-run pass *per size*
+      (:mod:`repro.sim.vector`).  Cheapest for a handful of sizes on
+      high-hit-ratio traces, where each pass touches only miss events.
+    """
     compiled = compile_trace(trace)
     if len(compiled) == 0:
         raise ValueError("cannot build an MRC from an empty trace")
     if sizes is None:
         sizes = _default_sizes(compiled.num_objects)
+    if engine == "vector":
+        sorted_sizes = sorted(set(sizes))
+        miss_ratios = []
+        for size in sorted_sizes:
+            cache = create_policy(policy, capacity=size, **policy_kwargs)
+            result = simulate(cache, compiled, engine="vector")
+            miss_ratios.append(result.miss_ratio)
+        return MissRatioCurve(sorted_sizes, miss_ratios)
+    if engine not in ("auto", "multisim"):
+        raise ValueError(
+            "engine must be 'auto', 'multisim', or 'vector', "
+            f"got {engine!r}"
+        )
+    from repro.sim.multisim import multisim
+
     result = multisim(policy, compiled, sizes, **policy_kwargs)
     return result.to_curve()
 
@@ -183,18 +207,40 @@ def s3fifo_mrc(
     rate: float = 0.25,
     seed: int = 0,
     ensembles: int = 3,
+    engine: str = "sampled",
     **policy_kwargs,
 ) -> MissRatioCurve:
-    """Approximate S3-FIFO miss-ratio curve from one sampled pass.
+    """S3-FIFO miss-ratio curve: sampled-approximate or vector-exact.
 
-    One pass over a SHARDS spatial sample advances a downsized S3-FIFO
-    per requested size simultaneously (see
+    ``engine="sampled"`` (default): one pass over a SHARDS spatial
+    sample advances a downsized S3-FIFO per requested size
+    simultaneously (see
     :func:`repro.sim.multisim.s3fifo_multisim_sampled`).  At the
     defaults the mean absolute error against exact per-size
     re-simulation is bounded by
     :data:`repro.sim.multisim.S3FIFO_MRC_ERROR_BOUND` on the synthetic
     workloads.
+
+    ``engine="vector"``: the *exact* curve, one vectorized hit-run pass
+    per size over the full trace (:mod:`repro.sim.vector`) —
+    bit-identical to per-size scalar re-simulation, no sampling error.
+    ``rate``/``seed``/``ensembles`` are ignored on this path.
     """
+    if engine == "vector":
+        compiled = compile_trace(trace)
+        if len(compiled) == 0:
+            raise ValueError("cannot build an MRC from an empty trace")
+        sorted_sizes = sorted(set(sizes))
+        miss_ratios = []
+        for size in sorted_sizes:
+            cache = create_policy("s3fifo", capacity=size, **policy_kwargs)
+            result = simulate(cache, compiled, engine="vector")
+            miss_ratios.append(result.miss_ratio)
+        return MissRatioCurve(sorted_sizes, miss_ratios)
+    if engine != "sampled":
+        raise ValueError(
+            f"engine must be 'sampled' or 'vector', got {engine!r}"
+        )
     from repro.sim.multisim import s3fifo_multisim_sampled
 
     result = s3fifo_multisim_sampled(
@@ -214,6 +260,89 @@ def _default_sizes(max_distance: int) -> List[int]:
     return sizes
 
 
+#: Constants of CPython's tuple hash (the xxHash64-based combiner used
+#: since 3.8; Objects/tupleobject.c).  :func:`_pair_hash_np` replicates
+#: it in uint64 NumPy arithmetic so the SHARDS filter can run
+#: vectorized over a compiled trace's id buffer.
+_XXPRIME_1 = 11400714785074694791
+_XXPRIME_2 = 14029467366897019727
+_XXPRIME_5 = 2870177450012600261
+
+
+def _pair_hash_np(np, a, b):
+    """``hash((x, y))`` for lanes ``a``/``b`` (uint64 arrays/scalars).
+
+    A lane is the item's own ``hash()`` reinterpreted as uint64.
+    Returns the tuple hash as uint64, with CPython's ``-1 ->
+    1546275796`` substitution applied.
+    """
+    u64 = np.uint64
+    p1, p2, p5 = u64(_XXPRIME_1), u64(_XXPRIME_2), u64(_XXPRIME_5)
+    with np.errstate(over="ignore"):
+        acc = p5 + a * p2
+        acc = (acc << u64(31)) | (acc >> u64(33))
+        acc = acc * p1
+        acc = acc + b * p2
+        acc = (acc << u64(31)) | (acc >> u64(33))
+        acc = acc * p1
+        acc = acc + (u64(2) ^ (p5 ^ u64(3527539)))
+    return np.where(
+        acc == u64(0xFFFFFFFFFFFFFFFF), u64(1546275796), acc
+    )
+
+
+def _spatial_sample_compiled(
+    trace: CompiledTrace, salt: int, threshold: int
+) -> Optional[list]:
+    """Vectorized SHARDS filter over a compiled trace's id buffer.
+
+    Each *distinct* key is Python-hashed once; the ``(salt, key)``
+    tuple combine and the per-request keep decision run as a handful of
+    NumPy passes.  Sized traces hash the ``(key, size)`` tuple the
+    request yields, exactly like the scalar loop.  Returns ``None``
+    when unavailable (no NumPy, or non-64-bit hashes) so the caller
+    falls back to the scalar filter — results are pinned identical.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return None
+    if sys.hash_info.width != 64:  # pragma: no cover - 64-bit only
+        return None
+    n = len(trace)
+    if n == 0:
+        return []
+    table = trace.key_table
+    mask64 = 0xFFFFFFFFFFFFFFFF
+    salt_lane = np.uint64(hash(salt) & mask64)
+    key_lanes = np.fromiter(
+        ((hash(key) & mask64) for key in table),
+        dtype=np.uint64,
+        count=len(table),
+    )
+    ids_np = np.frombuffer(trace.keys, dtype=np.int64)
+    ids = trace.key_ids()
+    if trace.sizes is None:
+        # Unit trace: one fingerprint per distinct key, then a gather.
+        fp = _pair_hash_np(np, salt_lane, key_lanes)
+        keep_kid = (fp & np.uint64(0xFFFFFF)) < np.uint64(threshold)
+        pos = np.flatnonzero(keep_kid[ids_np]).tolist()
+        return [table[ids[p]] for p in pos]
+    # Sized trace: requests yield (key, size) tuples, so the sampled
+    # item is the inner tuple — combine per request.
+    sizes = trace.sizes
+    sizes_np = np.frombuffer(sizes, dtype=np.int64)
+    # hash(int) for the non-negative sizes: n % (2**61 - 1).
+    size_lanes = (
+        sizes_np % np.int64((1 << 61) - 1)
+    ).astype(np.uint64)
+    inner = _pair_hash_np(np, key_lanes[ids_np], size_lanes)
+    fp = _pair_hash_np(np, salt_lane, inner)
+    keep = (fp & np.uint64(0xFFFFFF)) < np.uint64(threshold)
+    pos = np.flatnonzero(keep).tolist()
+    return [(table[ids[p]], sizes[p]) for p in pos]
+
+
 def spatial_sample(
     trace: Sequence[Hashable],
     rate: float,
@@ -223,6 +352,12 @@ def spatial_sample(
 
     Sampling is per-*key* (every request to a sampled key survives), so
     reuse behaviour within the sample mirrors the full trace.
+
+    Compiled traces are filtered vectorized — each distinct key is
+    hashed once and the per-request decision is a NumPy gather over the
+    id buffer — producing exactly the same sample as the scalar filter
+    (pass :func:`~repro.traces.compiled.compile_trace` output to reuse
+    the interned buffers across ensembles).
     """
     if not 0.0 < rate <= 1.0:
         raise ValueError(f"rate must be in (0, 1], got {rate}")
@@ -231,6 +366,10 @@ def spatial_sample(
     modulus = 1 << 24
     threshold = int(modulus * rate)
     salt = seed * 0x9E3779B9
+    if isinstance(trace, CompiledTrace):
+        sampled = _spatial_sample_compiled(trace, salt, threshold)
+        if sampled is not None:
+            return sampled
     return [
         key
         for key in trace
@@ -245,6 +384,7 @@ def sampled_mrc(
     rate: float = 0.1,
     seed: int = 0,
     ensembles: int = 1,
+    engine: str = "auto",
     **policy_kwargs,
 ) -> MissRatioCurve:
     """Downsized-simulation MRC for an arbitrary policy.
@@ -259,14 +399,22 @@ def sampled_mrc(
     several independent samples and aggregates misses over requests
     (ratio of sums), which is how SHARDS-style mini-simulations are
     deployed in practice.
+
+    ``engine`` is forwarded to each miniature simulation (see
+    :func:`repro.sim.simulator.simulate_compiled`): ``"auto"`` lets
+    FIFO-family policies run on the vector engine, ``"scalar"`` forces
+    the classic paths, ``"vector"`` requires vector eligibility.
     """
     if not sizes:
         raise ValueError("sizes must be non-empty")
     if ensembles < 1:
         raise ValueError(f"ensembles must be >= 1, got {ensembles}")
+    # Compile the full trace once so every ensemble's spatial filter
+    # runs vectorized over the same interned id buffer.
+    full = compile_trace(trace)
     samples = []
     for i in range(ensembles):
-        sample = spatial_sample(trace, rate, seed=seed + i)
+        sample = spatial_sample(full, rate, seed=seed + i)
         if sample:
             # Compile once per ensemble member: every requested size
             # re-simulates the same sample, and compiled traces give
@@ -283,7 +431,7 @@ def sampled_mrc(
         requests = 0
         for sample in samples:
             cache = create_policy(policy, capacity=scaled, **policy_kwargs)
-            result = simulate(cache, sample)
+            result = simulate(cache, sample, engine=engine)
             misses += result.misses
             requests += result.requests
         miss_ratios.append(misses / requests if requests else 0.0)

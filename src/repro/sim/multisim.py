@@ -488,6 +488,9 @@ def s3fifo_multisim_sampled(
     requests = 0
     bytes_requested = 0
     ran = False
+    # Compile the full trace once: the spatial filter then runs
+    # vectorized over the interned id buffer for every ensemble.
+    trace = compile_trace(trace)
     for e in range(ensembles):
         sample = spatial_sample(trace, rate, seed=seed + e)
         if not sample:

@@ -60,6 +60,7 @@ class SweepJob:
         "policy_kwargs",
         "cache_size",
         "tags",
+        "engine",
     )
 
     def __init__(
@@ -71,6 +72,7 @@ class SweepJob:
         cache_size: int,
         policy_kwargs: Optional[Dict[str, Any]] = None,
         tags: Optional[Dict[str, Any]] = None,
+        engine: str = "auto",
     ) -> None:
         self.trace_name = trace_name
         self.trace_factory = trace_factory
@@ -79,6 +81,10 @@ class SweepJob:
         self.policy_kwargs = dict(policy_kwargs or {})
         self.cache_size = cache_size
         self.tags = dict(tags or {})
+        #: Compiled-trace execution engine (see
+        #: :func:`repro.sim.simulator.simulate_compiled`): ``"auto"``,
+        #: ``"scalar"``, or ``"vector"``.
+        self.engine = engine
 
     def __repr__(self) -> str:
         return (
@@ -271,7 +277,7 @@ def execute_job(job: SweepJob) -> SweepResult:
         policy = create_policy(
             job.policy, capacity=job.cache_size, **job.policy_kwargs
         )
-        result = simulate(policy, trace)
+        result = simulate(policy, trace, engine=job.engine)
         return SweepResult(
             trace_name=job.trace_name,
             policy=job.policy,
@@ -379,7 +385,13 @@ def coalesce_jobs(jobs: Sequence[SweepJob]):
     buckets: Dict[Any, List[int]] = {}
     singles: List[Any] = []
     for idx, job in enumerate(jobs):
-        key = _group_key(job) if job.policy in MULTISIM_POLICIES else None
+        # Engine-pinned jobs stay singles: coalescing runs the
+        # multisim engine, which would override an explicit choice.
+        coalescible = (
+            job.policy in MULTISIM_POLICIES
+            and getattr(job, "engine", "auto") == "auto"
+        )
+        key = _group_key(job) if coalescible else None
         if key is None:
             singles.append((idx, job))
             continue

@@ -14,6 +14,21 @@ Two execution engines share one result type:
 
 :func:`simulate` transparently routes compiled traces to the fast
 engine, so callers only ever need one entry point.
+
+Both accept ``engine=`` selecting how a compiled trace is executed:
+
+* ``"auto"`` (default) — the vectorized hit-run engine
+  (:mod:`repro.sim.vector`) when eligible (FIFO-family policy, fresh
+  and listener-free), else the scalar fast path.
+* ``"scalar"`` — always the per-request loop (batched for ``*-fast``
+  policies).
+* ``"vector"`` — the vector engine, raising when ineligible.
+
+The engines are pinned bit-identical on results.  The one observable
+difference: the vector engine computes the result *standalone* and
+never mutates the policy object — its stats, clock, and resident set
+stay untouched.  Callers that inspect or keep driving the policy after
+the run should pass ``engine="scalar"``.
 """
 
 from __future__ import annotations
@@ -114,6 +129,7 @@ def simulate(
     trace: Iterable[Union[Request, tuple, str, int]],
     warmup: float = 0.0,
     warmup_requests: Optional[int] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Run ``policy`` over ``trace`` and return the measured miss ratios.
 
@@ -135,7 +151,8 @@ def simulate(
 
     if isinstance(trace, CompiledTrace):
         return simulate_compiled(
-            policy, trace, warmup=warmup, warmup_requests=warmup_requests
+            policy, trace, warmup=warmup, warmup_requests=warmup_requests,
+            engine=engine,
         )
 
     warmup_requests = _resolve_warmup(trace, warmup, warmup_requests)
@@ -186,10 +203,19 @@ def simulate_compiled(
     trace,
     warmup: float = 0.0,
     warmup_requests: Optional[int] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Run ``policy`` over a compiled trace with no per-request allocation.
 
-    Policies exposing the fast-path batch protocol
+    ``engine="auto"`` routes FIFO-family policies (fresh, no
+    listeners) to the vectorized hit-run engine
+    (:func:`repro.sim.vector.vector_simulate`), which consumes hit runs
+    with dense-array lookups instead of per-request Python; the result
+    is bit-identical but the policy object is left untouched.
+    ``engine="vector"`` forces that path (raising when ineligible);
+    ``engine="scalar"`` forces the classic path below.
+
+    On the scalar path, policies exposing the fast-path batch protocol
     (``run_compiled(trace, start, stop)`` — the ``*-fast`` registry
     entries) execute an inlined loop directly over the trace's integer
     id buffers.  Every other policy is driven through a single reused
@@ -198,6 +224,18 @@ def simulate_compiled(
 
     Warmup and eviction-accounting semantics match :func:`simulate`.
     """
+    if engine not in ("auto", "scalar", "vector"):
+        raise ValueError(
+            f"engine must be 'auto', 'scalar', or 'vector', got {engine!r}"
+        )
+    if engine != "scalar":
+        from repro.sim.vector import vector_eligible, vector_simulate
+
+        if engine == "vector" or vector_eligible(policy, trace):
+            return vector_simulate(
+                policy, trace, warmup=warmup, warmup_requests=warmup_requests
+            )
+
     warmup_requests = _resolve_warmup(trace, warmup, warmup_requests)
     n = len(trace)
     warmup_requests = min(warmup_requests, n)

@@ -38,7 +38,10 @@ TraceItem = Union[Request, tuple, Hashable]
 class CompiledTrace:
     """A trace interned to dense ids and stored in columnar buffers."""
 
-    __slots__ = ("name", "keys", "sizes", "next_access", "key_table", "_key_ids")
+    __slots__ = (
+        "name", "keys", "sizes", "next_access", "key_table",
+        "_key_ids", "_occ_index",
+    )
 
     def __init__(
         self,
@@ -58,6 +61,7 @@ class CompiledTrace:
         self.next_access = next_access
         self.name = name
         self._key_ids: Optional[list] = None
+        self._occ_index: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Shape
@@ -104,6 +108,51 @@ class CompiledTrace:
             canon = list(range(self.num_objects))
             ids = self._key_ids = [canon[k] for k in self.keys]
         return ids
+
+    def occurrence_index(self) -> tuple:
+        """CSR index of per-key occurrence positions, built once and cached.
+
+        Returns ``(occ_pos, occ_start)`` where
+        ``occ_pos[occ_start[kid]:occ_start[kid + 1]]`` lists, in
+        ascending order, every request position at which ``kid``
+        occurs.  The vector engine (:mod:`repro.sim.vector`) walks
+        these chains to reconstruct lazy hit side-effects (S3-FIFO
+        frequency, SIEVE visited bits) and to find the next occurrence
+        of an evicted key without re-probing the whole chunk.
+
+        Both columns are plain Python lists: the consumers read single
+        elements in tight scalar loops, where list indexing returns an
+        existing reference instead of allocating (see :meth:`key_ids`).
+        """
+        idx = self._occ_index
+        if idx is None:
+            n = len(self.keys)
+            k = self.num_objects
+            try:
+                import numpy as np
+            except ImportError:  # pragma: no cover - numpy is a hard dep
+                np = None
+            if np is not None and n:
+                ids = np.frombuffer(self.keys, dtype=np.int64)
+                # Stable sort by id groups positions per key while
+                # keeping each group in ascending position order.
+                occ_pos = np.argsort(ids, kind="stable").tolist()
+                counts = np.bincount(ids, minlength=k)
+                starts = np.zeros(k + 1, dtype=np.int64)
+                np.cumsum(counts, out=starts[1:])
+                occ_start = starts.tolist()
+            else:
+                buckets: List[list] = [[] for _ in range(k)]
+                for i, kid in enumerate(self.keys):
+                    buckets[kid].append(i)
+                occ_pos = [p for b in buckets for p in b]
+                occ_start = [0] * (k + 1)
+                acc = 0
+                for j, b in enumerate(buckets):
+                    acc += len(b)
+                    occ_start[j + 1] = acc
+            idx = self._occ_index = (occ_pos, occ_start)
+        return idx
 
     def checksum(self) -> str:
         """Stable hex digest of the id/size columns (test fixture aid)."""

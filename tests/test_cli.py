@@ -141,7 +141,62 @@ class TestCommands:
             ]
         )
         assert code == 0
-        assert "single-pass (exact)" in capsys.readouterr().out
+        assert "single-pass (exact, auto)" in capsys.readouterr().out
+
+    def test_mrc_fifo_vector_engine(self, capsys):
+        """--engine vector: per-size vectorized passes, same exact curve."""
+        argv = [
+            "mrc",
+            "--policy", "fifo",
+            "--objects", "500",
+            "--requests", "8000",
+        ]
+        assert main(argv) == 0
+        auto_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "vector"]) == 0
+        vec_out = capsys.readouterr().out
+        assert "single-pass (exact, vector)" in vec_out
+        # Same curve rows, different method label only.
+        auto_rows = [l for l in auto_out.splitlines() if l.lstrip()[:1].isdigit()]
+        vec_rows = [l for l in vec_out.splitlines() if l.lstrip()[:1].isdigit()]
+        assert auto_rows == vec_rows
+
+    def test_mrc_s3fifo_vector_engine(self, capsys):
+        """--engine vector on s3fifo computes the exact (unsampled) curve."""
+        code = main(
+            [
+                "mrc",
+                "--policy", "s3fifo",
+                "--engine", "vector",
+                "--objects", "500",
+                "--requests", "8000",
+            ]
+        )
+        assert code == 0
+        assert "per-size vector (exact)" in capsys.readouterr().out
+
+    def test_simulate_engine_flag(self, capsys):
+        """--engine is wired through simulate and echoed in the output;
+        the result is engine-invariant."""
+        ratios = {}
+        for engine in ("auto", "scalar", "vector"):
+            code = main(
+                [
+                    "simulate",
+                    "--policy", "sieve",
+                    "--objects", "500",
+                    "--requests", "5000",
+                    "--cache-ratio", "0.1",
+                    "--engine", engine,
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"engine:" in out
+            ratios[engine] = next(
+                l for l in out.splitlines() if "miss ratio" in l
+            )
+        assert len(set(ratios.values())) == 1
 
     def test_mrc_single_pass_s3fifo_sampled(self, capsys):
         """--method single-pass on s3fifo runs the sampled one-pass MRC."""

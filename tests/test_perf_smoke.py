@@ -36,21 +36,54 @@ def test_bench_report_schema(tmp_path):
     )
     path = write_report(report, tmp_path / "BENCH_perf.json")
     loaded = json.loads(path.read_text())
-    assert loaded["schema"] == 1
+    assert loaded["schema"] == 2
     assert loaded["trace"] == "zipf-1"
     assert loaded["seed"] == 7
     assert loaded["config"]["capacity"] == 50
-    assert len(loaded["results"]) == 2
+    # Provenance block: perf numbers must say what produced them.
+    env = loaded["env"]
+    assert env["python"] and env["numpy"]
+    assert env["cpu_count"] >= 1
+    assert "python_build" in env
+    # reference + fast + vector row for a vector-capable pair.
+    assert len(loaded["results"]) == 3
     for row in loaded["results"]:
         assert REQUIRED_RESULT_KEYS <= set(row)
         assert row["requests"] == 5_000
         assert row["requests_per_sec"] > 0
         assert row["peak_rss"] > 0
         assert 0.0 < row["miss_ratio"] < 1.0
-    ref, fast = loaded["results"]
-    assert (ref["impl"], fast["impl"]) == ("reference", "fast")
-    assert ref["miss_ratio"] == fast["miss_ratio"]
-    assert set(loaded["speedups"]) == {"s3fifo-fast"}
+    ref, fast, vec = loaded["results"]
+    assert (ref["impl"], fast["impl"], vec["impl"]) == (
+        "reference", "fast", "vector",
+    )
+    assert ref["miss_ratio"] == fast["miss_ratio"] == vec["miss_ratio"]
+    assert set(loaded["speedups"]) == {"s3fifo-fast", "s3fifo-fast-vector"}
+
+
+def test_vector_bench_section_schema():
+    """Toy-scale run of the vector-guard workload: schema only — the
+    speedup targets are asserted at full scale in benchmarks/perf/."""
+    from repro.perf.bench import run_vector_bench
+
+    section = run_vector_bench(
+        num_objects=500,
+        num_requests=5_000,
+        alpha=1.4,
+        cache_ratio=0.1,
+        seed=7,
+        repeats=2,
+    )
+    assert set(section["speedups"]) == {"fifo-fast", "s3fifo-fast"}
+    assert set(section["hit_ratios"]) == {"fifo-fast", "s3fifo-fast"}
+    assert section["config"]["repeats"] == 2
+    assert len(section["results"]) == 4  # scalar + vector per target
+    for row in section["results"]:
+        assert row["impl"] in ("scalar", "vector")
+        assert len(row["all_walls_s"]) == 2
+        # best-of-N: the reported wall is the minimum repeat.
+        assert row["wall_time_s"] == min(row["all_walls_s"])
+    assert section["targets"] == {"fifo-fast": 2.5, "s3fifo-fast": 2.0}
 
 
 def test_bench_rejects_divergent_pair():

@@ -1,0 +1,94 @@
+"""Content-addressed compiled-trace disk cache (repro.traces.store)."""
+
+import json
+import random
+
+import pytest
+
+from repro.traces.compiled import compile_trace
+from repro.traces.store import cached_compile, load_trace, store_trace
+
+_rng = random.Random(3)
+UNIT_INT = [_rng.randrange(50) for _ in range(2000)]
+UNIT_STR = [f"key-{_rng.randrange(40)}" for _ in range(1000)]
+SIZED = [(f"k{_rng.randrange(30)}", _rng.randrange(1, 9)) for _ in range(1500)]
+TUPLE_KEYS = [(_rng.randrange(5), _rng.randrange(5)) for _ in range(400)]
+
+
+@pytest.mark.parametrize(
+    "items", [UNIT_INT, UNIT_STR, SIZED, TUPLE_KEYS],
+    ids=["unit-int", "unit-str", "sized", "tuple-keys"],
+)
+def test_round_trip(tmp_path, items):
+    """Store → load reproduces the exact trace: items, key table,
+    checksum — so simulations on a cache hit are bit-identical."""
+    original = compile_trace(items)
+    path = store_trace(original, tmp_path)
+    assert path is not None and path.suffix == ".npz"
+    loaded = load_trace(original.checksum(), tmp_path)
+    assert loaded is not None
+    assert list(loaded) == items
+    assert loaded.key_table == original.key_table
+    assert loaded.checksum() == original.checksum()
+    assert loaded.unit_size == original.unit_size
+
+
+def test_cached_compile_skips_factory_on_hit(tmp_path):
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return UNIT_INT
+
+    first = cached_compile("spec", factory, tmp_path)
+    second = cached_compile("spec", factory, tmp_path)
+    assert len(calls) == 1
+    assert list(second) == list(first) == UNIT_INT
+
+
+def test_content_addressing_dedups_storage(tmp_path):
+    """Two spec keys over identical content share one .npz."""
+    cached_compile("spec-a", lambda: UNIT_INT, tmp_path)
+    cached_compile("spec-b", lambda: list(UNIT_INT), tmp_path)
+    npz = [p for p in tmp_path.iterdir() if p.suffix == ".npz"]
+    assert len(npz) == 1
+    index = json.loads((tmp_path / "index.json").read_text())
+    assert index["spec-a"] == index["spec-b"]
+
+
+def test_corrupt_entry_falls_back_to_factory(tmp_path):
+    trace = cached_compile("spec", lambda: UNIT_INT, tmp_path)
+    path = tmp_path / f"{trace.checksum()}.npz"
+    path.write_bytes(b"not a real npz")
+    assert load_trace(trace.checksum(), tmp_path) is None
+    again = cached_compile("spec", lambda: UNIT_INT, tmp_path)
+    assert list(again) == UNIT_INT
+
+
+def test_unserializable_keys_degrade_gracefully(tmp_path):
+    """Arbitrary-hashable keys that JSON can't encode simply skip the
+    cache — the compile still succeeds, every time."""
+    objects = [object() for _ in range(5)]
+    for _ in range(2):
+        trace = cached_compile("objs", lambda: list(objects), tmp_path)
+        assert trace.num_requests == 5
+    assert not any(p.suffix == ".npz" for p in tmp_path.iterdir())
+
+
+def test_missing_checksum_returns_none(tmp_path):
+    assert load_trace("deadbeef", tmp_path) is None
+
+
+def test_simulation_identical_on_cache_hit(tmp_path):
+    """End-to-end: a reloaded trace drives every engine to the same
+    result as the in-memory original."""
+    from repro.cache.registry import create_policy
+    from repro.sim.simulator import simulate
+
+    original = cached_compile("zipfish", lambda: UNIT_INT, tmp_path)
+    reloaded = cached_compile("zipfish", lambda: UNIT_INT, tmp_path)
+    for engine in ("scalar", "vector"):
+        a = simulate(create_policy("s3fifo", 10), original, engine=engine)
+        b = simulate(create_policy("s3fifo", 10), reloaded, engine=engine)
+        assert a.misses == b.misses
+        assert a.evictions == b.evictions
